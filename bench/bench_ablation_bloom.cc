@@ -1,0 +1,51 @@
+// §2.2.2 ablation: the Severance-Lohman Bloom screen. "One can design a
+// Bloom filter with any desired ability to screen out accesses ... by
+// increasing m." We sweep the filter size for a fixed 2u-entry AD file and
+// measure the false-drop rate and the implied wasted probe I/O per 1000
+// reads of clean keys.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "sim/report.h"
+#include "storage/bloom_filter.h"
+
+using namespace viewmat;
+
+int main() {
+  constexpr int kAdKeys = 50;  // 2u at the paper's defaults
+  constexpr int kProbes = 200000;
+  sim::SeriesTable table;
+  table.title =
+      "Bloom screen ablation (§2.2.2) — false drops vs filter size m, "
+      "AD file holding 50 keys";
+  table.x_label = "m-bits";
+  table.series_names = {"bits/key", "predicted-fp%", "measured-fp%",
+                        "wasted-ms/1000-reads"};
+  Random key_rng(404);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < kAdKeys; ++i) keys.push_back(key_rng.Next());
+  for (const size_t bits : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    // Hash count tuned to the load factor, as ForExpectedKeys would pick.
+    const int hashes = std::max(
+        1, static_cast<int>(0.693 * static_cast<double>(bits) / kAdKeys));
+    storage::BloomFilter filter(bits, hashes);
+    for (const uint64_t k : keys) filter.Add(k);
+    Random probe_rng(505);
+    int fp = 0;
+    for (int i = 0; i < kProbes; ++i) {
+      if (filter.MayContain(probe_rng.Next())) ++fp;
+    }
+    const double measured = static_cast<double>(fp) / kProbes;
+    // Each false drop wastes one 30 ms AD probe.
+    table.AddRow(static_cast<double>(bits),
+                 {static_cast<double>(bits) / kAdKeys,
+                  100.0 * filter.ExpectedFpRate(), 100.0 * measured,
+                  measured * 1000.0 * 30.0});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\n~10 bits/key already pushes false drops below 1%%, supporting the "
+      "paper's 'count only one I/O' simplification for HR reads.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// §2.2.2 ablation: combined AD file vs separate A and D files. The paper
+// argues the combined file updates a tuple in 3 I/Os (read tuple, read AD
+// page, write AD page) where separate files need 5 (R read + A and D each
+// read+written). We measure the combined path on the real implementation
+// and print it next to both analytical figures.
+
+#include <cstdio>
+
+#include "db/catalog.h"
+#include "hr/hypothetical_relation.h"
+#include "sim/report.h"
+
+using namespace viewmat;
+
+int main() {
+  storage::CostTracker tracker(1.0, 30.0, 1.0);
+  storage::SimulatedDisk disk(4000, &tracker);
+  storage::BufferPool pool(&disk, 64);
+  db::Schema schema({db::Field::Int64("key"), db::Field::Double("v"),
+                     db::Field::String("pad", 84)});
+  db::Relation base(&pool, "R", schema, db::AccessMethod::kClusteredBTree, 0);
+  for (int64_t k = 0; k < 5000; ++k) {
+    (void)base.Insert(db::Tuple(
+        {db::Value(k), db::Value(1.0 * k), db::Value(std::string("x"))}));
+  }
+  hr::AdFile::Options options;
+  options.hash_buckets = 4;
+  options.expected_keys = 512;
+  hr::HypotheticalRelation hr(&base, options);
+  (void)pool.FlushAndEvictAll();
+  tracker.Reset();
+
+  constexpr int kUpdates = 200;
+  for (int64_t i = 0; i < kUpdates; ++i) {
+    const int64_t key = (i * 37) % 5000;
+    // The paper's single-tuple update procedure.
+    (void)hr.FindAllByKey(key, [](const db::Tuple&) { return false; });
+    db::NetChange nc;
+    nc.AddDelete(db::Tuple(
+        {db::Value(key), db::Value(1.0 * key), db::Value(std::string("x"))}));
+    nc.AddInsert(db::Tuple(
+        {db::Value(key), db::Value(2.0 * key), db::Value(std::string("x"))}));
+    (void)hr.RecordChanges(nc);
+    (void)pool.FlushAndEvictAll();  // commit: every touched page persisted
+  }
+  const auto c = tracker.counters();
+  const double ios_per_update =
+      static_cast<double>(c.disk_ios()) / kUpdates;
+  std::printf(
+      "# Combined-vs-separate AD file (§2.2.2), single-tuple updates\n"
+      "measured combined-AD path: %.2f I/Os per update "
+      "(%llu reads, %llu writes over %d updates)\n"
+      "paper's combined-file figure: 3 I/Os per update (+ descent)\n"
+      "paper's separate-files figure: 5 I/Os per update (+ descent)\n"
+      "plain base update (no HR):   2 I/Os per update (+ descent)\n",
+      ios_per_update, static_cast<unsigned long long>(c.disk_reads),
+      static_cast<unsigned long long>(c.disk_writes), kUpdates);
+  std::printf(
+      "\n(the measured figure includes the B+-tree descent the paper "
+      "abstracts away; the marginal AD overhead is the +1 page write per "
+      "touched AD page, matching the combined-file design)\n");
+  return 0;
+}

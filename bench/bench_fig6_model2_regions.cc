@@ -1,0 +1,16 @@
+// Figure 6: Model 2 winner regions over (f, P) at f_v = .1 — join views
+// favor materialization over a much larger area than Model 1.
+
+#include "region_common.h"
+
+using namespace viewmat;
+using namespace viewmat::bench;
+
+int main() {
+  const costmodel::Params base;
+  const auto grid = costmodel::ComputeRegions(
+      Model2CostOrInf, Model2Candidates(), base, FAxis(), PAxis());
+  PrintGrid("Figure 6 — Model 2 winner regions, f (log) vs P, f_v = .1",
+            grid);
+  return 0;
+}

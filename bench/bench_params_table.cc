@@ -1,0 +1,16 @@
+// Reproduces the two parameter tables of §3.1: symbol definitions and the
+// standard default values every figure starts from.
+
+#include <cstdio>
+
+#include "costmodel/params.h"
+
+int main() {
+  const viewmat::costmodel::Params p;
+  std::printf("=== Paper §3.1: standard parameter settings ===\n%s\n",
+              p.ToString().c_str());
+  std::printf("\nderived defaults check: b=%.0f pages, T=%.0f tuples/page, "
+              "u=%.0f tuples between queries, P=%.2f\n",
+              p.b(), p.T(), p.u(), p.P());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Measured analogs of Figures 1 and 5: instead of evaluating the closed
+// forms, drive the actual storage engine through the workload at several
+// update probabilities and report the baseline-adjusted (view-attributable)
+// ms/query per strategy. The curve shapes — maintenance rising with P,
+// query modification flat — are the paper's headline, reproduced by
+// execution.
+
+#include <cstdio>
+
+#include "sim/report.h"
+#include "sim/simulator.h"
+
+using namespace viewmat;
+
+namespace {
+
+double AdjustedOf(const sim::SimResult& result, const char* name) {
+  for (const sim::StrategyRun& run : result.runs) {
+    if (run.name == name) return run.adjusted_ms_per_query;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  costmodel::Params base;
+  base.N = 20000;
+  base.q = 40;
+  base.l = 10;
+  sim::SimOptions options;
+
+  sim::SeriesTable m1;
+  m1.title =
+      "Measured Figure 1 analog — Model 1 view-attributable ms/query vs P "
+      "(N=20000, executed on the storage engine)";
+  m1.x_label = "P";
+  m1.series_names = {"deferred", "immediate", "clustered", "unclustered"};
+  sim::SeriesTable m2;
+  m2.title = "Measured Figure 5 analog — Model 2 ms/query vs P";
+  m2.x_label = "P";
+  m2.series_names = {"deferred", "immediate", "loopjoin"};
+
+  for (const double P : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const costmodel::Params p = base.WithUpdateProbability(P);
+    auto r1 = sim::SimulateModel1(p, options);
+    if (r1.ok()) {
+      m1.AddRow(P, {AdjustedOf(*r1, "deferred"), AdjustedOf(*r1, "immediate"),
+                    AdjustedOf(*r1, "clustered"),
+                    AdjustedOf(*r1, "unclustered")});
+    }
+    auto r2 = sim::SimulateModel2(p, options);
+    if (r2.ok()) {
+      m2.AddRow(P, {AdjustedOf(*r2, "deferred"), AdjustedOf(*r2, "immediate"),
+                    AdjustedOf(*r2, "loopjoin")});
+    }
+  }
+  std::printf("%s\n%s", m1.ToString().c_str(), m2.ToString().c_str());
+  std::printf(
+      "\nshapes to check against Figures 1 and 5: the maintenance curves "
+      "rise with P while the query-modification curves stay flat; "
+      "unclustered and loopjoin sit far above clustered/materialized "
+      "respectively.\n");
+  return 0;
+}

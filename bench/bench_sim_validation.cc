@@ -1,0 +1,36 @@
+// Cross-validation: drive the discrete-event simulator over the real
+// storage engine for all three models and print measured ms/query next to
+// the analytical TOTAL_* predictions. Absolute agreement is not expected
+// (the simulator charges real B+-tree descents and buffer-pool effects the
+// closed forms abstract away); the winner ordering and rough magnitudes
+// should hold. Pass --quick for a smaller N.
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/simulator.h"
+
+using namespace viewmat;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  costmodel::Params p;
+  p.N = quick ? 4000 : 20000;
+  p.k = quick ? 30 : 60;
+  p.q = quick ? 30 : 60;
+  p.l = 10;
+  sim::SimOptions options;
+  std::printf("# Simulator-vs-model validation (N=%.0f, k=%.0f, q=%.0f, "
+              "l=%.0f)\n\n",
+              p.N, p.k, p.q, p.l);
+  auto m1 = sim::SimulateModel1(p, options);
+  if (m1.ok()) std::printf("== Model 1 ==\n%s\n", m1->ToString().c_str());
+  auto m2 = sim::SimulateModel2(p, options);
+  if (m2.ok()) std::printf("== Model 2 ==\n%s\n", m2->ToString().c_str());
+  auto m3 = sim::SimulateModel3(p, options);
+  if (m3.ok()) std::printf("== Model 3 ==\n%s\n", m3->ToString().c_str());
+  std::printf(
+      "('adjusted' subtracts a no-view baseline run so the numbers are "
+      "view-attributable, comparable to the analytical column)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Microbenchmark (google-benchmark): exact hypergeometric Yao vs the
+// Cardenas approximation, plus an accuracy spot-table on Appendix B's
+// n/m > 10 claim.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "costmodel/yao.h"
+
+using namespace viewmat;
+
+static void BM_YaoExact(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(costmodel::YaoExact(100000, 2500, k));
+  }
+}
+BENCHMARK(BM_YaoExact)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+static void BM_YaoApprox(benchmark::State& state) {
+  const double k = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(costmodel::YaoApprox(100000.0, 2500.0, k));
+  }
+}
+BENCHMARK(BM_YaoApprox)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+int main(int argc, char** argv) {
+  std::printf("# Yao exact vs Cardenas approximation (Appendix B)\n");
+  std::printf("%-10s %-10s %14s %14s %10s\n", "n/m", "k", "exact", "approx",
+              "rel-err%");
+  for (const int64_t m : {2500, 10000, 50000}) {
+    for (const int64_t k : {10, 100, 1000, 10000}) {
+      const double e = costmodel::YaoExact(100000, m, k);
+      const double a = costmodel::YaoApprox(100000, m, k);
+      std::printf("%-10lld %-10lld %14.3f %14.3f %9.3f%%\n",
+                  static_cast<long long>(100000 / m),
+                  static_cast<long long>(k), e, a,
+                  e > 0 ? 100.0 * (a - e) / e : 0.0);
+    }
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef VIEWMAT_BENCH_REGION_COMMON_H_
+#define VIEWMAT_BENCH_REGION_COMMON_H_
+
+// Shared helpers for the winner-region figures (2, 3, 4, 6, 7).
+
+#include <cstdio>
+#include <vector>
+
+#include "costmodel/model1.h"
+#include "costmodel/model2.h"
+#include "costmodel/regions.h"
+
+namespace viewmat::bench {
+
+inline double Model1CostOrInf(costmodel::Strategy s,
+                              const costmodel::Params& p) {
+  auto c = costmodel::Model1Cost(s, p);
+  return c.ok() ? *c : 1e300;
+}
+
+inline double Model2CostOrInf(costmodel::Strategy s,
+                              const costmodel::Params& p) {
+  auto c = costmodel::Model2Cost(s, p);
+  return c.ok() ? *c : 1e300;
+}
+
+inline const std::vector<costmodel::Strategy>& Model1Candidates() {
+  static const std::vector<costmodel::Strategy> kCandidates = {
+      costmodel::Strategy::kDeferred, costmodel::Strategy::kImmediate,
+      costmodel::Strategy::kQmClustered, costmodel::Strategy::kQmUnclustered,
+      costmodel::Strategy::kQmSequential};
+  return kCandidates;
+}
+
+inline const std::vector<costmodel::Strategy>& Model2Candidates() {
+  static const std::vector<costmodel::Strategy> kCandidates = {
+      costmodel::Strategy::kDeferred, costmodel::Strategy::kImmediate,
+      costmodel::Strategy::kQmLoopJoin};
+  return kCandidates;
+}
+
+/// The f (log, .005..1) × P (linear, .01...97) raster the figures use.
+inline costmodel::Axis FAxis() { return {0.005, 1.0, 40, true}; }
+inline costmodel::Axis PAxis() { return {0.01, 0.97, 72, false}; }
+
+inline void PrintGrid(const char* title, const costmodel::RegionGrid& grid) {
+  std::printf("# %s\n%s", title, grid.ToAscii().c_str());
+  std::printf("win shares:");
+  for (const costmodel::Strategy s :
+       {costmodel::Strategy::kDeferred, costmodel::Strategy::kImmediate,
+        costmodel::Strategy::kQmClustered, costmodel::Strategy::kQmUnclustered,
+        costmodel::Strategy::kQmSequential, costmodel::Strategy::kQmLoopJoin}) {
+    const double share = grid.WinShare(s);
+    if (share > 0.0) {
+      std::printf("  %s=%.1f%%", costmodel::StrategyName(s), 100.0 * share);
+    }
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace viewmat::bench
+
+#endif  // VIEWMAT_BENCH_REGION_COMMON_H_

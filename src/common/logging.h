@@ -1,0 +1,41 @@
+#ifndef VIEWMAT_COMMON_LOGGING_H_
+#define VIEWMAT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace viewmat {
+
+/// Aborts with a message when an internal invariant is violated. These are
+/// programming errors, not recoverable conditions, so they terminate in all
+/// build modes (the storage engine's correctness depends on them).
+#define VIEWMAT_CHECK(cond)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#define VIEWMAT_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only check, compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define VIEWMAT_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define VIEWMAT_DCHECK(cond) VIEWMAT_CHECK(cond)
+#endif
+
+}  // namespace viewmat
+
+#endif  // VIEWMAT_COMMON_LOGGING_H_

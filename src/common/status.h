@@ -1,0 +1,173 @@
+#ifndef VIEWMAT_COMMON_STATUS_H_
+#define VIEWMAT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace viewmat {
+
+/// Error categories used across the library. The project does not use C++
+/// exceptions; fallible operations return `Status` or `StatusOr<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a status code.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+/// Lightweight status type: a code plus an optional message. Cheap to copy
+/// in the OK case (empty message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message" — for logs and test failure output.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status. Mirrors absl::StatusOr in
+/// spirit; accessing the value of a non-OK result is a programming error
+/// checked by assert in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from error status, so call sites can
+  /// `return value;` or `return Status::NotFound(...)`.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define VIEWMAT_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::viewmat::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define VIEWMAT_ASSIGN_OR_RETURN(lhs, expr)       \
+  VIEWMAT_ASSIGN_OR_RETURN_IMPL(                  \
+      VIEWMAT_STATUS_CONCAT(_status_or_, __LINE__), lhs, expr)
+#define VIEWMAT_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                  \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+#define VIEWMAT_STATUS_CONCAT_IMPL(a, b) a##b
+#define VIEWMAT_STATUS_CONCAT(a, b) VIEWMAT_STATUS_CONCAT_IMPL(a, b)
+
+}  // namespace viewmat
+
+#endif  // VIEWMAT_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#include "costmodel/crossover.h"
+
+#include <cmath>
+
+#include "costmodel/model3.h"
+
+namespace viewmat::costmodel {
+
+std::optional<double> EqualCostP(const CostAtP& cost_a, const CostAtP& cost_b,
+                                 const Params& base, double lo, double hi,
+                                 double tol) {
+  auto diff = [&](double p) {
+    const Params at = base.WithUpdateProbability(p);
+    return cost_a(at) - cost_b(at);
+  };
+  double f_lo = diff(lo);
+  double f_hi = diff(hi);
+  if (f_lo == 0.0) return lo;
+  if (f_hi == 0.0) return hi;
+  if (std::signbit(f_lo) == std::signbit(f_hi)) return std::nullopt;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double f_mid = diff(mid);
+    if (f_mid == 0.0) return mid;
+    if (std::signbit(f_mid) == std::signbit(f_lo)) {
+      lo = mid;
+      f_lo = f_mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::optional<double> Model3EqualCostP(const Params& base, double l,
+                                       double hi) {
+  Params p = base;
+  p.l = l;
+  return EqualCostP([](const Params& at) { return TotalImmediate3(at); },
+                    [](const Params& at) { return TotalRecompute3(at); }, p,
+                    /*lo=*/0.0, hi);
+}
+
+}  // namespace viewmat::costmodel

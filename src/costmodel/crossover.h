@@ -1,0 +1,34 @@
+#ifndef VIEWMAT_COSTMODEL_CROSSOVER_H_
+#define VIEWMAT_COSTMODEL_CROSSOVER_H_
+
+#include <functional>
+#include <optional>
+
+#include "costmodel/params.h"
+
+namespace viewmat::costmodel {
+
+/// Cost-difference function g(P) = cost_a(P) - cost_b(P) evaluated at the
+/// parameter point base.WithUpdateProbability(P).
+using CostAtP = std::function<double(const Params&)>;
+
+/// Finds the update probability P in [lo, hi] at which two strategies have
+/// equal cost, by bisection on their cost difference. Returns nullopt when
+/// the difference does not change sign over the interval (one strategy
+/// dominates throughout). Both cost functions must be continuous in P,
+/// which every formula in the paper is.
+std::optional<double> EqualCostP(const CostAtP& cost_a, const CostAtP& cost_b,
+                                 const Params& base, double lo = 0.0,
+                                 double hi = 0.999, double tol = 1e-9);
+
+/// Figure 9 helper: for a given l (tuples per transaction), the P at which
+/// immediate aggregate maintenance equals from-scratch recomputation
+/// (Model 3). Above the returned P, recomputation is cheaper; below it,
+/// immediate maintenance wins. Returns nullopt when immediate wins for all
+/// P < hi (the curve is above the plotted range — common for large f).
+std::optional<double> Model3EqualCostP(const Params& base, double l,
+                                       double hi = 0.9999999);
+
+}  // namespace viewmat::costmodel
+
+#endif  // VIEWMAT_COSTMODEL_CROSSOVER_H_

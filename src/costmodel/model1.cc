@@ -1,0 +1,91 @@
+#include "costmodel/model1.h"
+
+#include <cmath>
+
+#include "costmodel/yao.h"
+
+namespace viewmat::costmodel {
+namespace {
+inline double YaoP(const Params& p, double n, double m, double k) {
+  return YaoFor(p.use_exact_yao, n, m, k);
+}
+}  // namespace
+}  // namespace viewmat::costmodel
+
+namespace viewmat::costmodel {
+
+double ViewIndexHeight1(const Params& p) {
+  const double fanout = p.B / p.n;
+  const double entries = p.f * p.N;
+  if (entries <= 1.0) return 1.0;
+  return std::ceil(std::log(entries) / std::log(fanout));
+}
+
+double CQuery1(const Params& p) {
+  const double pages_read = p.f * p.f_v * p.b() / 2.0;
+  const double tuples_read = p.f * p.f_v * p.N;
+  return p.C2 * pages_read + p.C2 * ViewIndexHeight1(p) + p.C1 * tuples_read;
+}
+
+double CScreen(const Params& p) { return p.C1 * p.f * p.u(); }
+
+double CAd(const Params& p) {
+  const double u = p.u();
+  if (u <= 0.0) return 0.0;
+  return p.C2 * (p.k / p.q) * YaoP(p, 2.0 * u, 2.0 * u / p.T(), p.l);
+}
+
+double CAdRead(const Params& p) { return p.C2 * 2.0 * p.u() / p.T(); }
+
+double CDefRefresh1(const Params& p) {
+  const double x1 = YaoP(p, p.f * p.N, p.f * p.b() / 2.0, 2.0 * p.f * p.u());
+  return p.C2 * (3.0 + ViewIndexHeight1(p)) * x1;
+}
+
+double CImmRefresh1(const Params& p) {
+  const double x2 = YaoP(p, p.f * p.N, p.f * p.b() / 2.0, 2.0 * p.f * p.l);
+  return (p.k / p.q) * p.C2 * (3.0 + ViewIndexHeight1(p)) * x2;
+}
+
+double COverhead(const Params& p) {
+  return p.C3 * 2.0 * p.f * p.l * (p.k / p.q);
+}
+
+double TotalDeferred1(const Params& p) {
+  return CAd(p) + CAdRead(p) + CQuery1(p) + CDefRefresh1(p) + CScreen(p);
+}
+
+double TotalImmediate1(const Params& p) {
+  return CQuery1(p) + CImmRefresh1(p) + CScreen(p) + COverhead(p);
+}
+
+double TotalClustered(const Params& p) {
+  return p.C2 * p.b() * p.f * p.f_v + p.C1 * p.N * p.f * p.f_v;
+}
+
+double TotalUnclustered(const Params& p) {
+  return p.C2 * YaoP(p, p.N, p.b(), p.N * p.f * p.f_v) + p.C1 * p.N * p.f * p.f_v;
+}
+
+double TotalSequential(const Params& p) { return p.C2 * p.b() + p.C1 * p.N; }
+
+StatusOr<double> Model1Cost(Strategy s, const Params& p) {
+  switch (s) {
+    case Strategy::kDeferred:
+      return TotalDeferred1(p);
+    case Strategy::kImmediate:
+      return TotalImmediate1(p);
+    case Strategy::kQmClustered:
+      return TotalClustered(p);
+    case Strategy::kQmUnclustered:
+      return TotalUnclustered(p);
+    case Strategy::kQmSequential:
+      return TotalSequential(p);
+    case Strategy::kQmLoopJoin:
+    case Strategy::kQmRecompute:
+      return Status::InvalidArgument("strategy not defined for Model 1");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace viewmat::costmodel

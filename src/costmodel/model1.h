@@ -1,0 +1,74 @@
+#ifndef VIEWMAT_COSTMODEL_MODEL1_H_
+#define VIEWMAT_COSTMODEL_MODEL1_H_
+
+#include "common/status.h"
+#include "costmodel/params.h"
+#include "costmodel/strategy.h"
+
+namespace viewmat::costmodel {
+
+/// Model 1 (§3.2): the view is a selection with selectivity f and a
+/// projection of exactly half the attributes of a single relation R. The
+/// view therefore holds f*N tuples on f*b/2 pages (projected tuples are
+/// S/2 bytes, so 2T fit per page). All costs are the average model-ms per
+/// view query over k updates and q queries.
+
+/// Height of the B+-tree index on the view, excluding data pages:
+/// ceil(log_{B/n}(f*N)) with all pages assumed packed full.
+double ViewIndexHeight1(const Params& p);
+
+/// Shared cost components (deferred and immediate pay some of the same
+/// terms; exposing them individually lets tests pin each formula).
+///
+/// C_query1 = C2*(f*f_v*b/2) + C2*H_vi + C1*(f*f_v*N): one index descent,
+/// a clustered scan of the queried fraction, and a C1 screen per tuple read.
+double CQuery1(const Params& p);
+
+/// C_screen = C1*f*u: stage 1 (t-lock break) is free; the fraction f of the
+/// u tuples updated per query proceed to the stage-2 satisfiability
+/// substitution at C1 each. Identical for deferred and immediate.
+double CScreen(const Params& p);
+
+/// C_AD = C2*(k/q)*y(2u, 2u/T, l): the single extra write-path I/O per
+/// updated tuple for keeping the AD differential file, amortized with the
+/// Yao function because several of a transaction's l tuples can share an
+/// AD page. Deferred only.
+double CAd(const Params& p);
+
+/// C_ADread = C2*(2u/T): sequential read of the whole AD file at refresh
+/// time. Deferred only.
+double CAdRead(const Params& p);
+
+/// Deferred refresh: X1 = y(f*N, f*b/2, 2*f*u) view pages are updated, each
+/// costing (3 + H_vi) I/Os (index descent, data read+write, leaf write).
+double CDefRefresh1(const Params& p);
+
+/// Immediate refresh per query: k/q transactions each touch
+/// X2 = y(f*N, f*b/2, 2*f*l) view pages at (3 + H_vi) I/Os.
+double CImmRefresh1(const Params& p);
+
+/// C_overhead = C3*2*f*l*(k/q): resetting the in-memory A and D structures
+/// after every transaction. Immediate only.
+double COverhead(const Params& p);
+
+/// TOTAL_deferred-1 = C_AD + C_ADread + C_query1 + C_def-refresh + C_screen.
+double TotalDeferred1(const Params& p);
+
+/// TOTAL_immediate-1 = C_query1 + C_imm-refresh + C_screen + C_overhead.
+double TotalImmediate1(const Params& p);
+
+/// TOTAL_clustered = C2*b*f*f_v + C1*N*f*f_v.
+double TotalClustered(const Params& p);
+
+/// TOTAL_unclustered = C2*y(N, b, N*f*f_v) + C1*N*f*f_v.
+double TotalUnclustered(const Params& p);
+
+/// TOTAL_sequential = C2*b + C1*N.
+double TotalSequential(const Params& p);
+
+/// Dispatch by strategy. kQmLoopJoin and kQmRecompute are invalid here.
+StatusOr<double> Model1Cost(Strategy s, const Params& p);
+
+}  // namespace viewmat::costmodel
+
+#endif  // VIEWMAT_COSTMODEL_MODEL1_H_

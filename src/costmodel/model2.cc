@@ -1,0 +1,80 @@
+#include "costmodel/model2.h"
+
+#include <cmath>
+
+#include "costmodel/model1.h"
+#include "costmodel/yao.h"
+
+namespace viewmat::costmodel {
+namespace {
+inline double YaoP(const Params& p, double n, double m, double k) {
+  return YaoFor(p.use_exact_yao, n, m, k);
+}
+}  // namespace
+}  // namespace viewmat::costmodel
+
+namespace viewmat::costmodel {
+
+double ViewIndexHeight2(const Params& p) {
+  // The join view also has f*N tuples, so the index height matches Model 1.
+  return ViewIndexHeight1(p);
+}
+
+double CQuery2(const Params& p) {
+  const double pages_read = p.f_v * p.f * p.b();
+  const double tuples_read = p.f_v * p.f * p.N;
+  return p.C2 * ViewIndexHeight2(p) + p.C2 * pages_read + p.C1 * tuples_read;
+}
+
+double CDefRefresh2(const Params& p) {
+  const double u = p.u();
+  const double x3 = YaoP(p, p.f_R2 * p.N, p.f_R2 * p.b(), 2.0 * p.f * u);
+  const double x4 = YaoP(p, p.f * p.N, p.f * p.b(), 2.0 * p.f * u);
+  return p.C2 * x3 + p.C1 * 2.0 * u +
+         p.C2 * (3.0 + ViewIndexHeight2(p)) * x4;
+}
+
+double CImmRefresh2(const Params& p) {
+  const double x5 = YaoP(p, p.f_R2 * p.N, p.f_R2 * p.b(), 2.0 * p.f * p.l);
+  const double x6 = YaoP(p, p.f * p.N, p.f * p.b(), 2.0 * p.f * p.l);
+  const double per_txn =
+      p.C2 * x5 + p.C1 * 2.0 * p.l + p.C2 * (3.0 + ViewIndexHeight2(p)) * x6;
+  return (p.k / p.q) * per_txn;
+}
+
+double TotalDeferred2(const Params& p) {
+  return CAd(p) + CAdRead(p) + CDefRefresh2(p) + CQuery2(p) + CScreen(p);
+}
+
+double TotalImmediate2(const Params& p) {
+  return CImmRefresh2(p) + CQuery2(p) + COverhead(p) + CScreen(p);
+}
+
+double TotalLoopJoin(const Params& p) {
+  const double fanout = p.B / p.n;
+  const double btree_descent = std::ceil(std::log(p.N) / std::log(fanout));
+  const double outer_pages = p.f * p.f_v * p.b();
+  const double outer_tuples = p.N * p.f * p.f_v;
+  const double inner_pages = YaoP(p, p.f_R2 * p.N, p.f_R2 * p.b(), outer_tuples);
+  return p.C2 * btree_descent + p.C2 * outer_pages + p.C2 * inner_pages +
+         2.0 * p.C1 * outer_tuples;
+}
+
+StatusOr<double> Model2Cost(Strategy s, const Params& p) {
+  switch (s) {
+    case Strategy::kDeferred:
+      return TotalDeferred2(p);
+    case Strategy::kImmediate:
+      return TotalImmediate2(p);
+    case Strategy::kQmLoopJoin:
+      return TotalLoopJoin(p);
+    case Strategy::kQmClustered:
+    case Strategy::kQmUnclustered:
+    case Strategy::kQmSequential:
+    case Strategy::kQmRecompute:
+      return Status::InvalidArgument("strategy not defined for Model 2");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace viewmat::costmodel

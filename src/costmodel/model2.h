@@ -1,0 +1,55 @@
+#ifndef VIEWMAT_COSTMODEL_MODEL2_H_
+#define VIEWMAT_COSTMODEL_MODEL2_H_
+
+#include "common/status.h"
+#include "costmodel/params.h"
+#include "costmodel/strategy.h"
+
+namespace viewmat::costmodel {
+
+/// Model 2 (§3.4): V is the natural join of R1 (N tuples, clustered B+-tree
+/// on the restriction field) and R2 (f_R2*N tuples, clustered hashing on the
+/// join key). A clause C_f restricts R1 with selectivity f; every matching
+/// R1 tuple joins exactly one R2 tuple, so V has f*N tuples. Half the
+/// attributes of each relation are projected, so view tuples are S bytes and
+/// V occupies f*b pages. Only R1 is ever updated.
+
+/// Height of the B+-tree index on the f*N-tuple view (same form as Model 1).
+double ViewIndexHeight2(const Params& p);
+
+/// C_query2 = C2*H_vi + C2*(f_v*f*b) + C1*(f_v*f*N): index descent plus a
+/// clustered scan of the queried view fraction. Paid by both maintenance
+/// strategies.
+double CQuery2(const Params& p);
+
+/// Deferred refresh: join A1 and D1 to R2 through its hash index, then patch
+/// the view.
+///   X3 = y(f_R2*N, f_R2*b, 2*f*u)   pages fetched from R2
+///   X4 = y(f*N,    f*b,    2*f*u)   view pages patched at (3+H_vi) I/Os
+/// plus C1 per A1/D1 tuple handled (2u of them).
+double CDefRefresh2(const Params& p);
+
+/// Immediate refresh per query: the same shape once per transaction with l
+/// in place of u, scaled by k/q.
+double CImmRefresh2(const Params& p);
+
+/// TOTAL_deferred-2 = C_AD + C_ADread + C_def-refresh2 + C_query2 + C_screen.
+/// (C_AD and C_ADread carry over from Model 1 unchanged, per §3.4.1.)
+double TotalDeferred2(const Params& p);
+
+/// TOTAL_immediate-2 = C_imm-refresh2 + C_query2 + C_overhead + C_screen.
+double TotalImmediate2(const Params& p);
+
+/// TOT_loop (§3.4.3): nested-loops join with R1 outer (clustered B+-tree
+/// scan of the restricted, queried fraction) and R2 inner via its hash
+/// index, R2 pages pinned in the buffer pool after first read:
+///   C2*ceil(log_{B/n} N) + C2*(f*f_v*b) + C2*y(f_R2*N, f_R2*b, f*f_v*N)
+///   + 2*C1*(N*f*f_v)
+double TotalLoopJoin(const Params& p);
+
+/// Dispatch by strategy; only the three §3.5 contenders are valid.
+StatusOr<double> Model2Cost(Strategy s, const Params& p);
+
+}  // namespace viewmat::costmodel
+
+#endif  // VIEWMAT_COSTMODEL_MODEL2_H_

@@ -1,0 +1,50 @@
+#include "costmodel/model3.h"
+
+#include <cmath>
+
+#include "costmodel/model1.h"
+
+namespace viewmat::costmodel {
+
+double CQuery3(const Params& p) { return p.C2; }
+
+double CDefRefresh3(const Params& p) {
+  return p.C2 * (1.0 - std::pow(1.0 - p.f, 2.0 * p.u()));
+}
+
+double CImmRefresh3(const Params& p) {
+  return (p.k / p.q) * p.C2 * (1.0 - std::pow(1.0 - p.f, 2.0 * p.l));
+}
+
+double TotalDeferred3(const Params& p) {
+  return CAd(p) + CAdRead(p) + CQuery3(p) + CDefRefresh3(p) + CScreen(p);
+}
+
+double TotalImmediate3(const Params& p) {
+  return CQuery3(p) + CImmRefresh3(p) + CScreen(p);
+}
+
+double TotalRecompute3(const Params& p) {
+  Params scan = p;
+  scan.f_v = p.aggregate_scan_fraction;
+  return TotalClustered(scan);
+}
+
+StatusOr<double> Model3Cost(Strategy s, const Params& p) {
+  switch (s) {
+    case Strategy::kDeferred:
+      return TotalDeferred3(p);
+    case Strategy::kImmediate:
+      return TotalImmediate3(p);
+    case Strategy::kQmRecompute:
+      return TotalRecompute3(p);
+    case Strategy::kQmClustered:
+    case Strategy::kQmUnclustered:
+    case Strategy::kQmSequential:
+    case Strategy::kQmLoopJoin:
+      return Status::InvalidArgument("strategy not defined for Model 3");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace viewmat::costmodel

@@ -1,0 +1,47 @@
+#ifndef VIEWMAT_COSTMODEL_MODEL3_H_
+#define VIEWMAT_COSTMODEL_MODEL3_H_
+
+#include "common/status.h"
+#include "costmodel/params.h"
+#include "costmodel/strategy.h"
+
+namespace viewmat::costmodel {
+
+/// Model 3 (§3.6): the view is an incrementally maintainable aggregate
+/// (sum, count, average, ...) over a Model-1-style selection with
+/// selectivity f. Only the aggregate state is stored — it fits in a single
+/// disk block — so a query is one page read and a refresh is at most one
+/// page write.
+
+/// C_query3 = C2: read the block holding the aggregate state.
+double CQuery3(const Params& p);
+
+/// Deferred refresh per query: one write times the probability that at
+/// least one of the 2u tuples changed since the last query lies in the
+/// aggregated set: C2 * (1 - (1-f)^(2u)). No read is charged — the state
+/// block is already being read to answer the query.
+double CDefRefresh3(const Params& p);
+
+/// Immediate refresh per query: one write per transaction that touches the
+/// aggregated set, C2 * (1 - (1-f)^(2l)), scaled by k/q transactions per
+/// query.
+double CImmRefresh3(const Params& p);
+
+/// TOTAL_deferred-3 = C_AD + C_ADread + C_query3 + C_def-refresh3 + C_screen.
+double TotalDeferred3(const Params& p);
+
+/// TOTAL_immediate-3 = C_query3 + C_imm-refresh3 + C_screen. (The paper
+/// includes no C_overhead term for Model 3.)
+double TotalImmediate3(const Params& p);
+
+/// Recomputing the aggregate from scratch with a clustered index scan.
+/// The paper reuses TOTAL_clustered; an aggregate reads its entire f*N
+/// input, so the scan fraction defaults to 1 (Params::aggregate_scan_fraction).
+double TotalRecompute3(const Params& p);
+
+/// Dispatch by strategy; only the three §3.7 contenders are valid.
+StatusOr<double> Model3Cost(Strategy s, const Params& p);
+
+}  // namespace viewmat::costmodel
+
+#endif  // VIEWMAT_COSTMODEL_MODEL3_H_

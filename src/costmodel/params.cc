@@ -1,0 +1,64 @@
+#include "costmodel/params.h"
+
+#include <cstdio>
+
+namespace viewmat::costmodel {
+
+Params Params::WithUpdateProbability(double p) const {
+  Params out = *this;
+  // P = k/(k+q)  =>  k = q * P/(1-P). p is clamped just below 1 so sweeps
+  // over [0, 1) stay finite.
+  if (p < 0.0) p = 0.0;
+  if (p >= 1.0) p = 0.999999;
+  out.k = q * p / (1.0 - p);
+  return out;
+}
+
+Status Params::Validate() const {
+  if (N <= 0) return Status::InvalidArgument("N must be positive");
+  if (S <= 0) return Status::InvalidArgument("S must be positive");
+  if (B < S) return Status::InvalidArgument("block size B must be >= tuple size S");
+  if (n <= 0 || n > B)
+    return Status::InvalidArgument("index record size n must be in (0, B]");
+  if (B / n < 2.0)
+    return Status::InvalidArgument("index fanout B/n must be at least 2");
+  if (k < 0) return Status::InvalidArgument("k must be non-negative");
+  if (l <= 0) return Status::InvalidArgument("l must be positive");
+  if (q <= 0) return Status::InvalidArgument("q must be positive");
+  if (f < 0 || f > 1) return Status::InvalidArgument("f must be in [0,1]");
+  if (f_v < 0 || f_v > 1) return Status::InvalidArgument("f_v must be in [0,1]");
+  if (f_R2 <= 0 || f_R2 > 1)
+    return Status::InvalidArgument("f_R2 must be in (0,1]");
+  if (C1 < 0 || C2 < 0 || C3 < 0)
+    return Status::InvalidArgument("unit costs must be non-negative");
+  if (aggregate_scan_fraction < 0 || aggregate_scan_fraction > 1)
+    return Status::InvalidArgument("aggregate_scan_fraction must be in [0,1]");
+  return Status::OK();
+}
+
+std::string Params::ToString() const {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "N    = %.0f   tuples in relation\n"
+                "S    = %.0f     bytes per tuple\n"
+                "B    = %.0f    bytes per block\n"
+                "b    = %.1f  total blocks (N*S/B)\n"
+                "T    = %.1f    tuples per page (B/S)\n"
+                "n    = %.0f      bytes per index record\n"
+                "k    = %.2f  update transactions\n"
+                "l    = %.0f     tuples per update transaction\n"
+                "q    = %.0f    view queries\n"
+                "u    = %.2f  tuples updated between queries (k*l/q)\n"
+                "P    = %.4f update probability (k/(k+q))\n"
+                "f    = %.4f view predicate selectivity\n"
+                "f_v  = %.4f fraction of view retrieved per query\n"
+                "f_R2 = %.4f |R2| / |R1|\n"
+                "C1   = %.2f  ms to screen a record\n"
+                "C2   = %.2f ms per disk read/write\n"
+                "C3   = %.2f  ms/tuple/transaction for A,D upkeep",
+                N, S, B, b(), T(), n, k, l, q, u(), P(), f, f_v, f_R2, C1, C2,
+                C3);
+  return buf;
+}
+
+}  // namespace viewmat::costmodel

@@ -1,0 +1,74 @@
+#ifndef VIEWMAT_COSTMODEL_PARAMS_H_
+#define VIEWMAT_COSTMODEL_PARAMS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace viewmat::costmodel {
+
+/// The parameter set of the paper's analysis (§3.1), with the paper's
+/// default values. All costs are in model milliseconds; the analysis never
+/// measures wall-clock time.
+///
+/// Derived quantities (b, T, u, P) are methods so they can never go stale
+/// when a field changes.
+struct Params {
+  // --- Database shape -------------------------------------------------
+  double N = 100000;  ///< tuples in the base relation (R, or R1 in Model 2)
+  double S = 100;     ///< bytes per tuple
+  double B = 4000;    ///< bytes per disk block
+  double n = 20;      ///< bytes per B+-tree index record
+
+  // --- Workload --------------------------------------------------------
+  double k = 100;  ///< number of update transactions
+  double l = 25;   ///< tuples modified by each update transaction
+  double q = 100;  ///< number of view queries
+
+  // --- View definition --------------------------------------------------
+  double f = 0.1;    ///< view predicate selectivity (Models 1 and 3; the
+                     ///< C_f clause on R1 in Model 2)
+  double f_v = 0.1;  ///< fraction of the view retrieved per query
+  double f_R2 = 0.1; ///< |R2| as a fraction of |R1| (Model 2 only)
+
+  // --- Unit costs (ms) ---------------------------------------------------
+  double C1 = 1;   ///< CPU cost to screen one record against a predicate
+  double C2 = 30;  ///< one disk block read or write
+  double C3 = 1;   ///< per tuple per transaction to maintain the in-memory
+                   ///< A and D sets in immediate maintenance
+
+  /// Evaluate the cost formulas with the exact hypergeometric Yao function
+  /// instead of the Cardenas approximation. Region boundaries (Figures 2/4)
+  /// are knife-edge sensitive to this choice; everything else is not.
+  bool use_exact_yao = false;
+
+  /// Fraction of the Model-1 view scanned when recomputing an aggregate
+  /// from scratch (Model 3). The paper reuses TOTAL_clustered for this; an
+  /// aggregate covers its whole input so the physically meaningful value is
+  /// 1.0. Kept as a parameter so the f_v-based reading can be explored.
+  double aggregate_scan_fraction = 1.0;
+
+  // --- Derived quantities (paper notation) ------------------------------
+  /// Total blocks in the base relation: b = N*S/B.
+  double b() const { return N * S / B; }
+  /// Tuples per page: T = B/S.
+  double T() const { return B / S; }
+  /// Tuples updated between view queries: u = k*l/q.
+  double u() const { return k * l / q; }
+  /// Probability an operation is an update: P = k/(k+q).
+  double P() const { return k / (k + q); }
+
+  /// Returns a copy with k set so that P() == p, holding q fixed. This is
+  /// how the figures sweep the update probability. Requires 0 <= p < 1.
+  Params WithUpdateProbability(double p) const;
+
+  /// Validates that every parameter is in its meaningful range.
+  Status Validate() const;
+
+  /// Multi-line "name = value" dump used by bench_params_table.
+  std::string ToString() const;
+};
+
+}  // namespace viewmat::costmodel
+
+#endif  // VIEWMAT_COSTMODEL_PARAMS_H_

@@ -1,0 +1,63 @@
+#ifndef VIEWMAT_COSTMODEL_STRATEGY_H_
+#define VIEWMAT_COSTMODEL_STRATEGY_H_
+
+namespace viewmat::costmodel {
+
+/// The view materialization strategies compared in the paper. The query
+/// modification entries differ only in the access plan used against the
+/// base relations.
+enum class Strategy {
+  kDeferred,        ///< materialized view refreshed just before each query (§2.2)
+  kImmediate,       ///< materialized view refreshed after every transaction (§2.1)
+  kQmClustered,     ///< query modification, clustered index scan on R
+  kQmUnclustered,   ///< query modification, secondary index scan on R
+  kQmSequential,    ///< query modification, full sequential scan of R
+  kQmLoopJoin,      ///< query modification, nested-loops join (Model 2)
+  kQmRecompute,     ///< recompute aggregate via clustered scan (Model 3)
+};
+
+/// Short stable name used in bench output and region plots.
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDeferred:
+      return "deferred";
+    case Strategy::kImmediate:
+      return "immediate";
+    case Strategy::kQmClustered:
+      return "clustered";
+    case Strategy::kQmUnclustered:
+      return "unclustered";
+    case Strategy::kQmSequential:
+      return "sequential";
+    case Strategy::kQmLoopJoin:
+      return "loopjoin";
+    case Strategy::kQmRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+/// One-character code used to rasterize winner-region figures.
+inline char StrategyCode(Strategy s) {
+  switch (s) {
+    case Strategy::kDeferred:
+      return 'D';
+    case Strategy::kImmediate:
+      return 'I';
+    case Strategy::kQmClustered:
+      return 'C';
+    case Strategy::kQmUnclustered:
+      return 'U';
+    case Strategy::kQmSequential:
+      return 'S';
+    case Strategy::kQmLoopJoin:
+      return 'L';
+    case Strategy::kQmRecompute:
+      return 'R';
+  }
+  return '?';
+}
+
+}  // namespace viewmat::costmodel
+
+#endif  // VIEWMAT_COSTMODEL_STRATEGY_H_

@@ -1,0 +1,50 @@
+#include "costmodel/yao.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+
+namespace viewmat::costmodel {
+
+double YaoExact(int64_t n, int64_t m, int64_t k) {
+  if (n <= 0 || m <= 0 || k <= 0) return 0.0;
+  if (k >= n) return static_cast<double>(m);
+  if (m == 1) return 1.0;
+  // p = records per block; the probability that a fixed block is *not*
+  // touched is C(n - p, k) / C(n, k) = prod_{i=0}^{k-1} (n - p - i)/(n - i).
+  const double p = static_cast<double>(n) / static_cast<double>(m);
+  double miss = 1.0;
+  for (int64_t i = 0; i < k; ++i) {
+    const double numer = static_cast<double>(n) - p - static_cast<double>(i);
+    const double denom = static_cast<double>(n) - static_cast<double>(i);
+    if (numer <= 0.0) {
+      miss = 0.0;
+      break;
+    }
+    miss *= numer / denom;
+  }
+  return static_cast<double>(m) * (1.0 - miss);
+}
+
+double YaoApprox(double n, double m, double k) {
+  if (n <= 0.0 || m <= 0.0 || k <= 0.0) return 0.0;
+  if (k >= n) return m;
+  if (m <= 1.0) return std::min(m, k);
+  return m * (1.0 - std::pow(1.0 - 1.0 / m, k));
+}
+
+double Yao(double n, double m, double k) {
+  const double y = YaoApprox(n, m, k);
+  // The exact function never exceeds the block count or the access count.
+  return std::min({y, m, k > 0.0 ? k : 0.0});
+}
+
+double YaoFor(bool exact, double n, double m, double k) {
+  if (!exact) return Yao(n, m, k);
+  if (n <= 0.0 || m <= 0.0 || k <= 0.0) return 0.0;
+  const auto r = [](double x) { return static_cast<int64_t>(x + 0.5); };
+  return YaoExact(std::max<int64_t>(r(n), 1), std::max<int64_t>(r(m), 1),
+                  std::max<int64_t>(r(k), 1));
+}
+
+}  // namespace viewmat::costmodel

@@ -1,0 +1,42 @@
+#ifndef VIEWMAT_COSTMODEL_YAO_H_
+#define VIEWMAT_COSTMODEL_YAO_H_
+
+#include <cstdint>
+
+namespace viewmat::costmodel {
+
+/// Yao's function y(n, m, k): the expected number of distinct blocks touched
+/// when accessing k records chosen at random (without replacement) from n
+/// records stored uniformly on m blocks [Yao77]. It is the central quantity
+/// in the paper's cost formulas (Appendix B) and the reason deferred
+/// maintenance can beat immediate maintenance: y is subadditive in k
+/// ("triangle inequality", paper §4), so batching accesses touches fewer
+/// blocks than spreading them across transactions.
+
+/// Exact hypergeometric form: m * (1 - C(n - n/m, k) / C(n, k)), evaluated
+/// as a stable running product. Requires integral semantics; inputs are
+/// rounded to the nearest integers. Returns 0 when k <= 0 or n <= 0, and m
+/// when k >= n.
+double YaoExact(int64_t n, int64_t m, int64_t k);
+
+/// Cardenas' approximation m * (1 - (1 - 1/m)^k) [Card75], which the paper
+/// notes is very close to the exact value when the blocking factor n/m
+/// exceeds ~10. Unlike the exact form it extends naturally to real-valued
+/// n, m, k, which the cost model needs (e.g. y(2u, 2u/T, l) with fractional
+/// page counts). Degenerate cases: k <= 0 or m <= 0 -> 0; m <= 1 -> the
+/// whole (partial) file fits one block, so the result is min(m, k).
+double YaoApprox(double n, double m, double k);
+
+/// The y(n, m, k) used throughout the cost model. Clamped to the hard upper
+/// bounds y <= m and y <= k that hold for the exact function.
+double Yao(double n, double m, double k);
+
+/// Selects between the Cardenas approximation (default) and the exact
+/// hypergeometric form (arguments rounded to integers, minimum one block
+/// for a non-empty file). The choice matters at knife-edge region
+/// boundaries — see bench_ablation_yao_variant and EXPERIMENTS.md.
+double YaoFor(bool exact, double n, double m, double k);
+
+}  // namespace viewmat::costmodel
+
+#endif  // VIEWMAT_COSTMODEL_YAO_H_

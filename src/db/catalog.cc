@@ -1,0 +1,35 @@
+#include "db/catalog.h"
+
+namespace viewmat::db {
+
+StatusOr<Relation*> Catalog::CreateRelation(const std::string& name,
+                                            Schema schema,
+                                            AccessMethod method,
+                                            size_t key_field,
+                                            Relation::Options options) {
+  if (relations_.contains(name)) {
+    return Status::AlreadyExists("relation " + name + " already exists");
+  }
+  auto rel = std::make_unique<Relation>(pool_, name, std::move(schema),
+                                        method, key_field, options);
+  Relation* raw = rel.get();
+  relations_.emplace(name, std::move(rel));
+  return raw;
+}
+
+StatusOr<Relation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return it->second.get();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace viewmat::db

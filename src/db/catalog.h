@@ -1,0 +1,44 @@
+#ifndef VIEWMAT_DB_CATALOG_H_
+#define VIEWMAT_DB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "db/relation.h"
+
+namespace viewmat::db {
+
+/// Name -> relation registry for one database instance. Owns the relations;
+/// everything else holds raw pointers whose lifetime the catalog guarantees.
+class Catalog {
+ public:
+  explicit Catalog(storage::BufferPool* pool) : pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates and registers a relation. AlreadyExists if the name is taken.
+  StatusOr<Relation*> CreateRelation(const std::string& name, Schema schema,
+                                     AccessMethod method, size_t key_field,
+                                     Relation::Options options = Relation::Options());
+
+  /// Looks up a relation by name.
+  StatusOr<Relation*> Get(const std::string& name) const;
+
+  /// Unregisters and destroys a relation. Its pages are NOT reclaimed
+  /// (relations do not track every internal page); intended for teardown.
+  Status Drop(const std::string& name);
+
+  storage::BufferPool* pool() const { return pool_; }
+  size_t relation_count() const { return relations_.size(); }
+
+ private:
+  storage::BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace viewmat::db
+
+#endif  // VIEWMAT_DB_CATALOG_H_

@@ -1,0 +1,66 @@
+#include "db/schema.h"
+
+#include "common/logging.h"
+
+namespace viewmat::db {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  offsets_.reserve(fields_.size());
+  uint32_t off = 0;
+  for (const Field& f : fields_) {
+    VIEWMAT_CHECK_MSG(f.type == ValueType::kString || f.width == 8,
+                      "numeric fields must be 8 bytes wide");
+    VIEWMAT_CHECK(f.width > 0);
+    offsets_.push_back(off);
+    off += f.width;
+  }
+  record_size_ = off;
+}
+
+StatusOr<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named " + name);
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (const size_t i : indices) {
+    VIEWMAT_CHECK(i < fields_.size());
+    out.push_back(fields_[i]);
+  }
+  return Schema(std::move(out));
+}
+
+Schema Schema::Concat(const Schema& left, const std::string& left_prefix,
+                      const Schema& right, const std::string& right_prefix) {
+  std::vector<Field> out;
+  out.reserve(left.field_count() + right.field_count());
+  for (const Field& f : left.fields()) {
+    Field g = f;
+    if (!left_prefix.empty()) g.name = left_prefix + "." + f.name;
+    out.push_back(std::move(g));
+  }
+  for (const Field& f : right.fields()) {
+    Field g = f;
+    if (!right_prefix.empty()) g.name = right_prefix + "." + f.name;
+    out.push_back(std::move(g));
+  }
+  return Schema(std::move(out));
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.fields_.size() != b.fields_.size()) return false;
+  for (size_t i = 0; i < a.fields_.size(); ++i) {
+    if (a.fields_[i].name != b.fields_[i].name ||
+        a.fields_[i].type != b.fields_[i].type ||
+        a.fields_[i].width != b.fields_[i].width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace viewmat::db

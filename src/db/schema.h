@@ -1,0 +1,70 @@
+#ifndef VIEWMAT_DB_SCHEMA_H_
+#define VIEWMAT_DB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/value.h"
+
+namespace viewmat::db {
+
+/// One column: name, type, and serialized width in bytes. Numeric columns
+/// always occupy 8 bytes; string columns take the declared width (padding
+/// or truncating at serialization time).
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  uint32_t width = 8;
+
+  static Field Int64(std::string name) {
+    return Field{std::move(name), ValueType::kInt64, 8};
+  }
+  static Field Double(std::string name) {
+    return Field{std::move(name), ValueType::kDouble, 8};
+  }
+  static Field String(std::string name, uint32_t width) {
+    return Field{std::move(name), ValueType::kString, width};
+  }
+};
+
+/// An ordered list of fields with precomputed byte offsets. Schemas are
+/// immutable after construction and cheap to copy.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t field_count() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Byte offset of field i within a serialized record.
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Total serialized record size in bytes.
+  uint32_t record_size() const { return record_size_; }
+
+  /// Index of the named field, or NotFound.
+  StatusOr<size_t> FieldIndex(const std::string& name) const;
+
+  /// Schema consisting of the given fields of this one, in the given order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  /// Concatenation (for join results). Field names are prefixed with
+  /// `left_prefix`/`right_prefix` when non-empty to avoid collisions.
+  static Schema Concat(const Schema& left, const std::string& left_prefix,
+                       const Schema& right, const std::string& right_prefix);
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<uint32_t> offsets_;
+  uint32_t record_size_ = 0;
+};
+
+}  // namespace viewmat::db
+
+#endif  // VIEWMAT_DB_SCHEMA_H_

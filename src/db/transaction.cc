@@ -1,0 +1,65 @@
+#include "db/transaction.h"
+
+#include <algorithm>
+
+namespace viewmat::db {
+
+void NetChange::AddInsert(const Tuple& t) {
+  // Deleting then re-inserting the identical tuple is a net no-op.
+  auto it = std::find(deletes_.begin(), deletes_.end(), t);
+  if (it != deletes_.end()) {
+    deletes_.erase(it);
+    return;
+  }
+  inserts_.push_back(t);
+}
+
+void NetChange::AddDelete(const Tuple& t) {
+  auto it = std::find(inserts_.begin(), inserts_.end(), t);
+  if (it != inserts_.end()) {
+    inserts_.erase(it);
+    return;
+  }
+  deletes_.push_back(t);
+}
+
+void Transaction::Insert(Relation* rel, const Tuple& t) {
+  changes_[rel].AddInsert(t);
+}
+
+void Transaction::Delete(Relation* rel, const Tuple& t) {
+  changes_[rel].AddDelete(t);
+}
+
+void Transaction::Update(Relation* rel, const Tuple& old_t,
+                         const Tuple& new_t) {
+  NetChange& nc = changes_[rel];
+  nc.AddDelete(old_t);
+  nc.AddInsert(new_t);
+}
+
+const NetChange& Transaction::ChangesFor(Relation* rel) const {
+  static const NetChange kEmpty;
+  auto it = changes_.find(rel);
+  return it == changes_.end() ? kEmpty : it->second;
+}
+
+size_t Transaction::tuples_written() const {
+  size_t n = 0;
+  for (const auto& [rel, nc] : changes_) n += nc.size();
+  return n;
+}
+
+Status Transaction::ApplyToBase() const {
+  for (const auto& [rel, nc] : changes_) {
+    for (const Tuple& t : nc.deletes()) {
+      VIEWMAT_RETURN_IF_ERROR(rel->DeleteExact(t));
+    }
+    for (const Tuple& t : nc.inserts()) {
+      VIEWMAT_RETURN_IF_ERROR(rel->Insert(t));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace viewmat::db

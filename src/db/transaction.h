@@ -1,0 +1,63 @@
+#ifndef VIEWMAT_DB_TRANSACTION_H_
+#define VIEWMAT_DB_TRANSACTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/relation.h"
+#include "db/tuple.h"
+
+namespace viewmat::db {
+
+/// Net change one transaction makes to one relation: the A_i (inserted) and
+/// D_i (deleted) sets of §2.1. The class maintains the paper's invariant
+/// A_i ∩ D_i = ∅ — inserting a tuple and deleting it again inside the same
+/// transaction cancels out, and vice versa.
+class NetChange {
+ public:
+  void AddInsert(const Tuple& t);
+  void AddDelete(const Tuple& t);
+
+  const std::vector<Tuple>& inserts() const { return inserts_; }
+  const std::vector<Tuple>& deletes() const { return deletes_; }
+  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+  size_t size() const { return inserts_.size() + deletes_.size(); }
+
+ private:
+  std::vector<Tuple> inserts_;
+  std::vector<Tuple> deletes_;
+};
+
+/// A single update transaction: a batch of inserts, deletes, and updates
+/// against base relations, recorded as net A/D sets per relation. The
+/// transaction is a pure description — the chosen maintenance engine decides
+/// how it is applied (directly, or through a hypothetical relation).
+class Transaction {
+ public:
+  void Insert(Relation* rel, const Tuple& t);
+  void Delete(Relation* rel, const Tuple& t);
+  /// Update = delete old + insert new (the paper's HR modification rule).
+  void Update(Relation* rel, const Tuple& old_t, const Tuple& new_t);
+
+  const std::map<Relation*, NetChange>& changes() const { return changes_; }
+
+  /// The net change for one relation (empty if untouched).
+  const NetChange& ChangesFor(Relation* rel) const;
+
+  /// Total tuples written (the paper's per-transaction l).
+  size_t tuples_written() const;
+
+  /// Applies all changes directly to the base relations: deletes first,
+  /// then inserts. Used by strategies that do not interpose a hypothetical
+  /// relation (query modification, immediate maintenance).
+  Status ApplyToBase() const;
+
+ private:
+  std::map<Relation*, NetChange> changes_;
+};
+
+}  // namespace viewmat::db
+
+#endif  // VIEWMAT_DB_TRANSACTION_H_

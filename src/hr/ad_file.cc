@@ -1,0 +1,85 @@
+#include "hr/ad_file.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace viewmat::hr {
+
+AdFile::AdFile(storage::BufferPool* pool, db::Schema schema, size_t key_field,
+               Options options)
+    : pool_(pool),
+      schema_(std::move(schema)),
+      key_field_(key_field),
+      bloom_(storage::BloomFilter::ForExpectedKeys(options.expected_keys,
+                                                   options.bloom_fp_rate)) {
+  VIEWMAT_CHECK(key_field_ < schema_.field_count());
+  hash_ = std::make_unique<storage::HashIndex>(
+      pool_, 1 + schema_.record_size(), options.hash_buckets);
+}
+
+std::vector<uint8_t> AdFile::EncodeEntry(Role role,
+                                         const db::Tuple& t) const {
+  std::vector<uint8_t> buf(1 + schema_.record_size());
+  buf[0] = static_cast<uint8_t>(role);
+  t.Serialize(schema_, buf.data() + 1);
+  return buf;
+}
+
+Status AdFile::RemoveEntry(Role role, const db::Tuple& t) {
+  const std::vector<uint8_t> want = EncodeEntry(role, t);
+  const int64_t key = t.at(key_field_).AsInt64();
+  return hash_->Delete(key, [&](const uint8_t* payload) {
+    return std::memcmp(payload, want.data(), want.size()) == 0;
+  });
+}
+
+Status AdFile::RecordInsert(const db::Tuple& t) {
+  // A pending deletion of the identical tuple nets to nothing.
+  if (RemoveEntry(Role::kDeleted, t).ok()) return Status::OK();
+  const std::vector<uint8_t> entry = EncodeEntry(Role::kAppended, t);
+  const int64_t key = t.at(key_field_).AsInt64();
+  VIEWMAT_RETURN_IF_ERROR(hash_->Insert(key, entry.data()));
+  bloom_.Add(static_cast<uint64_t>(key));
+  return Status::OK();
+}
+
+Status AdFile::RecordDelete(const db::Tuple& t) {
+  if (RemoveEntry(Role::kAppended, t).ok()) return Status::OK();
+  const std::vector<uint8_t> entry = EncodeEntry(Role::kDeleted, t);
+  const int64_t key = t.at(key_field_).AsInt64();
+  VIEWMAT_RETURN_IF_ERROR(hash_->Insert(key, entry.data()));
+  bloom_.Add(static_cast<uint64_t>(key));
+  return Status::OK();
+}
+
+Status AdFile::VisitKey(
+    int64_t key,
+    const std::function<bool(Role, const db::Tuple&)>& visit) const {
+  return hash_->FindAll(key, [&](int64_t, const uint8_t* payload) {
+    const Role role = static_cast<Role>(payload[0]);
+    return visit(role, db::Tuple::Deserialize(schema_, payload + 1));
+  });
+}
+
+Status AdFile::ScanNet(std::vector<db::Tuple>* a_net,
+                       std::vector<db::Tuple>* d_net) const {
+  return hash_->ScanAll([&](int64_t, const uint8_t* payload) {
+    const Role role = static_cast<Role>(payload[0]);
+    db::Tuple t = db::Tuple::Deserialize(schema_, payload + 1);
+    if (role == Role::kAppended) {
+      a_net->push_back(std::move(t));
+    } else {
+      d_net->push_back(std::move(t));
+    }
+    return true;
+  });
+}
+
+Status AdFile::Reset() {
+  VIEWMAT_RETURN_IF_ERROR(hash_->Clear());
+  bloom_.Clear();
+  return Status::OK();
+}
+
+}  // namespace viewmat::hr

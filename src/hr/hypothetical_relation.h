@@ -1,0 +1,69 @@
+#ifndef VIEWMAT_HR_HYPOTHETICAL_RELATION_H_
+#define VIEWMAT_HR_HYPOTHETICAL_RELATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "db/relation.h"
+#include "db/transaction.h"
+#include "hr/ad_file.h"
+
+namespace viewmat::hr {
+
+/// A hypothetical relation (§2.2.1, after [Wood83, Agra83]): the base
+/// relation R plus an AD differential file. The true value is
+/// R_T = (R ∪ A) − D. Update transactions only touch the AD file (and the
+/// paper's 3-I/O read-modify path); the base relation is folded forward at
+/// refresh time, which also hands the accumulated A-net/D-net sets to the
+/// deferred view maintenance engine.
+class HypotheticalRelation {
+ public:
+  HypotheticalRelation(db::Relation* base, AdFile::Options ad_options);
+
+  HypotheticalRelation(const HypotheticalRelation&) = delete;
+  HypotheticalRelation& operator=(const HypotheticalRelation&) = delete;
+
+  db::Relation* base() { return base_; }
+  const AdFile& ad() const { return ad_; }
+
+  /// Records a transaction's net change to this relation into the AD file,
+  /// following the paper's per-tuple update procedure: the caller has
+  /// already read the original tuple (I/O #1); recording here performs the
+  /// AD page read + write (I/O #2 and #3, shared across tuples landing on
+  /// the same page via the buffer pool).
+  Status RecordChanges(const db::NetChange& net);
+
+  /// Reads a tuple through the hypothetical relation: Bloom screen, then AD
+  /// probe if admitted, then the base relation, suppressing tuples with
+  /// pending deletions. Visits every visible tuple with the key.
+  Status FindAllByKey(int64_t key, const db::Relation::TupleVisitor& visit) const;
+
+  /// Clustered range scan through the hypothetical relation: base tuples
+  /// with pending deletions suppressed, pending insertions merged in. Costs
+  /// one AD full scan (C_ADread) plus the base range scan — the read path
+  /// that lets query modification run over an unfolded differential.
+  Status RangeScanByKey(int64_t lo, int64_t hi,
+                        const db::Relation::TupleVisitor& visit) const;
+
+  /// The net changes accumulated since the last Fold (C_ADread full scan).
+  Status NetChanges(std::vector<db::Tuple>* a_net,
+                    std::vector<db::Tuple>* d_net) const;
+
+  /// Folds the differential into the base relation — R := (R ∪ A) − D —
+  /// and resets the AD file. Returns the folded net sets through the out
+  /// parameters when non-null (the deferred engine consumes them).
+  Status Fold(std::vector<db::Tuple>* a_net, std::vector<db::Tuple>* d_net);
+
+  /// Tuples visible through the HR (base + pending inserts − pending
+  /// deletes). O(1), maintained incrementally.
+  size_t visible_tuple_count() const { return visible_count_; }
+
+ private:
+  db::Relation* base_;
+  AdFile ad_;
+  size_t visible_count_;
+};
+
+}  // namespace viewmat::hr
+
+#endif  // VIEWMAT_HR_HYPOTHETICAL_RELATION_H_

@@ -1,0 +1,41 @@
+#include "sim/report.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace viewmat::sim {
+
+void SeriesTable::AddRow(double x, std::vector<double> values) {
+  VIEWMAT_CHECK(values.size() == series_names.size());
+  rows.push_back(Row{x, std::move(values)});
+}
+
+std::string SeriesTable::ToString() const {
+  std::string out;
+  char buf[64];
+  if (!title.empty()) {
+    out += "# ";
+    out += title;
+    out += '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "%-12s", x_label.c_str());
+  out += buf;
+  for (const std::string& name : series_names) {
+    std::snprintf(buf, sizeof(buf), " %14s", name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (const Row& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%-12.6g", row.x);
+    out += buf;
+    for (const double v : row.values) {
+      std::snprintf(buf, sizeof(buf), " %14.2f", v);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace viewmat::sim

@@ -1,0 +1,31 @@
+#ifndef VIEWMAT_SIM_REPORT_H_
+#define VIEWMAT_SIM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace viewmat::sim {
+
+/// Minimal fixed-width table writer used by the bench binaries so every
+/// figure reproduction prints in the same, diffable format:
+///
+///   # title
+///   x        series-a     series-b
+///   0.10     1234.5       987.6
+struct SeriesTable {
+  std::string title;
+  std::string x_label;
+  std::vector<std::string> series_names;
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows;
+
+  void AddRow(double x, std::vector<double> values);
+  std::string ToString() const;
+};
+
+}  // namespace viewmat::sim
+
+#endif  // VIEWMAT_SIM_REPORT_H_

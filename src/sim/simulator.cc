@@ -1,0 +1,422 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.h"
+#include "costmodel/model1.h"
+#include "costmodel/model2.h"
+#include "costmodel/model3.h"
+#include "db/catalog.h"
+#include "hr/ad_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "view/aggregate.h"
+#include "view/deferred.h"
+#include "view/immediate.h"
+#include "view/query_modification.h"
+#include "view/strategy.h"
+#include "view/view_def.h"
+#include "workload/workload.h"
+
+namespace viewmat::sim {
+
+namespace {
+
+using costmodel::Params;
+using workload::Scenario;
+
+/// A database instance for one strategy run.
+struct Instance {
+  explicit Instance(const Params& params, size_t pool_pages)
+      : tracker(params.C1, params.C2, params.C3),
+        disk(static_cast<uint32_t>(params.B), &tracker),
+        pool(&disk, pool_pages),
+        catalog(&pool) {}
+
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool;
+  db::Catalog catalog;
+};
+
+size_t AutoPoolPages(const Params& params) {
+  // Enough frames to pin R2 during a join plus working headroom.
+  const double r2_pages = params.f_R2 * params.b();
+  return static_cast<size_t>(std::max(256.0, r2_pages + 96.0));
+}
+
+hr::AdFile::Options AdOptionsFor(const Params& params) {
+  hr::AdFile::Options options;
+  const double expected = std::max(2.0 * params.u(), 64.0);
+  options.expected_keys = static_cast<size_t>(expected);
+  options.hash_buckets = static_cast<uint32_t>(
+      std::max(2.0, 2.0 * params.u() / params.T() + 1.0));
+  return options;
+}
+
+view::SelectProjectDef MakeSpDef(Scenario* scenario, db::Relation* base) {
+  view::SelectProjectDef def;
+  def.base = base;
+  def.predicate = scenario->ViewPredicate();
+  // Project k1 and v: the clustering key plus the updated payload — "half
+  // the attributes" in spirit (the wide pad column is dropped, so view
+  // tuples are about half the base tuple size, as in the paper).
+  def.projection = {Scenario::kFieldK1, Scenario::kFieldV};
+  def.view_key_field = 0;
+  return def;
+}
+
+view::JoinDef MakeJoinDef(Scenario* scenario, db::Relation* r1,
+                          db::Relation* r2) {
+  view::JoinDef def;
+  def.r1 = r1;
+  def.r2 = r2;
+  def.cf = scenario->ViewPredicate();
+  def.r1_join_field = Scenario::kFieldK2;
+  def.r1_projection = {Scenario::kFieldK1, Scenario::kFieldV};
+  def.r2_projection = {0, 1};  // key, w
+  def.view_key_field = 0;
+  return def;
+}
+
+view::AggregateDef MakeAggDef(Scenario* scenario, db::Relation* base) {
+  view::AggregateDef def;
+  def.base = base;
+  def.predicate = scenario->ViewPredicate();
+  def.op = view::AggregateOp::kSum;
+  def.agg_field = Scenario::kFieldV;
+  return def;
+}
+
+/// Drives the op sequence through a tuple-view strategy; returns ms/query.
+Status DriveTupleStrategy(const SimOptions& options, Scenario* scenario,
+                          Instance* inst, db::Relation* updated_rel,
+                          view::ViewStrategy* strategy, double* ms_per_query) {
+  // Loading/initialization happens outside the measured window: persist it
+  // and start the run cold.
+  VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAndEvictAll());
+  inst->tracker.Reset();
+  size_t queries = 0;
+  for (const Scenario::OpKind op : scenario->OpSequence()) {
+    if (op == Scenario::OpKind::kUpdate) {
+      const db::Transaction txn = scenario->NextUpdateTransaction(updated_rel);
+      VIEWMAT_RETURN_IF_ERROR(strategy->OnTransaction(txn));
+    } else {
+      const Scenario::QueryRange range = scenario->NextQueryRange();
+      VIEWMAT_RETURN_IF_ERROR(strategy->Query(
+          range.lo, range.hi,
+          [](const db::Tuple&, int64_t) { return true; }));
+      ++queries;
+    }
+    if (options.cold_cache_between_ops) {
+      VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAndEvictAll());
+    }
+  }
+  VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAll());
+  *ms_per_query =
+      inst->tracker.TotalMs() / static_cast<double>(std::max<size_t>(queries, 1));
+  return Status::OK();
+}
+
+/// Baseline: transactions hit the base relation, queries do nothing.
+class NoViewStrategy : public view::ViewStrategy {
+ public:
+  Status OnTransaction(const db::Transaction& txn) override {
+    return txn.ApplyToBase();
+  }
+  Status Query(int64_t, int64_t,
+               const view::MaterializedView::CountedVisitor&) override {
+    return Status::OK();
+  }
+  const char* name() const override { return "no-view-baseline"; }
+};
+
+double AnalyticalFor(int model, costmodel::Strategy s, const Params& p) {
+  switch (model) {
+    case 1: {
+      auto c = costmodel::Model1Cost(s, p);
+      return c.ok() ? *c : 0.0;
+    }
+    case 2: {
+      auto c = costmodel::Model2Cost(s, p);
+      return c.ok() ? *c : 0.0;
+    }
+    default: {
+      auto c = costmodel::Model3Cost(s, p);
+      return c.ok() ? *c : 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+std::string SimResult::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "P=%.3f f=%.3f f_v=%.3f N=%.0f l=%.0f  "
+                "(baseline %.1f ms/query)\n",
+                params.P(), params.f, params.f_v, params.N, params.l,
+                baseline_ms_per_query);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-26s %12s %12s %12s %9s %9s\n",
+                "strategy", "measured", "adjusted", "analytical", "reads",
+                "writes");
+  out += buf;
+  for (const StrategyRun& run : runs) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-26s %12.1f %12.1f %12.1f %9llu %9llu\n",
+                  run.name.c_str(), run.measured_ms_per_query,
+                  run.adjusted_ms_per_query, run.analytical_ms_per_query,
+                  static_cast<unsigned long long>(run.counters.disk_reads),
+                  static_cast<unsigned long long>(run.counters.disk_writes));
+    out += buf;
+  }
+  return out;
+}
+
+StatusOr<SimResult> SimulateModel1(const Params& params,
+                                   const SimOptions& options) {
+  VIEWMAT_RETURN_IF_ERROR(params.Validate());
+  const size_t pool_pages = options.buffer_pool_pages != 0
+                                ? options.buffer_pool_pages
+                                : AutoPoolPages(params);
+  SimResult result;
+  result.params = params;
+
+  // --- Baseline ----------------------------------------------------------
+  {
+    Scenario scenario(params, options.seed);
+    Instance inst(params, pool_pages);
+    VIEWMAT_ASSIGN_OR_RETURN(
+        db::Relation * base,
+        scenario.LoadBase(&inst.catalog, "R", db::AccessMethod::kClusteredBTree));
+    NoViewStrategy baseline;
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
+                                               &inst, base, &baseline,
+                                               &result.baseline_ms_per_query));
+  }
+
+  struct Contender {
+    costmodel::Strategy model_strategy;
+    db::AccessMethod base_method;
+    enum class Kind { kDeferred, kImmediate, kQm, kQmSequential } kind;
+  };
+  const std::vector<Contender> contenders = {
+      {costmodel::Strategy::kDeferred, db::AccessMethod::kClusteredBTree,
+       Contender::Kind::kDeferred},
+      {costmodel::Strategy::kImmediate, db::AccessMethod::kClusteredBTree,
+       Contender::Kind::kImmediate},
+      {costmodel::Strategy::kQmClustered, db::AccessMethod::kClusteredBTree,
+       Contender::Kind::kQm},
+      {costmodel::Strategy::kQmUnclustered, db::AccessMethod::kHeap,
+       Contender::Kind::kQm},
+      {costmodel::Strategy::kQmSequential, db::AccessMethod::kClusteredBTree,
+       Contender::Kind::kQmSequential},
+  };
+
+  for (const Contender& contender : contenders) {
+    Scenario scenario(params, options.seed);
+    Instance inst(params, pool_pages);
+    VIEWMAT_ASSIGN_OR_RETURN(
+        db::Relation * base,
+        scenario.LoadBase(&inst.catalog, "R", contender.base_method));
+    const view::SelectProjectDef def = MakeSpDef(&scenario, base);
+
+    std::unique_ptr<view::ViewStrategy> strategy;
+    switch (contender.kind) {
+      case Contender::Kind::kDeferred: {
+        auto s = std::make_unique<view::DeferredStrategy>(
+            def, AdOptionsFor(params), &inst.tracker);
+        VIEWMAT_RETURN_IF_ERROR(s->InitializeFromBase());
+        strategy = std::move(s);
+        break;
+      }
+      case Contender::Kind::kImmediate: {
+        auto s =
+            std::make_unique<view::ImmediateStrategy>(def, &inst.tracker);
+        VIEWMAT_RETURN_IF_ERROR(s->InitializeFromBase());
+        strategy = std::move(s);
+        break;
+      }
+      case Contender::Kind::kQm:
+        strategy = std::make_unique<view::QmSelectProjectStrategy>(
+            def, &inst.tracker);
+        break;
+      case Contender::Kind::kQmSequential:
+        strategy = std::make_unique<view::QmSelectProjectStrategy>(
+            def, &inst.tracker, /*force_sequential=*/true);
+        break;
+    }
+    VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAndEvictAll());
+
+    StrategyRun run;
+    run.name = costmodel::StrategyName(contender.model_strategy);
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
+                                               &inst, base, strategy.get(),
+                                               &run.measured_ms_per_query));
+    run.counters = inst.tracker.counters();
+    run.adjusted_ms_per_query =
+        run.measured_ms_per_query - result.baseline_ms_per_query;
+    run.analytical_ms_per_query =
+        AnalyticalFor(1, contender.model_strategy, params);
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+StatusOr<SimResult> SimulateModel2(const Params& params,
+                                   const SimOptions& options) {
+  VIEWMAT_RETURN_IF_ERROR(params.Validate());
+  const size_t pool_pages = options.buffer_pool_pages != 0
+                                ? options.buffer_pool_pages
+                                : AutoPoolPages(params);
+  SimResult result;
+  result.params = params;
+
+  {
+    Scenario scenario(params, options.seed);
+    Instance inst(params, pool_pages);
+    VIEWMAT_ASSIGN_OR_RETURN(
+        db::Relation * r1,
+        scenario.LoadBase(&inst.catalog, "R1",
+                          db::AccessMethod::kClusteredBTree));
+    VIEWMAT_ASSIGN_OR_RETURN(db::Relation * r2,
+                             scenario.LoadR2(&inst.catalog, "R2"));
+    (void)r2;
+    NoViewStrategy baseline;
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
+                                               &inst, r1, &baseline,
+                                               &result.baseline_ms_per_query));
+  }
+
+  const std::vector<costmodel::Strategy> contenders = {
+      costmodel::Strategy::kDeferred, costmodel::Strategy::kImmediate,
+      costmodel::Strategy::kQmLoopJoin};
+
+  for (const costmodel::Strategy which : contenders) {
+    Scenario scenario(params, options.seed);
+    Instance inst(params, pool_pages);
+    VIEWMAT_ASSIGN_OR_RETURN(
+        db::Relation * r1,
+        scenario.LoadBase(&inst.catalog, "R1",
+                          db::AccessMethod::kClusteredBTree));
+    VIEWMAT_ASSIGN_OR_RETURN(db::Relation * r2,
+                             scenario.LoadR2(&inst.catalog, "R2"));
+    const view::JoinDef def = MakeJoinDef(&scenario, r1, r2);
+
+    std::unique_ptr<view::ViewStrategy> strategy;
+    if (which == costmodel::Strategy::kDeferred) {
+      auto s = std::make_unique<view::DeferredStrategy>(
+          def, AdOptionsFor(params), &inst.tracker);
+      VIEWMAT_RETURN_IF_ERROR(s->InitializeFromBase());
+      strategy = std::move(s);
+    } else if (which == costmodel::Strategy::kImmediate) {
+      auto s = std::make_unique<view::ImmediateStrategy>(def, &inst.tracker);
+      VIEWMAT_RETURN_IF_ERROR(s->InitializeFromBase());
+      strategy = std::move(s);
+    } else {
+      strategy = std::make_unique<view::QmJoinStrategy>(def, &inst.tracker);
+    }
+    VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAndEvictAll());
+
+    StrategyRun run;
+    run.name = costmodel::StrategyName(which);
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
+                                               &inst, r1, strategy.get(),
+                                               &run.measured_ms_per_query));
+    run.counters = inst.tracker.counters();
+    run.adjusted_ms_per_query =
+        run.measured_ms_per_query - result.baseline_ms_per_query;
+    run.analytical_ms_per_query = AnalyticalFor(2, which, params);
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+StatusOr<SimResult> SimulateModel3(const Params& params,
+                                   const SimOptions& options) {
+  VIEWMAT_RETURN_IF_ERROR(params.Validate());
+  const size_t pool_pages = options.buffer_pool_pages != 0
+                                ? options.buffer_pool_pages
+                                : AutoPoolPages(params);
+  SimResult result;
+  result.params = params;
+
+  {
+    Scenario scenario(params, options.seed);
+    Instance inst(params, pool_pages);
+    VIEWMAT_ASSIGN_OR_RETURN(
+        db::Relation * base,
+        scenario.LoadBase(&inst.catalog, "R",
+                          db::AccessMethod::kClusteredBTree));
+    NoViewStrategy baseline;
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
+                                               &inst, base, &baseline,
+                                               &result.baseline_ms_per_query));
+  }
+
+  const std::vector<costmodel::Strategy> contenders = {
+      costmodel::Strategy::kDeferred, costmodel::Strategy::kImmediate,
+      costmodel::Strategy::kQmRecompute};
+
+  for (const costmodel::Strategy which : contenders) {
+    Scenario scenario(params, options.seed);
+    Instance inst(params, pool_pages);
+    VIEWMAT_ASSIGN_OR_RETURN(
+        db::Relation * base,
+        scenario.LoadBase(&inst.catalog, "R",
+                          db::AccessMethod::kClusteredBTree));
+    const view::AggregateDef def = MakeAggDef(&scenario, base);
+
+    std::unique_ptr<view::AggregateStrategy> strategy;
+    if (which == costmodel::Strategy::kDeferred) {
+      auto s = std::make_unique<view::DeferredAggregateStrategy>(
+          def, AdOptionsFor(params), &inst.disk, &inst.tracker);
+      VIEWMAT_RETURN_IF_ERROR(s->InitializeFromBase());
+      strategy = std::move(s);
+    } else if (which == costmodel::Strategy::kImmediate) {
+      auto s = std::make_unique<view::ImmediateAggregateStrategy>(
+          def, &inst.disk, &inst.tracker);
+      VIEWMAT_RETURN_IF_ERROR(s->InitializeFromBase());
+      strategy = std::move(s);
+    } else {
+      strategy =
+          std::make_unique<view::RecomputeAggregateStrategy>(def, &inst.tracker);
+    }
+    VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAndEvictAll());
+    inst.tracker.Reset();
+
+    size_t queries = 0;
+    for (const Scenario::OpKind op : scenario.OpSequence()) {
+      if (op == Scenario::OpKind::kUpdate) {
+        const db::Transaction txn = scenario.NextUpdateTransaction(base);
+        VIEWMAT_RETURN_IF_ERROR(strategy->OnTransaction(txn));
+      } else {
+        db::Value value;
+        VIEWMAT_RETURN_IF_ERROR(strategy->QueryValue(&value));
+        ++queries;
+      }
+      if (options.cold_cache_between_ops) {
+        VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAndEvictAll());
+      }
+    }
+    VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAll());
+
+    StrategyRun run;
+    run.name = costmodel::StrategyName(which);
+    run.measured_ms_per_query =
+        inst.tracker.TotalMs() / static_cast<double>(std::max<size_t>(queries, 1));
+    run.counters = inst.tracker.counters();
+    run.adjusted_ms_per_query =
+        run.measured_ms_per_query - result.baseline_ms_per_query;
+    run.analytical_ms_per_query = AnalyticalFor(3, which, params);
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace viewmat::sim

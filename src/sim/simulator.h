@@ -1,0 +1,60 @@
+#ifndef VIEWMAT_SIM_SIMULATOR_H_
+#define VIEWMAT_SIM_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "costmodel/params.h"
+#include "storage/cost_tracker.h"
+
+namespace viewmat::sim {
+
+/// Knobs for a simulation run.
+struct SimOptions {
+  uint64_t seed = 42;
+  /// Buffer pool frames. 0 = auto: enough to keep R2 resident during a
+  /// join (the model's assumption) while staying small otherwise.
+  size_t buffer_pool_pages = 0;
+  /// Write back and drop the cache between operations: each transaction
+  /// and each query starts cold, matching the per-operation I/O counts the
+  /// formulas charge. Caching still works *within* an operation (e.g. R2
+  /// pages stay resident during one join).
+  bool cold_cache_between_ops = true;
+};
+
+/// Outcome of driving the workload through one strategy.
+struct StrategyRun {
+  std::string name;
+  storage::CostCounters counters;        ///< measured operation counts
+  double measured_ms_per_query = 0;      ///< tracker ms / q
+  double adjusted_ms_per_query = 0;      ///< measured − no-view baseline
+  double analytical_ms_per_query = 0;    ///< the paper's TOTAL_* prediction
+};
+
+/// One simulated experiment: the same generated workload driven through a
+/// no-view baseline and every applicable strategy, with per-strategy fresh
+/// database instances.
+struct SimResult {
+  costmodel::Params params;
+  double baseline_ms_per_query = 0;  ///< base updates only, no view work
+  std::vector<StrategyRun> runs;
+
+  std::string ToString() const;
+};
+
+/// Model 1: deferred, immediate, QM clustered / unclustered / sequential.
+StatusOr<SimResult> SimulateModel1(const costmodel::Params& params,
+                                   const SimOptions& options);
+
+/// Model 2: deferred, immediate, QM nested-loops join.
+StatusOr<SimResult> SimulateModel2(const costmodel::Params& params,
+                                   const SimOptions& options);
+
+/// Model 3: deferred, immediate, recompute-per-query.
+StatusOr<SimResult> SimulateModel3(const costmodel::Params& params,
+                                   const SimOptions& options);
+
+}  // namespace viewmat::sim
+
+#endif  // VIEWMAT_SIM_SIMULATOR_H_

@@ -1,0 +1,54 @@
+#ifndef VIEWMAT_STORAGE_BLOOM_FILTER_H_
+#define VIEWMAT_STORAGE_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace viewmat::storage {
+
+/// Bloom filter [Bloo70] keyed by 64-bit record keys, as used by the
+/// Severance-Lohman differential-file screen (§2.2.2): before touching the
+/// AD file, the filter is consulted; a zero answer proves the key is absent
+/// and saves the I/O. False positives ("false drops") only cost an extra
+/// read — correctness never depends on them.
+///
+/// Uses double hashing (Kirsch-Mitzenmacher): h_i(x) = h1(x) + i*h2(x),
+/// which preserves the asymptotic false-positive rate of k independent
+/// hashes.
+class BloomFilter {
+ public:
+  /// `bits` is the paper's m; `hashes` is the number of probes per key.
+  BloomFilter(size_t bits, int hashes);
+
+  /// Sizes a filter for `expected_keys` with the given target false-positive
+  /// rate: m = -n*ln(p)/ln(2)^2, k = (m/n)*ln(2).
+  static BloomFilter ForExpectedKeys(size_t expected_keys, double fp_rate);
+
+  void Add(uint64_t key);
+
+  /// False means definitely absent; true means possibly present.
+  bool MayContain(uint64_t key) const;
+
+  void Clear();
+
+  size_t bits() const { return bits_; }
+  int hashes() const { return hashes_; }
+  size_t keys_added() const { return keys_added_; }
+
+  /// The analytical false-positive probability (1 - e^{-kn/m})^k for the
+  /// current load, used by bench_ablation_bloom and the property tests.
+  double ExpectedFpRate() const;
+
+ private:
+  static uint64_t Mix(uint64_t x, uint64_t salt);
+
+  size_t bits_;
+  int hashes_;
+  size_t keys_added_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_BLOOM_FILTER_H_

@@ -1,0 +1,158 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace viewmat::storage {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+Page& PageGuard::page() {
+  VIEWMAT_CHECK(valid());
+  return *pool_->frames_[frame_].page;
+}
+
+const Page& PageGuard::page() const {
+  VIEWMAT_CHECK(valid());
+  return *pool_->frames_[frame_].page;
+}
+
+void PageGuard::MarkDirty() {
+  VIEWMAT_CHECK(valid());
+  pool_->MarkDirtyFrame(frame_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, id_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  VIEWMAT_CHECK(disk_ != nullptr);
+  VIEWMAT_CHECK(capacity_ >= 2);
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+StatusOr<size_t> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    if (frames_[f].page == nullptr) {
+      frames_[f].page = std::make_unique<Page>(disk_->page_size());
+    }
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  const size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& fr = frames_[victim];
+  VIEWMAT_DCHECK(fr.in_use && fr.pin_count == 0);
+  if (fr.dirty) {
+    VIEWMAT_RETURN_IF_ERROR(disk_->Write(fr.id, *fr.page));
+  }
+  table_.erase(fr.id);
+  fr.in_use = false;
+  fr.dirty = false;
+  return victim;
+}
+
+StatusOr<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& fr = frames_[it->second];
+    if (fr.pin_count == 0) lru_.erase(fr.lru_pos);
+    ++fr.pin_count;
+    return PageGuard(this, it->second, id);
+  }
+  VIEWMAT_ASSIGN_OR_RETURN(const size_t f, AcquireFrame());
+  Frame& fr = frames_[f];
+  VIEWMAT_RETURN_IF_ERROR(disk_->Read(id, fr.page.get()));
+  fr.id = id;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  fr.in_use = true;
+  table_[id] = f;
+  return PageGuard(this, f, id);
+}
+
+StatusOr<PageGuard> BufferPool::NewPage() {
+  VIEWMAT_ASSIGN_OR_RETURN(const size_t f, AcquireFrame());
+  const PageId id = disk_->Allocate();
+  Frame& fr = frames_[f];
+  fr.page->Zero();
+  fr.id = id;
+  fr.pin_count = 1;
+  // A fresh page must reach the disk even if never modified again.
+  fr.dirty = true;
+  fr.in_use = true;
+  table_[id] = f;
+  return PageGuard(this, f, id);
+}
+
+Status BufferPool::DeletePage(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& fr = frames_[it->second];
+    if (fr.pin_count > 0) {
+      return Status::FailedPrecondition("deleting a pinned page");
+    }
+    lru_.erase(fr.lru_pos);
+    fr.in_use = false;
+    fr.dirty = false;
+    free_frames_.push_back(it->second);
+    table_.erase(it);
+  }
+  return disk_->Free(id);
+}
+
+void BufferPool::Unpin(size_t frame, PageId id) {
+  Frame& fr = frames_[frame];
+  VIEWMAT_CHECK(fr.in_use && fr.id == id && fr.pin_count > 0);
+  if (--fr.pin_count == 0) {
+    lru_.push_back(frame);
+    fr.lru_pos = std::prev(lru_.end());
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& fr : frames_) {
+    if (fr.in_use && fr.dirty) {
+      VIEWMAT_RETURN_IF_ERROR(disk_->Write(fr.id, *fr.page));
+      fr.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAndEvictAll() {
+  VIEWMAT_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& fr = frames_[i];
+    if (!fr.in_use) continue;
+    if (fr.pin_count > 0) {
+      return Status::FailedPrecondition("evicting a pinned page");
+    }
+    lru_.erase(fr.lru_pos);
+    table_.erase(fr.id);
+    fr.in_use = false;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace viewmat::storage

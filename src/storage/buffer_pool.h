@@ -1,0 +1,111 @@
+#ifndef VIEWMAT_STORAGE_BUFFER_POOL_H_
+#define VIEWMAT_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace viewmat::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Access the bytes through page(); call
+/// MarkDirty() after modifying them. The pin is released (and the LRU
+/// position refreshed) on destruction. Move-only.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  Page& page();
+  const Page& page() const;
+  void MarkDirty();
+
+  /// Releases the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, PageId id)
+      : pool_(pool), frame_(frame), id_(id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+};
+
+/// A fixed-capacity LRU buffer pool over a SimulatedDisk. Disk reads are
+/// charged only on miss and writes only on dirty eviction or flush, so the
+/// measured I/O counts reflect the same caching assumptions the paper's
+/// formulas make (e.g. R2 pages staying resident during a nested-loops
+/// join).
+class BufferPool {
+ public:
+  BufferPool(SimulatedDisk* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page, reading it from disk on miss.
+  StatusOr<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page on the disk and pins it (no read charged;
+  /// its first write-back is).
+  StatusOr<PageGuard> NewPage();
+
+  /// Drops the page from the pool (it must be unpinned) and frees it on
+  /// disk. A dirty copy is discarded, not written back.
+  Status DeletePage(PageId id);
+
+  /// Writes back every dirty frame. Call at the end of a measured phase so
+  /// pending writes are charged.
+  Status FlushAll();
+
+  /// Writes back and forgets every frame. Used between experiment phases to
+  /// model a cold cache.
+  Status FlushAndEvictAll();
+
+  size_t capacity() const { return capacity_; }
+  SimulatedDisk* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::unique_ptr<Page> page;
+    PageId id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && in_use
+  };
+
+  void Unpin(size_t frame, PageId id);
+  void MarkDirtyFrame(size_t frame) { frames_[frame].dirty = true; }
+  /// Finds a frame for a new resident page, evicting the LRU unpinned frame
+  /// if the pool is full.
+  StatusOr<size_t> AcquireFrame();
+
+  SimulatedDisk* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  std::list<size_t> lru_;  ///< unpinned frames, least-recently-used first
+  std::vector<size_t> free_frames_;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_BUFFER_POOL_H_

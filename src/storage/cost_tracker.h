@@ -1,0 +1,74 @@
+#ifndef VIEWMAT_STORAGE_COST_TRACKER_H_
+#define VIEWMAT_STORAGE_COST_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace viewmat::storage {
+
+/// Raw operation counters accumulated by the simulator. The analytical model
+/// charges C2 per disk I/O, C1 per predicate screen / per-tuple CPU action,
+/// and C3 per tuple of in-memory A/D set upkeep; keeping the counters
+/// separate lets experiments report both counts and model milliseconds.
+struct CostCounters {
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t screen_tests = 0;   ///< stage-2 satisfiability substitutions (C1)
+  uint64_t tuple_cpu_ops = 0;  ///< per-tuple matching/handling work (C1)
+  uint64_t ad_set_ops = 0;     ///< per-tuple A/D structure maintenance (C3)
+
+  CostCounters operator-(const CostCounters& rhs) const {
+    CostCounters d;
+    d.disk_reads = disk_reads - rhs.disk_reads;
+    d.disk_writes = disk_writes - rhs.disk_writes;
+    d.screen_tests = screen_tests - rhs.screen_tests;
+    d.tuple_cpu_ops = tuple_cpu_ops - rhs.tuple_cpu_ops;
+    d.ad_set_ops = ad_set_ops - rhs.ad_set_ops;
+    return d;
+  }
+  uint64_t disk_ios() const { return disk_reads + disk_writes; }
+};
+
+/// Accumulates operation counts and converts them to model milliseconds
+/// using the paper's unit costs. One tracker is shared by a SimulatedDisk
+/// and every component above it, so a workload run yields a single total
+/// directly comparable to the analytical TOTAL_* formulas.
+class CostTracker {
+ public:
+  CostTracker(double c1 = 1.0, double c2 = 30.0, double c3 = 1.0)
+      : c1_(c1), c2_(c2), c3_(c3) {}
+
+  void ChargeRead(uint64_t pages = 1) { counters_.disk_reads += pages; }
+  void ChargeWrite(uint64_t pages = 1) { counters_.disk_writes += pages; }
+  void ChargeScreen(uint64_t tuples = 1) { counters_.screen_tests += tuples; }
+  void ChargeTupleCpu(uint64_t tuples = 1) {
+    counters_.tuple_cpu_ops += tuples;
+  }
+  void ChargeAdSetOp(uint64_t tuples = 1) { counters_.ad_set_ops += tuples; }
+
+  const CostCounters& counters() const { return counters_; }
+  void Reset() { counters_ = CostCounters(); }
+
+  /// Model milliseconds for a counter delta.
+  double Ms(const CostCounters& c) const {
+    return c2_ * static_cast<double>(c.disk_ios()) +
+           c1_ * static_cast<double>(c.screen_tests + c.tuple_cpu_ops) +
+           c3_ * static_cast<double>(c.ad_set_ops);
+  }
+  /// Model milliseconds accumulated since construction or Reset().
+  double TotalMs() const { return Ms(counters_); }
+
+  double c1() const { return c1_; }
+  double c2() const { return c2_; }
+  double c3() const { return c3_; }
+
+ private:
+  double c1_;
+  double c2_;
+  double c3_;
+  CostCounters counters_;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_COST_TRACKER_H_

@@ -1,0 +1,61 @@
+#include "storage/disk.h"
+
+#include "common/logging.h"
+
+namespace viewmat::storage {
+
+SimulatedDisk::SimulatedDisk(uint32_t page_size, CostTracker* tracker)
+    : page_size_(page_size), tracker_(tracker) {
+  VIEWMAT_CHECK(page_size_ >= 64);
+  VIEWMAT_CHECK(tracker_ != nullptr);
+}
+
+PageId SimulatedDisk::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id]->Zero();
+    live_[id] = true;
+    return id;
+  }
+  const PageId id = static_cast<PageId>(pages_.size());
+  VIEWMAT_CHECK_MSG(id != kInvalidPageId, "page table full");
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  live_.push_back(true);
+  return id;
+}
+
+bool SimulatedDisk::IsLive(PageId id) const {
+  return id < pages_.size() && live_[id];
+}
+
+Status SimulatedDisk::Free(PageId id) {
+  if (!IsLive(id)) return Status::InvalidArgument("freeing non-live page");
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status SimulatedDisk::Read(PageId id, Page* out) {
+  if (!IsLive(id)) return Status::InvalidArgument("reading non-live page");
+  if (read_fault_in_ > 0 && --read_fault_in_ == 0) {
+    return Status::Internal("injected read fault");
+  }
+  VIEWMAT_CHECK(out->size() == page_size_);
+  out->WriteBytes(0, pages_[id]->data(), page_size_);
+  tracker_->ChargeRead();
+  return Status::OK();
+}
+
+Status SimulatedDisk::Write(PageId id, const Page& in) {
+  if (!IsLive(id)) return Status::InvalidArgument("writing non-live page");
+  if (write_fault_in_ > 0 && --write_fault_in_ == 0) {
+    return Status::Internal("injected write fault");
+  }
+  VIEWMAT_CHECK(in.size() == page_size_);
+  pages_[id]->WriteBytes(0, in.data(), page_size_);
+  tracker_->ChargeWrite();
+  return Status::OK();
+}
+
+}  // namespace viewmat::storage

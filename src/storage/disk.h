@@ -1,0 +1,77 @@
+#ifndef VIEWMAT_STORAGE_DISK_H_
+#define VIEWMAT_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/cost_tracker.h"
+#include "storage/page.h"
+
+namespace viewmat::storage {
+
+/// An in-memory block device that charges the shared CostTracker C2 model
+/// milliseconds per block read or write. This is the substitution for the
+/// paper's 1986 disk: the analysis is entirely in model time, so an
+/// accounting device reproduces it faithfully while running in microseconds
+/// of wall-clock.
+///
+/// Free pages are recycled through a free list so long simulations do not
+/// grow the page table unboundedly.
+class SimulatedDisk {
+ public:
+  /// `tracker` must outlive the disk; it is shared with the buffer pool and
+  /// higher layers so a single meter covers the whole stack.
+  SimulatedDisk(uint32_t page_size, CostTracker* tracker);
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Allocates a zeroed page and returns its id. Allocation itself is not
+  /// charged; the write that populates the page is.
+  PageId Allocate();
+
+  /// Returns a page to the free list. Accessing it afterwards is an error.
+  Status Free(PageId id);
+
+  /// Copies the page contents into `out` (which must match page_size) and
+  /// charges one read.
+  Status Read(PageId id, Page* out);
+
+  /// Overwrites the page from `in` and charges one write.
+  Status Write(PageId id, const Page& in);
+
+  /// Number of live (allocated, not freed) pages.
+  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+
+  /// Fault injection for tests: after `after` more successful reads
+  /// (writes), the next read (write) fails with an Internal status, then
+  /// the fault clears. Used to verify Status propagation through every
+  /// layer — a failed I/O must surface as an error, never corrupt state.
+  void InjectReadFault(uint64_t after) { read_fault_in_ = after + 1; }
+  void InjectWriteFault(uint64_t after) { write_fault_in_ = after + 1; }
+  void ClearFaults() {
+    read_fault_in_ = 0;
+    write_fault_in_ = 0;
+  }
+
+  CostTracker* tracker() { return tracker_; }
+
+ private:
+  bool IsLive(PageId id) const;
+
+  uint32_t page_size_;
+  CostTracker* tracker_;
+  uint64_t read_fault_in_ = 0;   ///< 0 = no fault armed
+  uint64_t write_fault_in_ = 0;
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;
+  std::vector<bool> live_;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_DISK_H_

@@ -1,0 +1,86 @@
+#ifndef VIEWMAT_STORAGE_HASH_INDEX_H_
+#define VIEWMAT_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace viewmat::storage {
+
+/// Clustered static-hashing access method over int64 keys with fixed-size
+/// payloads: records live directly in the bucket pages (the paper's R2 and
+/// the AD differential file both use clustered hashing on a key field).
+/// Collisions beyond a page's capacity spill into an overflow chain; empty
+/// overflow pages are unlinked and freed on delete.
+///
+/// The bucket directory lives in memory (equivalent to a hash function and
+/// an extent map); consulting it is not charged, matching the paper's
+/// assumption that hashing locates the bucket page in one I/O.
+class HashIndex {
+ public:
+  using Visitor = std::function<bool(int64_t key, const uint8_t* payload)>;
+  using Matcher = std::function<bool(const uint8_t* payload)>;
+
+  /// Buckets are allocated lazily: a bucket's primary page is created on
+  /// first insert, so an empty index occupies no disk pages.
+  HashIndex(BufferPool* pool, uint32_t payload_size, uint32_t bucket_count);
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  Status Insert(int64_t key, const uint8_t* payload);
+
+  /// Copies the payload of the first entry with `key` into `out`.
+  Status Find(int64_t key, uint8_t* out) const;
+
+  /// Visits every entry with `key` (duplicates allowed).
+  Status FindAll(int64_t key, const Visitor& visit) const;
+
+  /// Deletes the first entry with `key` accepted by `match` (nullptr = any).
+  Status Delete(int64_t key, const Matcher& match);
+
+  /// Overwrites the payload of the first matching entry.
+  Status UpdatePayload(int64_t key, const Matcher& match,
+                       const uint8_t* new_payload);
+
+  /// Visits every entry in bucket order.
+  Status ScanAll(const Visitor& visit) const;
+
+  /// Frees every page and clears the index.
+  Status Clear();
+
+  size_t entry_count() const { return entry_count_; }
+  uint32_t bucket_count() const {
+    return static_cast<uint32_t>(buckets_.size());
+  }
+  size_t page_count() const { return page_count_; }
+  uint32_t page_capacity() const { return page_capacity_; }
+
+ private:
+  // Bucket page layout: [u16 count][u16 pad][PageId overflow][entries...]
+  static constexpr uint32_t kCountOff = 0;
+  static constexpr uint32_t kOverflowOff = 4;
+  static constexpr uint32_t kEntriesOff = 8;
+
+  uint32_t EntrySize() const { return 8 + payload_size_; }
+  uint32_t KeyOff(uint16_t i) const { return kEntriesOff + i * EntrySize(); }
+  uint32_t PayloadOff(uint16_t i) const { return KeyOff(i) + 8; }
+
+  uint32_t BucketFor(int64_t key) const;
+  StatusOr<PageId> EnsurePrimary(uint32_t bucket);
+
+  BufferPool* pool_;
+  uint32_t payload_size_;
+  uint32_t page_capacity_;
+  std::vector<PageId> buckets_;  ///< primary page per bucket, lazily created
+  size_t entry_count_ = 0;
+  size_t page_count_ = 0;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_HASH_INDEX_H_

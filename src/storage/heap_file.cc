@@ -1,0 +1,136 @@
+#include "storage/heap_file.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace viewmat::storage {
+
+HeapFile::HeapFile(BufferPool* pool, uint32_t record_size)
+    : pool_(pool), record_size_(record_size) {
+  VIEWMAT_CHECK(pool_ != nullptr);
+  VIEWMAT_CHECK(record_size_ > 0);
+  const uint32_t page_size = pool_->disk()->page_size();
+  // Solve for the largest slot count such that header + bitmap + records fit.
+  uint32_t slots = (page_size - 2) / record_size_;
+  while (slots > 0 && 2 + (slots + 7) / 8 + slots * record_size_ > page_size) {
+    --slots;
+  }
+  VIEWMAT_CHECK_MSG(slots > 0, "record too large for page");
+  slots_per_page_ = slots;
+  records_base_ = 2 + (slots + 7) / 8;
+}
+
+bool HeapFile::TestBit(const Page& pg, uint32_t bitmap_off, uint16_t slot) {
+  const uint8_t byte = pg.ReadAt<uint8_t>(bitmap_off + slot / 8);
+  return (byte >> (slot % 8)) & 1;
+}
+
+void HeapFile::SetBit(Page* pg, uint32_t bitmap_off, uint16_t slot, bool on) {
+  uint8_t byte = pg->ReadAt<uint8_t>(bitmap_off + slot / 8);
+  if (on) {
+    byte |= static_cast<uint8_t>(1u << (slot % 8));
+  } else {
+    byte &= static_cast<uint8_t>(~(1u << (slot % 8)));
+  }
+  pg->WriteAt<uint8_t>(bitmap_off + slot / 8, byte);
+}
+
+StatusOr<Rid> HeapFile::Insert(const uint8_t* record) {
+  while (!pages_with_space_.empty()) {
+    const PageId pid = pages_with_space_.back();
+    VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(pid));
+    Page& pg = guard.page();
+    const uint16_t used = pg.ReadAt<uint16_t>(kCountOffset);
+    if (used >= slots_per_page_) {
+      pages_with_space_.pop_back();  // stale cache entry
+      continue;
+    }
+    for (uint16_t s = 0; s < slots_per_page_; ++s) {
+      if (!TestBit(pg, BitmapOffset(), s)) {
+        SetBit(&pg, BitmapOffset(), s, true);
+        pg.WriteAt<uint16_t>(kCountOffset, used + 1);
+        pg.WriteBytes(RecordOffset(s), record, record_size_);
+        guard.MarkDirty();
+        ++record_count_;
+        return Rid{pid, s};
+      }
+    }
+    return Status::Internal("slot bitmap inconsistent with used count");
+  }
+  // No page with space: start a new one.
+  VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  Page& pg = guard.page();
+  SetBit(&pg, BitmapOffset(), 0, true);
+  pg.WriteAt<uint16_t>(kCountOffset, 1);
+  pg.WriteBytes(RecordOffset(0), record, record_size_);
+  guard.MarkDirty();
+  pages_.push_back(guard.id());
+  if (slots_per_page_ > 1) pages_with_space_.push_back(guard.id());
+  ++record_count_;
+  return Rid{guard.id(), 0};
+}
+
+Status HeapFile::Get(Rid rid, uint8_t* out) const {
+  VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  const Page& pg = guard.page();
+  if (rid.slot >= slots_per_page_ || !TestBit(pg, BitmapOffset(), rid.slot)) {
+    return Status::NotFound("no record at rid");
+  }
+  pg.ReadBytes(RecordOffset(rid.slot), out, record_size_);
+  return Status::OK();
+}
+
+Status HeapFile::Update(Rid rid, const uint8_t* record) {
+  VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  Page& pg = guard.page();
+  if (rid.slot >= slots_per_page_ || !TestBit(pg, BitmapOffset(), rid.slot)) {
+    return Status::NotFound("no record at rid");
+  }
+  pg.WriteBytes(RecordOffset(rid.slot), record, record_size_);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::Delete(Rid rid) {
+  VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  Page& pg = guard.page();
+  if (rid.slot >= slots_per_page_ || !TestBit(pg, BitmapOffset(), rid.slot)) {
+    return Status::NotFound("no record at rid");
+  }
+  SetBit(&pg, BitmapOffset(), rid.slot, false);
+  const uint16_t used = pg.ReadAt<uint16_t>(kCountOffset);
+  VIEWMAT_CHECK(used > 0);
+  pg.WriteAt<uint16_t>(kCountOffset, used - 1);
+  guard.MarkDirty();
+  --record_count_;
+  if (used == slots_per_page_) pages_with_space_.push_back(rid.page);
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(Rid, const uint8_t*)>& visit) const {
+  std::vector<uint8_t> buf(record_size_);
+  for (PageId pid : pages_) {
+    VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(pid));
+    const Page& pg = guard.page();
+    for (uint16_t s = 0; s < slots_per_page_; ++s) {
+      if (!TestBit(pg, BitmapOffset(), s)) continue;
+      pg.ReadBytes(RecordOffset(s), buf.data(), record_size_);
+      if (!visit(Rid{pid, s}, buf.data())) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Destroy() {
+  for (PageId pid : pages_) {
+    VIEWMAT_RETURN_IF_ERROR(pool_->DeletePage(pid));
+  }
+  pages_.clear();
+  pages_with_space_.clear();
+  record_count_ = 0;
+  return Status::OK();
+}
+
+}  // namespace viewmat::storage

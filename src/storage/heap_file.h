@@ -1,0 +1,76 @@
+#ifndef VIEWMAT_STORAGE_HEAP_FILE_H_
+#define VIEWMAT_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace viewmat::storage {
+
+/// Unordered file of fixed-size records over the buffer pool. Used for
+/// sequential-scan access paths and as the backing store for secondary
+/// (unclustered) experiments.
+///
+/// Page layout: [uint16 slot_count][bitmap][records...]. The in-memory page
+/// directory stands in for a file-system extent map; consulting it is not
+/// charged, consistent with the paper not charging catalog lookups.
+class HeapFile {
+ public:
+  /// `record_size` must fit at least one record per page alongside the
+  /// header.
+  HeapFile(BufferPool* pool, uint32_t record_size);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a record into the first page with a free slot (first-fit over
+  /// a free-page cache, so inserts are O(1) amortized).
+  StatusOr<Rid> Insert(const uint8_t* record);
+
+  /// Reads the record at `rid` into `out` (record_size bytes).
+  Status Get(Rid rid, uint8_t* out) const;
+
+  /// Overwrites the record at `rid`.
+  Status Update(Rid rid, const uint8_t* record);
+
+  /// Frees the slot at `rid`.
+  Status Delete(Rid rid);
+
+  /// Full scan in physical order. The callback returns false to stop early.
+  /// Every data page is fetched exactly once.
+  Status Scan(
+      const std::function<bool(Rid, const uint8_t*)>& visit) const;
+
+  uint32_t record_size() const { return record_size_; }
+  uint32_t slots_per_page() const { return slots_per_page_; }
+  size_t page_count() const { return pages_.size(); }
+  size_t record_count() const { return record_count_; }
+
+  /// Releases every page back to the disk.
+  Status Destroy();
+
+ private:
+  static constexpr uint32_t kCountOffset = 0;  // uint16 used-slot count
+  uint32_t BitmapOffset() const { return 2; }
+  uint32_t RecordOffset(uint16_t slot) const {
+    return records_base_ + slot * record_size_;
+  }
+  static bool TestBit(const Page& pg, uint32_t bitmap_off, uint16_t slot);
+  static void SetBit(Page* pg, uint32_t bitmap_off, uint16_t slot, bool on);
+
+  BufferPool* pool_;
+  uint32_t record_size_;
+  uint32_t slots_per_page_;
+  uint32_t records_base_;
+  std::vector<PageId> pages_;
+  std::vector<PageId> pages_with_space_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_HEAP_FILE_H_

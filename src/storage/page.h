@@ -1,0 +1,76 @@
+#ifndef VIEWMAT_STORAGE_PAGE_H_
+#define VIEWMAT_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace viewmat::storage {
+
+/// Identifier of a disk block. Page 0 is valid; kInvalidPageId marks "no
+/// page" (end of chains, absent children).
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// A fixed-size block of raw bytes with bounds-checked typed accessors.
+/// All on-disk structures (heap files, B+-tree nodes, hash buckets) are
+/// serialized into Page contents, so an I/O is always a whole-block
+/// transfer, matching the unit the cost model charges C2 for.
+class Page {
+ public:
+  explicit Page(uint32_t size) : bytes_(size, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+
+  /// Reads a trivially-copyable value at byte offset `off`.
+  template <typename T>
+  T ReadAt(uint32_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    VIEWMAT_DCHECK(off + sizeof(T) <= bytes_.size());
+    T v;
+    std::memcpy(&v, bytes_.data() + off, sizeof(T));
+    return v;
+  }
+
+  /// Writes a trivially-copyable value at byte offset `off`.
+  template <typename T>
+  void WriteAt(uint32_t off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    VIEWMAT_DCHECK(off + sizeof(T) <= bytes_.size());
+    std::memcpy(bytes_.data() + off, &v, sizeof(T));
+  }
+
+  /// Copies `len` raw bytes out of the page starting at `off`.
+  void ReadBytes(uint32_t off, uint8_t* out, uint32_t len) const {
+    VIEWMAT_DCHECK(off + len <= bytes_.size());
+    std::memcpy(out, bytes_.data() + off, len);
+  }
+
+  /// Copies `len` raw bytes into the page starting at `off`.
+  void WriteBytes(uint32_t off, const uint8_t* in, uint32_t len) {
+    VIEWMAT_DCHECK(off + len <= bytes_.size());
+    std::memcpy(bytes_.data() + off, in, len);
+  }
+
+  void Zero() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Record identifier: a slot within a page.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  friend bool operator==(const Rid&, const Rid&) = default;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_PAGE_H_

@@ -1,0 +1,76 @@
+#include "view/advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "costmodel/model1.h"
+#include "costmodel/model2.h"
+#include "costmodel/model3.h"
+
+namespace viewmat::view {
+
+using costmodel::Strategy;
+
+Advice Advise(ViewModel model, const costmodel::Params& params) {
+  Advice advice;
+  advice.model = model;
+  advice.params = params;
+  std::vector<Strategy> candidates;
+  switch (model) {
+    case ViewModel::kSelectProject:
+      candidates = {Strategy::kDeferred, Strategy::kImmediate,
+                    Strategy::kQmClustered, Strategy::kQmUnclustered,
+                    Strategy::kQmSequential};
+      break;
+    case ViewModel::kJoin:
+      candidates = {Strategy::kDeferred, Strategy::kImmediate,
+                    Strategy::kQmLoopJoin};
+      break;
+    case ViewModel::kAggregate:
+      candidates = {Strategy::kDeferred, Strategy::kImmediate,
+                    Strategy::kQmRecompute};
+      break;
+  }
+  for (const Strategy s : candidates) {
+    StatusOr<double> cost = [&]() -> StatusOr<double> {
+      switch (model) {
+        case ViewModel::kSelectProject:
+          return costmodel::Model1Cost(s, params);
+        case ViewModel::kJoin:
+          return costmodel::Model2Cost(s, params);
+        case ViewModel::kAggregate:
+          return costmodel::Model3Cost(s, params);
+      }
+      return Status::Internal("unreachable");
+    }();
+    VIEWMAT_CHECK(cost.ok());
+    advice.ranked.push_back(Advice::Entry{s, *cost});
+  }
+  std::sort(advice.ranked.begin(), advice.ranked.end(),
+            [](const Advice::Entry& a, const Advice::Entry& b) {
+              return a.cost_ms < b.cost_ms;
+            });
+  return advice;
+}
+
+std::string AdviceReport(const Advice& advice) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Model %d view, P=%.3f f=%.3f f_v=%.3f l=%.0f  "
+                "(avg model-ms per view query)\n",
+                static_cast<int>(advice.model), advice.params.P(),
+                advice.params.f, advice.params.f_v, advice.params.l);
+  out += buf;
+  for (size_t i = 0; i < advice.ranked.size(); ++i) {
+    const auto& e = advice.ranked[i];
+    std::snprintf(buf, sizeof(buf), "  %zu. %-12s %12.1f ms%s\n", i + 1,
+                  costmodel::StrategyName(e.strategy), e.cost_ms,
+                  i == 0 ? "   <-- recommended" : "");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace viewmat::view

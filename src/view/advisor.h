@@ -1,0 +1,45 @@
+#ifndef VIEWMAT_VIEW_ADVISOR_H_
+#define VIEWMAT_VIEW_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "costmodel/params.h"
+#include "costmodel/strategy.h"
+
+namespace viewmat::view {
+
+/// Which of the paper's view models describes the view.
+enum class ViewModel {
+  kSelectProject = 1,  ///< Model 1
+  kJoin = 2,           ///< Model 2
+  kAggregate = 3,      ///< Model 3
+};
+
+/// Strategies ranked by predicted cost for one parameter point.
+struct Advice {
+  ViewModel model;
+  costmodel::Params params;
+  struct Entry {
+    costmodel::Strategy strategy;
+    double cost_ms;
+  };
+  std::vector<Entry> ranked;  ///< ascending cost; front() is the winner
+
+  costmodel::Strategy best() const { return ranked.front().strategy; }
+  double best_cost() const { return ranked.front().cost_ms; }
+};
+
+/// Ranks the applicable strategies under the paper's cost model — the
+/// "query optimizer chooses how to materialize" design §3.3 sketches.
+/// The conclusions of §4 fall out of this function: high P, high f or tiny
+/// f_v favor query modification; join views favor materialization;
+/// aggregates almost always favor materialization.
+Advice Advise(ViewModel model, const costmodel::Params& params);
+
+/// Multi-line human-readable report of an Advice.
+std::string AdviceReport(const Advice& advice);
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_ADVISOR_H_

@@ -1,0 +1,148 @@
+#ifndef VIEWMAT_VIEW_AGGREGATE_H_
+#define VIEWMAT_VIEW_AGGREGATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hr/hypothetical_relation.h"
+#include "storage/cost_tracker.h"
+#include "storage/disk.h"
+#include "view/screening.h"
+#include "view/strategy.h"
+#include "view/view_def.h"
+
+namespace viewmat::view {
+
+/// Incrementally maintainable aggregate state (§3.6): a compact summary
+/// with insert/delete transition functions and a finalizer. count, sum and
+/// avg are fully incremental; min and max are incremental on insert but may
+/// require recomputation when the current extremum is deleted (the state
+/// then reports exact() == false until rebuilt).
+class AggregateState {
+ public:
+  explicit AggregateState(AggregateOp op = AggregateOp::kSum) : op_(op) {}
+
+  void ApplyInsert(double v);
+
+  /// Applies a deletion. Returns false when the state can no longer answer
+  /// exactly (min/max lost their extremum) and must be recomputed.
+  bool ApplyDelete(double v);
+
+  /// The current value. NotFound when the aggregated set is empty and the
+  /// op has no empty-set value (min/max); FailedPrecondition when inexact.
+  StatusOr<db::Value> Current() const;
+
+  bool exact() const { return exact_; }
+  int64_t count() const { return count_; }
+  AggregateOp op() const { return op_; }
+
+  void Reset();
+
+  /// Fixed-width on-disk image (fits easily in one page).
+  static constexpr uint32_t kSerializedSize = 8 * 4 + 2;
+  void Serialize(uint8_t* out) const;
+  static AggregateState Deserialize(const uint8_t* in);
+
+  friend bool operator==(const AggregateState&, const AggregateState&);
+
+ private:
+  AggregateOp op_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool exact_ = true;
+};
+
+/// The single-page stored copy of an aggregate view. Reads and writes go
+/// straight to the simulated disk (write-through), so each query costs
+/// exactly one C2 read and each refresh at most one C2 write — the unit
+/// charges of the Model 3 formulas.
+class MaterializedAggregate {
+ public:
+  MaterializedAggregate(storage::SimulatedDisk* disk, AggregateOp op);
+
+  Status Read(AggregateState* out) const;
+  Status Write(const AggregateState& state);
+
+ private:
+  storage::SimulatedDisk* disk_;
+  storage::PageId page_;
+};
+
+/// Recomputes the aggregate from the base relation with a clustered scan
+/// over the predicate's implied key range, charging C1 per tuple screened —
+/// the from-scratch path all strategies fall back to and the whole of the
+/// kQmRecompute strategy.
+Status ComputeAggregateFromBase(const AggregateDef& def,
+                                storage::CostTracker* tracker,
+                                AggregateState* out);
+
+/// Immediate maintenance of an aggregate: the state is updated (and written
+/// through) at the end of every transaction that touches the aggregated
+/// set.
+class ImmediateAggregateStrategy : public AggregateStrategy {
+ public:
+  ImmediateAggregateStrategy(AggregateDef def, storage::SimulatedDisk* disk,
+                             storage::CostTracker* tracker);
+
+  Status InitializeFromBase();
+  Status OnTransaction(const db::Transaction& txn) override;
+  Status QueryValue(db::Value* out) override;
+  const char* name() const override { return "immediate-aggregate"; }
+
+  uint64_t recompute_count() const { return recompute_count_; }
+
+ private:
+  Status Recompute();
+
+  AggregateDef def_;
+  storage::CostTracker* tracker_;
+  TLockScreen screen_;
+  MaterializedAggregate stored_;
+  AggregateState state_;
+  uint64_t recompute_count_ = 0;
+};
+
+/// Deferred maintenance of an aggregate: updates accumulate in the base
+/// relation's AD differential; a query reads the state page, folds the
+/// differential, patches the state, and writes it back only if it changed.
+class DeferredAggregateStrategy : public AggregateStrategy {
+ public:
+  DeferredAggregateStrategy(AggregateDef def, hr::AdFile::Options ad_options,
+                            storage::SimulatedDisk* disk,
+                            storage::CostTracker* tracker);
+
+  Status InitializeFromBase();
+  Status OnTransaction(const db::Transaction& txn) override;
+  Status QueryValue(db::Value* out) override;
+  const char* name() const override { return "deferred-aggregate"; }
+
+ private:
+  AggregateDef def_;
+  storage::CostTracker* tracker_;
+  TLockScreen screen_;
+  hr::HypotheticalRelation hr_;
+  MaterializedAggregate stored_;
+  AggregateState state_;
+};
+
+/// No stored state: every query recomputes the aggregate with a clustered
+/// scan (the paper's standard-processing baseline, TOTAL_clustered).
+class RecomputeAggregateStrategy : public AggregateStrategy {
+ public:
+  RecomputeAggregateStrategy(AggregateDef def,
+                             storage::CostTracker* tracker);
+
+  Status OnTransaction(const db::Transaction& txn) override;
+  Status QueryValue(db::Value* out) override;
+  const char* name() const override { return "recompute-aggregate"; }
+
+ private:
+  AggregateDef def_;
+  storage::CostTracker* tracker_;
+};
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_AGGREGATE_H_

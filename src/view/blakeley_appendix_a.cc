@@ -1,0 +1,98 @@
+#include "view/blakeley_appendix_a.h"
+
+#include <algorithm>
+
+namespace viewmat::view {
+
+namespace {
+
+/// Multiset difference of plain tuple vectors (each D occurrence removes
+/// one matching occurrence).
+std::vector<db::Tuple> VectorMinus(std::vector<db::Tuple> base,
+                                   const std::vector<db::Tuple>& sub) {
+  for (const db::Tuple& t : sub) {
+    auto it = std::find(base.begin(), base.end(), t);
+    if (it != base.end()) base.erase(it);
+  }
+  return base;
+}
+
+std::vector<db::Tuple> VectorPlus(std::vector<db::Tuple> base,
+                                  const std::vector<db::Tuple>& add) {
+  base.insert(base.end(), add.begin(), add.end());
+  return base;
+}
+
+}  // namespace
+
+CountedSet JoinProject(const std::vector<db::Tuple>& s1,
+                       const std::vector<db::Tuple>& s2,
+                       const JoinSpec& spec) {
+  CountedSet out;
+  for (const db::Tuple& t1 : s1) {
+    for (const db::Tuple& t2 : s2) {
+      if (!(t1.at(spec.r1_field) == t2.at(spec.r2_field))) continue;
+      const db::Tuple joined = db::Tuple::Concat(t1, t2);
+      ++out[joined.Project(spec.projection)];
+    }
+  }
+  return out;
+}
+
+CountedSet PlusAll(CountedSet base, const CountedSet& add) {
+  for (const auto& [t, n] : add) {
+    base[t] += n;
+    if (base[t] == 0) base.erase(t);
+  }
+  return base;
+}
+
+CountedSet MinusAll(CountedSet base, const CountedSet& sub) {
+  for (const auto& [t, n] : sub) {
+    base[t] -= n;  // may go negative: that IS the Appendix A defect
+    if (base[t] == 0) base.erase(t);
+  }
+  return base;
+}
+
+CountedSet HansonRefresh(const CountedSet& v0, const TwoRelationDelta& delta,
+                         const JoinSpec& spec) {
+  const std::vector<db::Tuple> r1p = VectorMinus(delta.r1, delta.d1);
+  const std::vector<db::Tuple> r2p = VectorMinus(delta.r2, delta.d2);
+  CountedSet v1 = v0;
+  // Deletions against the *post-delete* relations plus the D×D cross term.
+  v1 = MinusAll(std::move(v1), JoinProject(r1p, delta.d2, spec));
+  v1 = MinusAll(std::move(v1), JoinProject(delta.d1, r2p, spec));
+  v1 = MinusAll(std::move(v1), JoinProject(delta.d1, delta.d2, spec));
+  // Insertions against the post-delete relations plus the A×A cross term.
+  v1 = PlusAll(std::move(v1), JoinProject(r1p, delta.a2, spec));
+  v1 = PlusAll(std::move(v1), JoinProject(delta.a1, r2p, spec));
+  v1 = PlusAll(std::move(v1), JoinProject(delta.a1, delta.a2, spec));
+  return v1;
+}
+
+CountedSet BlakeleyRefresh(const CountedSet& v0,
+                           const TwoRelationDelta& delta,
+                           const JoinSpec& spec) {
+  CountedSet v1 = v0;
+  // As quoted in Appendix A: the D-terms join the FULL pre-delete
+  // relations, so a tuple deleted from both sides is removed three times.
+  v1 = PlusAll(std::move(v1), JoinProject(delta.a1, delta.a2, spec));
+  v1 = PlusAll(std::move(v1), JoinProject(delta.a1, delta.r2, spec));
+  v1 = PlusAll(std::move(v1), JoinProject(delta.r1, delta.a2, spec));
+  v1 = MinusAll(std::move(v1), JoinProject(delta.d1, delta.d2, spec));
+  v1 = MinusAll(std::move(v1), JoinProject(delta.d1, delta.r2, spec));
+  v1 = MinusAll(std::move(v1), JoinProject(delta.r1, delta.d2, spec));
+  return v1;
+}
+
+CountedSet RecomputeFromScratch(const TwoRelationDelta& delta,
+                                const JoinSpec& spec) {
+  const std::vector<db::Tuple> r1_new =
+      VectorPlus(VectorMinus(delta.r1, delta.d1), delta.a1);
+  const std::vector<db::Tuple> r2_new =
+      VectorPlus(VectorMinus(delta.r2, delta.d2), delta.a2);
+  return JoinProject(r1_new, r2_new, spec);
+}
+
+}  // namespace viewmat::view

@@ -1,0 +1,68 @@
+#ifndef VIEWMAT_VIEW_BLAKELEY_APPENDIX_A_H_
+#define VIEWMAT_VIEW_BLAKELEY_APPENDIX_A_H_
+
+#include <map>
+#include <vector>
+
+#include "db/tuple.h"
+
+namespace viewmat::view {
+
+/// Appendix A of the paper shows that the refresh expression in [Blak86]
+/// is not always correct: when one transaction deletes joining tuples from
+/// *both* relations, the joined result is deleted three times instead of
+/// once (it appears in D1×D2, D1×R2 and R1×D2 because the D-terms are
+/// joined against the full pre-delete relations). The paper's corrected
+/// expression joins the D-sets against R1' = R1 − D1 and R2' = R2 − D2.
+///
+/// This module implements both expansions over in-memory multisets so the
+/// defect is directly observable: under the Blakeley expansion a duplicate
+/// count can go negative, which in a stored view with duplicate counts
+/// means a corrupted (over-deleted) view.
+
+/// A counted multiset of view tuples. Negative counts represent the
+/// corruption the incorrect expansion produces.
+using CountedSet = std::map<db::Tuple, int64_t>;
+
+/// Equality join of field `r1_field` of R1 with field `r2_field` of R2,
+/// projecting `projection` indices of the concatenated tuple.
+struct JoinSpec {
+  size_t r1_field = 0;
+  size_t r2_field = 0;
+  std::vector<size_t> projection;
+};
+
+/// π(σ(S1 × S2)) for explicit tuple sets, as a counted multiset.
+CountedSet JoinProject(const std::vector<db::Tuple>& s1,
+                       const std::vector<db::Tuple>& s2,
+                       const JoinSpec& spec);
+
+/// Multiset utilities (∪ adds counts, − subtracts and may go negative).
+CountedSet PlusAll(CountedSet base, const CountedSet& add);
+CountedSet MinusAll(CountedSet base, const CountedSet& sub);
+
+/// The state of the two relations plus one transaction's net change.
+struct TwoRelationDelta {
+  std::vector<db::Tuple> r1, r2;  ///< pre-transaction contents
+  std::vector<db::Tuple> a1, d1;  ///< net change to R1
+  std::vector<db::Tuple> a2, d2;  ///< net change to R2
+};
+
+/// V1 per the corrected expansion of §2.1 (D-terms joined against
+/// R1' = R1 − D1 and R2' = R2 − D2). Always equals RecomputeFromScratch.
+CountedSet HansonRefresh(const CountedSet& v0, const TwoRelationDelta& delta,
+                         const JoinSpec& spec);
+
+/// V1 per the [Blak86] expansion reproduced in Appendix A (D-terms joined
+/// against the full R1, R2). Incorrect for dual-sided deletions.
+CountedSet BlakeleyRefresh(const CountedSet& v0,
+                           const TwoRelationDelta& delta,
+                           const JoinSpec& spec);
+
+/// Ground truth: the view recomputed from ((R − D) ∪ A) on both sides.
+CountedSet RecomputeFromScratch(const TwoRelationDelta& delta,
+                                const JoinSpec& spec);
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_BLAKELEY_APPENDIX_A_H_

@@ -1,0 +1,68 @@
+#ifndef VIEWMAT_VIEW_DEFERRED_H_
+#define VIEWMAT_VIEW_DEFERRED_H_
+
+#include <variant>
+
+#include "common/status.h"
+#include "hr/hypothetical_relation.h"
+#include "storage/cost_tracker.h"
+#include "view/materialized_view.h"
+#include "view/screening.h"
+#include "view/strategy.h"
+#include "view/view_def.h"
+
+namespace viewmat::view {
+
+/// Deferred view maintenance (§2.2, the paper's proposal): a materialized
+/// copy exists, but refresh is postponed until just before a query reads
+/// the view. Update transactions are absorbed into the base relation's
+/// hypothetical-relation differential (the AD file); tuples are screened at
+/// update time with t-lock rule indexing. At query time the accumulated
+/// A-net/D-net are read in one pass, folded into the base relation
+/// (R := (R ∪ A) − D), mapped into view deltas, and applied with the
+/// counting algorithm — then the query runs against the fresh copy.
+///
+/// Batching is the point: the Yao function is subadditive, so patching the
+/// view once with u accumulated tuples touches no more pages than patching
+/// it k/q separate times (§4's triangle-inequality argument).
+class DeferredStrategy : public ViewStrategy {
+ public:
+  DeferredStrategy(SelectProjectDef def, hr::AdFile::Options ad_options,
+                   storage::CostTracker* tracker);
+  DeferredStrategy(JoinDef def, hr::AdFile::Options ad_options,
+                   storage::CostTracker* tracker);
+
+  /// Builds the stored copy from the current base state (run pre-workload).
+  Status InitializeFromBase();
+
+  Status OnTransaction(const db::Transaction& txn) override;
+  Status Query(int64_t lo, int64_t hi,
+               const MaterializedView::CountedVisitor& visit) override;
+  const char* name() const override { return "deferred"; }
+
+  /// Applies all pending differential work now. Normally driven by Query —
+  /// exposed so callers can refresh during idle time (§4 discusses
+  /// asynchronous refresh as an optimization).
+  Status Refresh();
+
+  MaterializedView* view() { return view_.get(); }
+  hr::HypotheticalRelation* hypothetical() { return &hr_; }
+  const TLockScreen& screen() const { return screen_; }
+  uint64_t refresh_count() const { return refresh_count_; }
+  uint64_t pending_tuples() const { return hr_.ad().entry_count(); }
+
+ private:
+  db::Relation* UpdatedRelation() const;
+  StatusOr<bool> Map(const db::Tuple& t, db::Tuple* out);
+
+  std::variant<SelectProjectDef, JoinDef> def_;
+  storage::CostTracker* tracker_;
+  TLockScreen screen_;
+  hr::HypotheticalRelation hr_;
+  std::unique_ptr<MaterializedView> view_;
+  uint64_t refresh_count_ = 0;
+};
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_DEFERRED_H_

@@ -1,0 +1,384 @@
+#include "view/group_aggregate.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace viewmat::view {
+
+Status GroupAggregateDef::Validate() const {
+  if (base == nullptr) return Status::InvalidArgument("base relation unset");
+  if (predicate == nullptr) return Status::InvalidArgument("predicate unset");
+  if (group_field >= base->schema().field_count() ||
+      base->schema().field(group_field).type != db::ValueType::kInt64) {
+    return Status::InvalidArgument("group field must be an int64 column");
+  }
+  if (agg_field >= base->schema().field_count()) {
+    return Status::InvalidArgument("aggregate field out of range");
+  }
+  if (base->schema().field(agg_field).type == db::ValueType::kString &&
+      op != AggregateOp::kCount) {
+    return Status::InvalidArgument("cannot aggregate a string field");
+  }
+  return Status::OK();
+}
+
+MaterializedGroupAggregate::MaterializedGroupAggregate(
+    storage::BufferPool* pool, AggregateOp op)
+    : op_(op),
+      schema_({db::Field::Int64("group"), db::Field::Int64("count"),
+               db::Field::Double("sum"), db::Field::Double("min"),
+               db::Field::Double("max"), db::Field::Int64("exact")}) {
+  stored_ = std::make_unique<db::Relation>(
+      pool, "group_agg", schema_, db::AccessMethod::kClusteredBTree, 0);
+}
+
+db::Tuple MaterializedGroupAggregate::Encode(
+    int64_t group, const AggregateState& state) const {
+  uint8_t buf[AggregateState::kSerializedSize];
+  state.Serialize(buf);
+  int64_t count;
+  double sum, mn, mx;
+  std::memcpy(&count, buf, 8);
+  std::memcpy(&sum, buf + 8, 8);
+  std::memcpy(&mn, buf + 16, 8);
+  std::memcpy(&mx, buf + 24, 8);
+  return db::Tuple({db::Value(group), db::Value(count), db::Value(sum),
+                    db::Value(mn), db::Value(mx),
+                    db::Value(int64_t{buf[33] != 0 ? 1 : 0})});
+}
+
+AggregateState MaterializedGroupAggregate::Decode(const db::Tuple& t) {
+  uint8_t buf[AggregateState::kSerializedSize] = {0};
+  const int64_t count = t.at(1).AsInt64();
+  const double sum = t.at(2).AsDouble();
+  const double mn = t.at(3).AsDouble();
+  const double mx = t.at(4).AsDouble();
+  std::memcpy(buf, &count, 8);
+  std::memcpy(buf + 8, &sum, 8);
+  std::memcpy(buf + 16, &mn, 8);
+  std::memcpy(buf + 24, &mx, 8);
+  buf[33] = t.at(5).AsInt64() != 0 ? 1 : 0;
+  return AggregateState::Deserialize(buf);
+}
+
+Status MaterializedGroupAggregate::Get(int64_t group,
+                                       AggregateState* out) const {
+  db::Tuple row;
+  VIEWMAT_RETURN_IF_ERROR(stored_->FindByKey(group, &row));
+  AggregateState state = Decode(row);
+  // The op byte is not stored per row; rebuild it from the view's op.
+  uint8_t buf[AggregateState::kSerializedSize];
+  state.Serialize(buf);
+  buf[32] = static_cast<uint8_t>(op_);
+  *out = AggregateState::Deserialize(buf);
+  return Status::OK();
+}
+
+Status MaterializedGroupAggregate::Put(int64_t group,
+                                       const AggregateState& state) {
+  db::Tuple existing;
+  const Status found = stored_->FindByKey(group, &existing);
+  if (state.count() == 0) {
+    if (found.ok()) return stored_->DeleteExact(existing);
+    return Status::OK();
+  }
+  if (found.ok()) {
+    return stored_->UpdateExact(existing, Encode(group, state));
+  }
+  return stored_->Insert(Encode(group, state));
+}
+
+Status MaterializedGroupAggregate::ApplyInsert(int64_t group, double v) {
+  AggregateState state(op_);
+  const Status found = Get(group, &state);
+  if (!found.ok() && found.code() != StatusCode::kNotFound) return found;
+  state.ApplyInsert(v);
+  return Put(group, state);
+}
+
+Status MaterializedGroupAggregate::ApplyDelete(int64_t group, double v,
+                                               bool* needs_recompute) {
+  *needs_recompute = false;
+  AggregateState state(op_);
+  VIEWMAT_RETURN_IF_ERROR(Get(group, &state));
+  if (!state.ApplyDelete(v)) *needs_recompute = true;
+  return Put(group, state);
+}
+
+Status MaterializedGroupAggregate::Scan(const GroupVisitor& visit) const {
+  return stored_->Scan([&](const db::Tuple& t) {
+    AggregateState state = Decode(t);
+    uint8_t buf[AggregateState::kSerializedSize];
+    state.Serialize(buf);
+    buf[32] = static_cast<uint8_t>(op_);
+    return visit(t.at(0).AsInt64(), AggregateState::Deserialize(buf));
+  });
+}
+
+Status MaterializedGroupAggregate::Clear() {
+  std::vector<db::Tuple> all;
+  VIEWMAT_RETURN_IF_ERROR(stored_->Scan([&](const db::Tuple& t) {
+    all.push_back(t);
+    return true;
+  }));
+  for (const db::Tuple& t : all) {
+    VIEWMAT_RETURN_IF_ERROR(stored_->DeleteExact(t));
+  }
+  return Status::OK();
+}
+
+ImmediateGroupAggregateStrategy::ImmediateGroupAggregateStrategy(
+    GroupAggregateDef def, storage::CostTracker* tracker)
+    : def_(std::move(def)),
+      tracker_(tracker),
+      screen_(def_.predicate, def_.base->key_field(), tracker),
+      stored_(def_.base->pool(), def_.op) {
+  VIEWMAT_CHECK(def_.Validate().ok());
+}
+
+Status ImmediateGroupAggregateStrategy::InitializeFromBase() {
+  VIEWMAT_RETURN_IF_ERROR(stored_.Clear());
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(def_.base->Scan([&](const db::Tuple& t) {
+    if (def_.predicate->Evaluate(t)) {
+      inner = stored_.ApplyInsert(
+          t.at(def_.group_field).AsInt64(),
+          def_.op == AggregateOp::kCount ? 1.0
+                                         : t.at(def_.agg_field).Numeric());
+      if (!inner.ok()) return false;
+    }
+    return true;
+  }));
+  return inner;
+}
+
+Status ImmediateGroupAggregateStrategy::RecomputeGroup(int64_t group) {
+  ++group_recomputes_;
+  AggregateState fresh(def_.op);
+  VIEWMAT_RETURN_IF_ERROR(def_.base->Scan([&](const db::Tuple& t) {
+    if (tracker_ != nullptr) tracker_->ChargeTupleCpu();
+    if (t.at(def_.group_field).AsInt64() == group &&
+        def_.predicate->Evaluate(t)) {
+      fresh.ApplyInsert(def_.op == AggregateOp::kCount
+                            ? 1.0
+                            : t.at(def_.agg_field).Numeric());
+    }
+    return true;
+  }));
+  return stored_.Put(group, fresh);
+}
+
+Status ImmediateGroupAggregateStrategy::OnTransaction(
+    const db::Transaction& txn) {
+  VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
+  const db::NetChange& net = txn.ChangesFor(def_.base);
+  auto value_of = [&](const db::Tuple& t) {
+    return def_.op == AggregateOp::kCount ? 1.0
+                                          : t.at(def_.agg_field).Numeric();
+  };
+  for (const db::Tuple& t : net.deletes()) {
+    if (!screen_.Passes(t)) continue;
+    const int64_t group = t.at(def_.group_field).AsInt64();
+    bool needs_recompute = false;
+    VIEWMAT_RETURN_IF_ERROR(
+        stored_.ApplyDelete(group, value_of(t), &needs_recompute));
+    if (needs_recompute) {
+      VIEWMAT_RETURN_IF_ERROR(RecomputeGroup(group));
+    }
+  }
+  for (const db::Tuple& t : net.inserts()) {
+    if (!screen_.Passes(t)) continue;
+    VIEWMAT_RETURN_IF_ERROR(
+        stored_.ApplyInsert(t.at(def_.group_field).AsInt64(), value_of(t)));
+  }
+  return Status::OK();
+}
+
+Status ImmediateGroupAggregateStrategy::QueryGroup(int64_t group,
+                                                   db::Value* out) {
+  AggregateState state(def_.op);
+  VIEWMAT_RETURN_IF_ERROR(stored_.Get(group, &state));
+  VIEWMAT_ASSIGN_OR_RETURN(*out, state.Current());
+  return Status::OK();
+}
+
+Status ImmediateGroupAggregateStrategy::QueryAll(
+    const std::function<bool(int64_t, const db::Value&)>& visit) {
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(
+      stored_.Scan([&](int64_t group, const AggregateState& state) {
+        auto value = state.Current();
+        if (!value.ok()) {
+          inner = value.status();
+          return false;
+        }
+        return visit(group, *value);
+      }));
+  return inner;
+}
+
+DeferredGroupAggregateStrategy::DeferredGroupAggregateStrategy(
+    GroupAggregateDef def, hr::AdFile::Options ad_options,
+    storage::CostTracker* tracker)
+    : def_(std::move(def)),
+      tracker_(tracker),
+      screen_(def_.predicate, def_.base->key_field(), tracker),
+      hr_(def_.base, ad_options),
+      stored_(def_.base->pool(), def_.op) {
+  VIEWMAT_CHECK(def_.Validate().ok());
+}
+
+Status DeferredGroupAggregateStrategy::InitializeFromBase() {
+  VIEWMAT_RETURN_IF_ERROR(stored_.Clear());
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(def_.base->Scan([&](const db::Tuple& t) {
+    if (def_.predicate->Evaluate(t)) {
+      inner = stored_.ApplyInsert(
+          t.at(def_.group_field).AsInt64(),
+          def_.op == AggregateOp::kCount ? 1.0
+                                         : t.at(def_.agg_field).Numeric());
+      if (!inner.ok()) return false;
+    }
+    return true;
+  }));
+  return inner;
+}
+
+Status DeferredGroupAggregateStrategy::OnTransaction(
+    const db::Transaction& txn) {
+  const db::NetChange& net = txn.ChangesFor(def_.base);
+  if (net.empty()) return Status::OK();
+  for (const db::Tuple& t : net.deletes()) {
+    VIEWMAT_RETURN_IF_ERROR(
+        hr_.FindAllByKey(t.at(def_.base->key_field()).AsInt64(),
+                         [](const db::Tuple&) { return false; }));
+  }
+  for (const db::Tuple& t : net.deletes()) screen_.Passes(t);
+  for (const db::Tuple& t : net.inserts()) screen_.Passes(t);
+  return hr_.RecordChanges(net);
+}
+
+Status DeferredGroupAggregateStrategy::RecomputeGroup(int64_t group) {
+  AggregateState fresh(def_.op);
+  VIEWMAT_RETURN_IF_ERROR(def_.base->Scan([&](const db::Tuple& t) {
+    if (tracker_ != nullptr) tracker_->ChargeTupleCpu();
+    if (t.at(def_.group_field).AsInt64() == group &&
+        def_.predicate->Evaluate(t)) {
+      fresh.ApplyInsert(def_.op == AggregateOp::kCount
+                            ? 1.0
+                            : t.at(def_.agg_field).Numeric());
+    }
+    return true;
+  }));
+  return stored_.Put(group, fresh);
+}
+
+Status DeferredGroupAggregateStrategy::Refresh() {
+  if (hr_.ad().entry_count() == 0) return Status::OK();
+  std::vector<db::Tuple> a_net;
+  std::vector<db::Tuple> d_net;
+  VIEWMAT_RETURN_IF_ERROR(hr_.Fold(&a_net, &d_net));
+  ++refresh_count_;
+  auto value_of = [&](const db::Tuple& t) {
+    return def_.op == AggregateOp::kCount ? 1.0
+                                          : t.at(def_.agg_field).Numeric();
+  };
+  // Deletes first (the differential algorithm's order); groups whose
+  // extremum left are recomputed after the base fold, so the rebuilt state
+  // reflects the post-transaction reality.
+  std::vector<int64_t> dirty_groups;
+  for (const db::Tuple& t : d_net) {
+    if (!def_.predicate->Evaluate(t)) continue;
+    const int64_t group = t.at(def_.group_field).AsInt64();
+    bool needs_recompute = false;
+    VIEWMAT_RETURN_IF_ERROR(
+        stored_.ApplyDelete(group, value_of(t), &needs_recompute));
+    if (needs_recompute) dirty_groups.push_back(group);
+  }
+  for (const db::Tuple& t : a_net) {
+    if (!def_.predicate->Evaluate(t)) continue;
+    VIEWMAT_RETURN_IF_ERROR(
+        stored_.ApplyInsert(t.at(def_.group_field).AsInt64(), value_of(t)));
+  }
+  for (const int64_t group : dirty_groups) {
+    VIEWMAT_RETURN_IF_ERROR(RecomputeGroup(group));
+  }
+  return Status::OK();
+}
+
+Status DeferredGroupAggregateStrategy::QueryGroup(int64_t group,
+                                                  db::Value* out) {
+  VIEWMAT_RETURN_IF_ERROR(Refresh());
+  AggregateState state(def_.op);
+  VIEWMAT_RETURN_IF_ERROR(stored_.Get(group, &state));
+  VIEWMAT_ASSIGN_OR_RETURN(*out, state.Current());
+  return Status::OK();
+}
+
+Status DeferredGroupAggregateStrategy::QueryAll(
+    const std::function<bool(int64_t, const db::Value&)>& visit) {
+  VIEWMAT_RETURN_IF_ERROR(Refresh());
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(
+      stored_.Scan([&](int64_t group, const AggregateState& state) {
+        auto value = state.Current();
+        if (!value.ok()) {
+          inner = value.status();
+          return false;
+        }
+        return visit(group, *value);
+      }));
+  return inner;
+}
+
+RecomputeGroupAggregateStrategy::RecomputeGroupAggregateStrategy(
+    GroupAggregateDef def, storage::CostTracker* tracker)
+    : def_(std::move(def)), tracker_(tracker) {
+  VIEWMAT_CHECK(def_.Validate().ok());
+}
+
+Status RecomputeGroupAggregateStrategy::OnTransaction(
+    const db::Transaction& txn) {
+  return txn.ApplyToBase();
+}
+
+Status RecomputeGroupAggregateStrategy::ComputeAll(
+    std::map<int64_t, AggregateState>* out) {
+  out->clear();
+  return def_.base->Scan([&](const db::Tuple& t) {
+    if (tracker_ != nullptr) tracker_->ChargeTupleCpu();
+    if (def_.predicate->Evaluate(t)) {
+      auto [it, inserted] = out->try_emplace(
+          t.at(def_.group_field).AsInt64(), AggregateState(def_.op));
+      it->second.ApplyInsert(def_.op == AggregateOp::kCount
+                                 ? 1.0
+                                 : t.at(def_.agg_field).Numeric());
+    }
+    return true;
+  });
+}
+
+Status RecomputeGroupAggregateStrategy::QueryGroup(int64_t group,
+                                                   db::Value* out) {
+  std::map<int64_t, AggregateState> all;
+  VIEWMAT_RETURN_IF_ERROR(ComputeAll(&all));
+  auto it = all.find(group);
+  if (it == all.end()) return Status::NotFound("group empty");
+  VIEWMAT_ASSIGN_OR_RETURN(*out, it->second.Current());
+  return Status::OK();
+}
+
+Status RecomputeGroupAggregateStrategy::QueryAll(
+    const std::function<bool(int64_t, const db::Value&)>& visit) {
+  std::map<int64_t, AggregateState> all;
+  VIEWMAT_RETURN_IF_ERROR(ComputeAll(&all));
+  for (const auto& [group, state] : all) {
+    auto value = state.Current();
+    if (!value.ok()) return value.status();
+    if (!visit(group, *value)) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace viewmat::view

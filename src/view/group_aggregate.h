@@ -1,0 +1,151 @@
+#ifndef VIEWMAT_VIEW_GROUP_AGGREGATE_H_
+#define VIEWMAT_VIEW_GROUP_AGGREGATE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "db/relation.h"
+#include "storage/cost_tracker.h"
+#include "view/aggregate.h"
+#include "hr/hypothetical_relation.h"
+#include "view/screening.h"
+#include "view/strategy.h"
+#include "view/view_def.h"
+
+namespace viewmat::view {
+
+/// GROUP BY generalization of Model 3: one incrementally maintained
+/// aggregate per group value, e.g.
+///
+///   define view dept_payroll (dept, sum(salary))
+///   where emp.active = 1 group by emp.dept
+///
+/// The paper treats the single-group case; grouping materializes as a
+/// small relation keyed by the group attribute with one aggregate state
+/// per group — each state maintained with the same insert/delete
+/// transition functions, including the min/max recompute-on-extremum-loss
+/// fallback (restricted to the affected group).
+struct GroupAggregateDef {
+  db::Relation* base = nullptr;
+  db::PredicateRef predicate;     ///< selectivity-f restriction
+  size_t group_field = 0;         ///< int64 grouping attribute
+  AggregateOp op = AggregateOp::kSum;
+  size_t agg_field = 0;
+
+  Status Validate() const;
+};
+
+/// The stored copy: a B+-tree relation keyed by group value, one row per
+/// non-empty group carrying the serialized aggregate state.
+class MaterializedGroupAggregate {
+ public:
+  using GroupVisitor =
+      std::function<bool(int64_t group, const AggregateState& state)>;
+
+  MaterializedGroupAggregate(storage::BufferPool* pool, AggregateOp op);
+
+  /// Folds one value into a group (creating the group if new).
+  Status ApplyInsert(int64_t group, double v);
+
+  /// Removes one value; *needs_recompute is set when the group's state can
+  /// no longer answer exactly (min/max extremum left). Empty groups are
+  /// physically removed.
+  Status ApplyDelete(int64_t group, double v, bool* needs_recompute);
+
+  /// Overwrites a group's state (after an external recomputation).
+  Status Put(int64_t group, const AggregateState& state);
+
+  /// NotFound when the group has no members.
+  Status Get(int64_t group, AggregateState* out) const;
+
+  Status Scan(const GroupVisitor& visit) const;
+  Status Clear();
+  size_t group_count() const { return stored_->tuple_count(); }
+
+ private:
+  db::Tuple Encode(int64_t group, const AggregateState& state) const;
+  static AggregateState Decode(const db::Tuple& t);
+
+  AggregateOp op_;
+  db::Schema schema_;
+  std::unique_ptr<db::Relation> stored_;
+};
+
+/// Immediate maintenance of a grouped aggregate view.
+class ImmediateGroupAggregateStrategy {
+ public:
+  ImmediateGroupAggregateStrategy(GroupAggregateDef def,
+                                  storage::CostTracker* tracker);
+
+  Status InitializeFromBase();
+  Status OnTransaction(const db::Transaction& txn);
+
+  /// Current value for one group; NotFound when the group is empty.
+  Status QueryGroup(int64_t group, db::Value* out);
+
+  /// All non-empty groups in group order.
+  Status QueryAll(const std::function<bool(int64_t, const db::Value&)>& visit);
+
+  uint64_t group_recomputes() const { return group_recomputes_; }
+
+ private:
+  /// Rebuilds one group's state from the base relation.
+  Status RecomputeGroup(int64_t group);
+
+  GroupAggregateDef def_;
+  storage::CostTracker* tracker_;
+  TLockScreen screen_;
+  MaterializedGroupAggregate stored_;
+  uint64_t group_recomputes_ = 0;
+};
+
+/// Deferred maintenance of a grouped aggregate view: transactions
+/// accumulate in the base relation's AD differential; a query folds the
+/// differential once and patches only the affected groups — Model 3's
+/// deferred scheme generalized per group.
+class DeferredGroupAggregateStrategy {
+ public:
+  DeferredGroupAggregateStrategy(GroupAggregateDef def,
+                                 hr::AdFile::Options ad_options,
+                                 storage::CostTracker* tracker);
+
+  Status InitializeFromBase();
+  Status OnTransaction(const db::Transaction& txn);
+  Status QueryGroup(int64_t group, db::Value* out);
+  Status QueryAll(const std::function<bool(int64_t, const db::Value&)>& visit);
+
+  uint64_t refresh_count() const { return refresh_count_; }
+  uint64_t pending_tuples() const { return hr_.ad().entry_count(); }
+
+ private:
+  Status Refresh();
+  Status RecomputeGroup(int64_t group);
+
+  GroupAggregateDef def_;
+  storage::CostTracker* tracker_;
+  TLockScreen screen_;
+  hr::HypotheticalRelation hr_;
+  MaterializedGroupAggregate stored_;
+  uint64_t refresh_count_ = 0;
+};
+
+/// From-scratch baseline: every query scans the selection and folds.
+class RecomputeGroupAggregateStrategy {
+ public:
+  RecomputeGroupAggregateStrategy(GroupAggregateDef def,
+                                  storage::CostTracker* tracker);
+
+  Status OnTransaction(const db::Transaction& txn);
+  Status QueryGroup(int64_t group, db::Value* out);
+  Status QueryAll(const std::function<bool(int64_t, const db::Value&)>& visit);
+
+ private:
+  Status ComputeAll(std::map<int64_t, AggregateState>* out);
+
+  GroupAggregateDef def_;
+  storage::CostTracker* tracker_;
+};
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_GROUP_AGGREGATE_H_

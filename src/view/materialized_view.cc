@@ -1,0 +1,133 @@
+#include "view/materialized_view.h"
+
+#include "common/logging.h"
+
+namespace viewmat::view {
+
+namespace {
+
+db::Schema WithCountColumn(const db::Schema& view_schema) {
+  std::vector<db::Field> fields = view_schema.fields();
+  fields.push_back(db::Field::Int64("__dup"));
+  return db::Schema(std::move(fields));
+}
+
+}  // namespace
+
+MaterializedView::MaterializedView(storage::BufferPool* pool,
+                                   std::string name, db::Schema view_schema,
+                                   size_t view_key_field)
+    : view_schema_(std::move(view_schema)),
+      stored_schema_(WithCountColumn(view_schema_)),
+      view_key_field_(view_key_field) {
+  VIEWMAT_CHECK(view_key_field_ < view_schema_.field_count());
+  stored_ = std::make_unique<db::Relation>(
+      pool, std::move(name), stored_schema_,
+      db::AccessMethod::kClusteredBTree, view_key_field_);
+}
+
+db::Tuple MaterializedView::WithCount(const db::Tuple& value,
+                                      int64_t count) const {
+  std::vector<db::Value> vals = value.values();
+  vals.emplace_back(count);
+  return db::Tuple(std::move(vals));
+}
+
+db::Tuple MaterializedView::StripCount(const db::Tuple& stored,
+                                       int64_t* count) const {
+  std::vector<db::Value> vals = stored.values();
+  VIEWMAT_CHECK(!vals.empty());
+  *count = vals.back().AsInt64();
+  vals.pop_back();
+  return db::Tuple(std::move(vals));
+}
+
+StatusOr<db::Tuple> MaterializedView::FindStored(
+    const db::Tuple& value) const {
+  const int64_t key = value.at(view_key_field_).AsInt64();
+  db::Tuple found;
+  bool have = false;
+  VIEWMAT_RETURN_IF_ERROR(
+      stored_->FindAllByKey(key, [&](const db::Tuple& stored) {
+        int64_t count = 0;
+        if (StripCount(stored, &count) == value) {
+          found = stored;
+          have = true;
+          return false;
+        }
+        return true;
+      }));
+  if (!have) return Status::NotFound("view value not stored");
+  return found;
+}
+
+Status MaterializedView::ApplyInsert(const db::Tuple& value) {
+  auto existing = FindStored(value);
+  ++total_count_;
+  if (existing.ok()) {
+    int64_t count = 0;
+    (void)StripCount(*existing, &count);
+    return stored_->UpdateExact(*existing, WithCount(value, count + 1));
+  }
+  return stored_->Insert(WithCount(value, 1));
+}
+
+Status MaterializedView::ApplyDelete(const db::Tuple& value) {
+  auto existing = FindStored(value);
+  if (!existing.ok()) {
+    return Status::Internal(
+        "counting invariant violated: deleting an absent view value " +
+        value.ToString());
+  }
+  int64_t count = 0;
+  (void)StripCount(*existing, &count);
+  --total_count_;
+  if (count > 1) {
+    return stored_->UpdateExact(*existing, WithCount(value, count - 1));
+  }
+  return stored_->DeleteExact(*existing);
+}
+
+Status MaterializedView::ApplyDelta(const std::vector<db::Tuple>& inserts,
+                                    const std::vector<db::Tuple>& deletes) {
+  for (const db::Tuple& t : deletes) {
+    VIEWMAT_RETURN_IF_ERROR(ApplyDelete(t));
+  }
+  for (const db::Tuple& t : inserts) {
+    VIEWMAT_RETURN_IF_ERROR(ApplyInsert(t));
+  }
+  return Status::OK();
+}
+
+Status MaterializedView::Query(int64_t lo, int64_t hi,
+                               const CountedVisitor& visit) const {
+  return stored_->RangeScanByKey(lo, hi, [&](const db::Tuple& stored) {
+    int64_t count = 0;
+    const db::Tuple value = StripCount(stored, &count);
+    return visit(value, count);
+  });
+}
+
+Status MaterializedView::ScanAll(const CountedVisitor& visit) const {
+  return stored_->Scan([&](const db::Tuple& stored) {
+    int64_t count = 0;
+    const db::Tuple value = StripCount(stored, &count);
+    return visit(value, count);
+  });
+}
+
+Status MaterializedView::Clear() {
+  std::vector<db::Tuple> all;
+  VIEWMAT_RETURN_IF_ERROR(
+      stored_->Scan([&](const db::Tuple& stored) {
+        all.push_back(stored);
+        return true;
+      }));
+  for (const db::Tuple& t : all) {
+    VIEWMAT_RETURN_IF_ERROR(stored_->DeleteExact(t));
+  }
+  total_count_ = 0;
+  return Status::OK();
+}
+
+}  // namespace viewmat::view

@@ -1,0 +1,47 @@
+#include "view/screening.h"
+
+#include "common/logging.h"
+
+namespace viewmat::view {
+
+TLockScreen::TLockScreen(db::PredicateRef predicate, size_t lock_field,
+                         storage::CostTracker* tracker)
+    : predicate_(std::move(predicate)),
+      lock_field_(lock_field),
+      intervals_(predicate_->ImpliedRangeSet(lock_field_)),
+      tracker_(tracker) {
+  VIEWMAT_CHECK(predicate_ != nullptr);
+}
+
+TLockScreen TLockScreen::ForSelectProject(const SelectProjectDef& def,
+                                          storage::CostTracker* tracker) {
+  return TLockScreen(def.predicate, def.base->key_field(), tracker);
+}
+
+TLockScreen TLockScreen::ForJoin(const JoinDef& def,
+                                 storage::CostTracker* tracker) {
+  return TLockScreen(def.cf, def.r1->key_field(), tracker);
+}
+
+TLockScreen TLockScreen::ForAggregate(const AggregateDef& def,
+                                      storage::CostTracker* tracker) {
+  return TLockScreen(def.predicate, def.base->key_field(), tracker);
+}
+
+bool TLockScreen::Passes(const db::Tuple& t) {
+  ++screened_;
+  // Stage 1: does the tuple disturb a t-locked index interval? Free.
+  const db::Value& v = t.at(lock_field_);
+  if (v.type() == db::ValueType::kInt64 &&
+      !intervals_.Contains(v.AsInt64())) {
+    return false;
+  }
+  ++stage1_hits_;
+  // Stage 2: substitute into the view predicate (cost C1).
+  if (tracker_ != nullptr) tracker_->ChargeScreen();
+  const bool pass = predicate_->Evaluate(t);
+  if (pass) ++stage2_passes_;
+  return pass;
+}
+
+}  // namespace viewmat::view

@@ -1,0 +1,66 @@
+#ifndef VIEWMAT_VIEW_SCREENING_H_
+#define VIEWMAT_VIEW_SCREENING_H_
+
+#include <cstdint>
+
+#include "db/predicate.h"
+#include "db/tuple.h"
+#include "storage/cost_tracker.h"
+#include "view/view_def.h"
+
+namespace viewmat::view {
+
+/// Two-stage update screening via rule indexing (§1, after [Ston86]):
+///
+///  Stage 1 — t-locks: the interval of the base relation's clustered index
+///  covered by the view predicate is marked. A modified tuple whose key
+///  falls outside every marked interval implicitly fails the screen at
+///  essentially no cost (the index record it disturbs carries no lock).
+///
+///  Stage 2 — satisfiability: a tuple that breaks a t-lock is substituted
+///  into the view predicate (cost C1, charged to the tracker). Survivors
+///  are marked as relevant to the view; both maintenance engines only
+///  process marked tuples.
+///
+/// Stage 1 can produce false drops (it covers a convex interval of a single
+/// field) but never false negatives — guaranteed by
+/// Predicate::ImpliedRange being conservative.
+class TLockScreen {
+ public:
+  /// `lock_field` is the index (in the base schema) of the clustered field
+  /// whose index carries the t-locks.
+  TLockScreen(db::PredicateRef predicate, size_t lock_field,
+              storage::CostTracker* tracker);
+
+  static TLockScreen ForSelectProject(const SelectProjectDef& def,
+                                      storage::CostTracker* tracker);
+  static TLockScreen ForJoin(const JoinDef& def,
+                             storage::CostTracker* tracker);
+  static TLockScreen ForAggregate(const AggregateDef& def,
+                                  storage::CostTracker* tracker);
+
+  /// Full two-stage screen. Charges C1 only when stage 2 runs.
+  bool Passes(const db::Tuple& t);
+
+  /// Observability for tests and the screening ablation bench.
+  uint64_t screened() const { return screened_; }
+  uint64_t stage1_hits() const { return stage1_hits_; }
+  uint64_t stage2_passes() const { return stage2_passes_; }
+  /// The t-locked key ranges (exact, possibly several disjoint pieces).
+  const db::IntervalSet& intervals() const { return intervals_; }
+  /// Convex hull of the locked ranges (legacy single-interval view).
+  db::Interval interval() const { return intervals_.Hull(); }
+
+ private:
+  db::PredicateRef predicate_;
+  size_t lock_field_;
+  db::IntervalSet intervals_;
+  storage::CostTracker* tracker_;
+  uint64_t screened_ = 0;
+  uint64_t stage1_hits_ = 0;
+  uint64_t stage2_passes_ = 0;
+};
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_SCREENING_H_

@@ -1,0 +1,52 @@
+#ifndef VIEWMAT_VIEW_STRATEGY_H_
+#define VIEWMAT_VIEW_STRATEGY_H_
+
+#include "common/status.h"
+#include "db/transaction.h"
+#include "view/materialized_view.h"
+
+namespace viewmat::view {
+
+/// A view materialization strategy for tuple-producing views (Models 1 and
+/// 2): the engine observes every committed update transaction and answers
+/// view queries. Implementations differ in *when* work happens —
+/// query modification does it all at query time, immediate at transaction
+/// time, deferred just before the query — but must all return the same
+/// answer for the same history (tested as the equivalence property).
+///
+/// The engine owns applying the transaction to the base relations (directly
+/// or through a hypothetical relation), so a workload is driven through
+/// exactly one engine.
+class ViewStrategy {
+ public:
+  virtual ~ViewStrategy() = default;
+
+  /// Applies one committed update transaction.
+  virtual Status OnTransaction(const db::Transaction& txn) = 0;
+
+  /// Queries the view for values whose view key lies in [lo, hi]; the
+  /// visitor receives each distinct value with its multiplicity.
+  virtual Status Query(int64_t lo, int64_t hi,
+                       const MaterializedView::CountedVisitor& visit) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Strategy interface for aggregate views (Model 3): a query returns the
+/// single aggregate value.
+class AggregateStrategy {
+ public:
+  virtual ~AggregateStrategy() = default;
+
+  virtual Status OnTransaction(const db::Transaction& txn) = 0;
+
+  /// Current aggregate value. NotFound when the aggregated set is empty and
+  /// the op has no identity (min/max).
+  virtual Status QueryValue(db::Value* out) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_STRATEGY_H_

@@ -1,0 +1,107 @@
+#include "view/view_def.h"
+
+#include "common/logging.h"
+
+namespace viewmat::view {
+
+db::Schema SelectProjectDef::ViewSchema() const {
+  return base->schema().Project(projection);
+}
+
+bool SelectProjectDef::MapTuple(const db::Tuple& base_tuple,
+                                db::Tuple* out) const {
+  if (!predicate->Evaluate(base_tuple)) return false;
+  *out = base_tuple.Project(projection);
+  return true;
+}
+
+Status SelectProjectDef::Validate() const {
+  if (base == nullptr) return Status::InvalidArgument("base relation unset");
+  if (predicate == nullptr) return Status::InvalidArgument("predicate unset");
+  if (projection.empty()) return Status::InvalidArgument("empty projection");
+  for (const size_t i : projection) {
+    if (i >= base->schema().field_count()) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+  }
+  if (view_key_field >= projection.size()) {
+    return Status::InvalidArgument("view key field out of range");
+  }
+  if (base->schema().field(projection[view_key_field]).type !=
+      db::ValueType::kInt64) {
+    return Status::InvalidArgument("view clustering field must be int64");
+  }
+  return Status::OK();
+}
+
+db::Schema JoinDef::ViewSchema() const {
+  const db::Schema left = r1->schema().Project(r1_projection);
+  const db::Schema right = r2->schema().Project(r2_projection);
+  return db::Schema::Concat(left, r1->name(), right, r2->name());
+}
+
+StatusOr<bool> JoinDef::MapTuple(const db::Tuple& r1_tuple, db::Tuple* out,
+                                 storage::CostTracker* tracker) const {
+  if (!cf->Evaluate(r1_tuple)) return false;
+  const int64_t join_key = r1_tuple.at(r1_join_field).AsInt64();
+  db::Tuple partner;
+  const Status st = r2->FindByKey(join_key, &partner);
+  if (st.code() == StatusCode::kNotFound) return false;
+  VIEWMAT_RETURN_IF_ERROR(st);
+  if (tracker != nullptr) tracker->ChargeTupleCpu();
+  *out = db::Tuple::Concat(r1_tuple.Project(r1_projection),
+                           partner.Project(r2_projection));
+  return true;
+}
+
+Status JoinDef::Validate() const {
+  if (r1 == nullptr || r2 == nullptr) {
+    return Status::InvalidArgument("join relations unset");
+  }
+  if (cf == nullptr) return Status::InvalidArgument("C_f predicate unset");
+  if (r1_join_field >= r1->schema().field_count()) {
+    return Status::InvalidArgument("r1 join field out of range");
+  }
+  if (r2->key_field() >= r2->schema().field_count()) {
+    return Status::InvalidArgument("r2 key field out of range");
+  }
+  if (r1_projection.empty() && r2_projection.empty()) {
+    return Status::InvalidArgument("empty projection");
+  }
+  const size_t total = r1_projection.size() + r2_projection.size();
+  if (view_key_field >= total) {
+    return Status::InvalidArgument("view key field out of range");
+  }
+  return Status::OK();
+}
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kCount:
+      return "count";
+    case AggregateOp::kSum:
+      return "sum";
+    case AggregateOp::kAvg:
+      return "avg";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+Status AggregateDef::Validate() const {
+  if (base == nullptr) return Status::InvalidArgument("base relation unset");
+  if (predicate == nullptr) return Status::InvalidArgument("predicate unset");
+  if (agg_field >= base->schema().field_count()) {
+    return Status::InvalidArgument("aggregate field out of range");
+  }
+  const db::ValueType t = base->schema().field(agg_field).type;
+  if (t == db::ValueType::kString && op != AggregateOp::kCount) {
+    return Status::InvalidArgument("cannot aggregate a string field");
+  }
+  return Status::OK();
+}
+
+}  // namespace viewmat::view

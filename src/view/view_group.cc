@@ -1,0 +1,93 @@
+#include "view/view_group.h"
+
+#include "common/logging.h"
+
+namespace viewmat::view {
+
+DeferredViewGroup::DeferredViewGroup(db::Relation* base,
+                                     hr::AdFile::Options ad_options,
+                                     storage::CostTracker* tracker)
+    : base_(base), tracker_(tracker), hr_(base, ad_options) {
+  VIEWMAT_CHECK(base_ != nullptr);
+}
+
+StatusOr<size_t> DeferredViewGroup::AddView(const SelectProjectDef& def) {
+  VIEWMAT_RETURN_IF_ERROR(def.Validate());
+  if (def.base != base_) {
+    return Status::InvalidArgument(
+        "view group members must share the group's base relation");
+  }
+  if (hr_.ad().entry_count() != 0) {
+    return Status::FailedPrecondition(
+        "register views before accumulating differential work");
+  }
+  auto member = std::make_unique<Member>(def, tracker_);
+  member->view = std::make_unique<MaterializedView>(
+      base_->pool(), "group_view_" + std::to_string(members_.size()),
+      def.ViewSchema(), def.view_key_field);
+  // Materialize from the current base state.
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(base_->Scan([&](const db::Tuple& t) {
+    db::Tuple value;
+    if (member->def.MapTuple(t, &value)) {
+      inner = member->view->ApplyInsert(value);
+      if (!inner.ok()) return false;
+    }
+    return true;
+  }));
+  VIEWMAT_RETURN_IF_ERROR(inner);
+  members_.push_back(std::move(member));
+  return members_.size() - 1;
+}
+
+Status DeferredViewGroup::OnTransaction(const db::Transaction& txn) {
+  const db::NetChange& net = txn.ChangesFor(base_);
+  if (net.empty()) return Status::OK();
+  // I/O #1 per modified tuple, as in the single-view deferred engine.
+  for (const db::Tuple& t : net.deletes()) {
+    VIEWMAT_RETURN_IF_ERROR(
+        hr_.FindAllByKey(t.at(base_->key_field()).AsInt64(),
+                         [](const db::Tuple&) { return false; }));
+  }
+  // Every member screens (and thereby marks) independently — each pays its
+  // own C1 for interval hits, matching per-view rule indexing.
+  for (const std::unique_ptr<Member>& m : members_) {
+    for (const db::Tuple& t : net.deletes()) m->screen.Passes(t);
+    for (const db::Tuple& t : net.inserts()) m->screen.Passes(t);
+  }
+  return hr_.RecordChanges(net);
+}
+
+Status DeferredViewGroup::RefreshAll() {
+  if (hr_.ad().entry_count() == 0) return Status::OK();
+  std::vector<db::Tuple> a_net;
+  std::vector<db::Tuple> d_net;
+  // ONE read of the AD file and one fold serve every member view.
+  VIEWMAT_RETURN_IF_ERROR(hr_.Fold(&a_net, &d_net));
+  ++fold_count_;
+  for (const std::unique_ptr<Member>& m : members_) {
+    std::vector<db::Tuple> inserts;
+    std::vector<db::Tuple> deletes;
+    for (const db::Tuple& t : d_net) {
+      db::Tuple value;
+      if (m->def.MapTuple(t, &value)) deletes.push_back(std::move(value));
+    }
+    for (const db::Tuple& t : a_net) {
+      db::Tuple value;
+      if (m->def.MapTuple(t, &value)) inserts.push_back(std::move(value));
+    }
+    VIEWMAT_RETURN_IF_ERROR(m->view->ApplyDelta(inserts, deletes));
+  }
+  return Status::OK();
+}
+
+Status DeferredViewGroup::Query(size_t index, int64_t lo, int64_t hi,
+                                const MaterializedView::CountedVisitor& visit) {
+  if (index >= members_.size()) {
+    return Status::InvalidArgument("no such view in group");
+  }
+  VIEWMAT_RETURN_IF_ERROR(RefreshAll());
+  return members_[index]->view->Query(lo, hi, visit);
+}
+
+}  // namespace viewmat::view

@@ -1,0 +1,74 @@
+#ifndef VIEWMAT_VIEW_VIEW_GROUP_H_
+#define VIEWMAT_VIEW_VIEW_GROUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "hr/hypothetical_relation.h"
+#include "storage/cost_tracker.h"
+#include "view/materialized_view.h"
+#include "view/screening.h"
+#include "view/view_def.h"
+
+namespace viewmat::view {
+
+/// §4's multi-view optimization: "in cases where more than one
+/// materialized view draws data from the same hypothetical relation, it
+/// may be worthwhile to refresh all the views whenever it is necessary to
+/// read the contents of the A and D sets for the relation from disk, since
+/// this would eliminate the need to read the hypothetical database again."
+///
+/// A DeferredViewGroup maintains several selection-projection views over
+/// one base relation behind a single AD differential file. A query against
+/// any member triggers one fold — one C_ADread — that refreshes every
+/// member view.
+class DeferredViewGroup {
+ public:
+  DeferredViewGroup(db::Relation* base, hr::AdFile::Options ad_options,
+                    storage::CostTracker* tracker);
+
+  DeferredViewGroup(const DeferredViewGroup&) = delete;
+  DeferredViewGroup& operator=(const DeferredViewGroup&) = delete;
+
+  /// Registers a view over the group's base relation and materializes it.
+  /// Returns the member index used to address queries.
+  StatusOr<size_t> AddView(const SelectProjectDef& def);
+
+  /// Absorbs a transaction into the shared differential; every member's
+  /// screen runs (each marks its own relevant tuples).
+  Status OnTransaction(const db::Transaction& txn);
+
+  /// Queries member `index`; refreshes ALL members first if any work is
+  /// pending (the single shared fold).
+  Status Query(size_t index, int64_t lo, int64_t hi,
+               const MaterializedView::CountedVisitor& visit);
+
+  /// Applies pending work to every member now.
+  Status RefreshAll();
+
+  size_t view_count() const { return members_.size(); }
+  uint64_t fold_count() const { return fold_count_; }
+  uint64_t pending_tuples() const { return hr_.ad().entry_count(); }
+  MaterializedView* view(size_t index) { return members_[index]->view.get(); }
+
+ private:
+  struct Member {
+    SelectProjectDef def;
+    TLockScreen screen;
+    std::unique_ptr<MaterializedView> view;
+
+    Member(const SelectProjectDef& d, storage::CostTracker* tracker)
+        : def(d), screen(TLockScreen::ForSelectProject(d, tracker)) {}
+  };
+
+  db::Relation* base_;
+  storage::CostTracker* tracker_;
+  hr::HypotheticalRelation hr_;
+  std::vector<std::unique_ptr<Member>> members_;
+  uint64_t fold_count_ = 0;
+};
+
+}  // namespace viewmat::view
+
+#endif  // VIEWMAT_VIEW_VIEW_GROUP_H_

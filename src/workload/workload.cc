@@ -1,0 +1,163 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace viewmat::workload {
+
+namespace {
+constexpr uint32_t kFixedFieldBytes = 24;  // k1 + k2 + v
+const char* kPad = "x";
+}  // namespace
+
+Scenario::Scenario(const costmodel::Params& params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  VIEWMAT_CHECK(params_.Validate().ok());
+  VIEWMAT_CHECK_MSG(params_.S >= kFixedFieldBytes + 1,
+                    "S must fit the three fixed fields plus padding");
+  n_ = static_cast<int64_t>(std::llround(params_.N));
+  r2_count_ = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(params_.f_R2 * params_.N)));
+  f_cut_ = static_cast<int64_t>(std::llround(params_.f * params_.N));
+  pad_width_ = static_cast<uint32_t>(params_.S) - kFixedFieldBytes;
+
+  k2_by_key_.resize(n_);
+  v_by_key_.resize(n_);
+  for (int64_t i = 0; i < n_; ++i) {
+    k2_by_key_[i] = static_cast<int64_t>(rng_.Uniform(r2_count_));
+    v_by_key_[i] = rng_.NextDouble() * 1000.0;
+  }
+  w_by_key_.resize(r2_count_);
+  for (int64_t i = 0; i < r2_count_; ++i) {
+    w_by_key_[i] = rng_.NextDouble() * 1000.0;
+  }
+}
+
+db::Schema Scenario::BaseSchema() const {
+  return db::Schema({db::Field::Int64("k1"), db::Field::Int64("k2"),
+                     db::Field::Double("v"),
+                     db::Field::String("pad", pad_width_)});
+}
+
+db::Schema Scenario::R2Schema() const {
+  return db::Schema({db::Field::Int64("key"), db::Field::Double("w"),
+                     db::Field::String("pad2", pad_width_ + 8)});
+}
+
+db::Tuple Scenario::BaseTuple(int64_t key) const {
+  VIEWMAT_CHECK(key >= 0 && key < n_);
+  return db::Tuple({db::Value(key), db::Value(k2_by_key_[key]),
+                    db::Value(v_by_key_[key]), db::Value(std::string(kPad))});
+}
+
+db::Tuple Scenario::R2Tuple(int64_t key) const {
+  VIEWMAT_CHECK(key >= 0 && key < r2_count_);
+  return db::Tuple(
+      {db::Value(key), db::Value(w_by_key_[key]), db::Value(std::string(kPad))});
+}
+
+StatusOr<db::Relation*> Scenario::LoadBase(db::Catalog* catalog,
+                                           const std::string& name,
+                                           db::AccessMethod method) {
+  db::Relation::Options options;
+  options.expected_tuples = static_cast<size_t>(n_);
+  VIEWMAT_ASSIGN_OR_RETURN(
+      db::Relation * rel,
+      catalog->CreateRelation(name, BaseSchema(), method, kFieldK1, options));
+  if (method == db::AccessMethod::kHeap) {
+    // A heap stands in for a relation clustered on some *other* attribute
+    // (the unclustered-scan scenario): load in shuffled physical order so
+    // key ranges are scattered across pages, as TOTAL_unclustered assumes.
+    std::vector<int64_t> order(n_);
+    for (int64_t i = 0; i < n_; ++i) order[i] = i;
+    Random shuffle_rng(0xfeedface);
+    for (int64_t i = n_ - 1; i > 0; --i) {
+      std::swap(order[i], order[shuffle_rng.Uniform(i + 1)]);
+    }
+    for (const int64_t key : order) {
+      VIEWMAT_RETURN_IF_ERROR(rel->Insert(BaseTuple(key)));
+    }
+  } else if (method == db::AccessMethod::kClusteredBTree) {
+    // Keys arrive sorted: bulk-load into completely packed pages, the
+    // layout the cost model's b = N*S/B assumes.
+    int64_t next = 0;
+    VIEWMAT_RETURN_IF_ERROR(rel->BulkLoadSorted([&](db::Tuple* t) {
+      if (next >= n_) return false;
+      *t = BaseTuple(next++);
+      return true;
+    }));
+  } else {
+    for (int64_t key = 0; key < n_; ++key) {
+      VIEWMAT_RETURN_IF_ERROR(rel->Insert(BaseTuple(key)));
+    }
+  }
+  return rel;
+}
+
+StatusOr<db::Relation*> Scenario::LoadR2(db::Catalog* catalog,
+                                         const std::string& name) {
+  db::Relation::Options options;
+  options.expected_tuples = static_cast<size_t>(r2_count_);
+  VIEWMAT_ASSIGN_OR_RETURN(
+      db::Relation * rel,
+      catalog->CreateRelation(name, R2Schema(),
+                              db::AccessMethod::kClusteredHash, 0, options));
+  for (int64_t key = 0; key < r2_count_; ++key) {
+    VIEWMAT_RETURN_IF_ERROR(rel->Insert(R2Tuple(key)));
+  }
+  return rel;
+}
+
+db::PredicateRef Scenario::ViewPredicate() const {
+  return db::Predicate::Compare(kFieldK1, db::CompareOp::kLt,
+                                db::Value(f_cut_));
+}
+
+db::Transaction Scenario::NextUpdateTransaction(db::Relation* rel) {
+  db::Transaction txn;
+  const int64_t l = static_cast<int64_t>(std::llround(params_.l));
+  for (int64_t i = 0; i < l; ++i) {
+    const int64_t key = static_cast<int64_t>(rng_.Uniform(n_));
+    const db::Tuple old_t = BaseTuple(key);
+    v_by_key_[key] = rng_.NextDouble() * 1000.0;
+    const db::Tuple new_t = BaseTuple(key);
+    txn.Update(rel, old_t, new_t);
+  }
+  return txn;
+}
+
+Scenario::QueryRange Scenario::NextQueryRange() {
+  const int64_t view_keys = std::max<int64_t>(f_cut_, 1);
+  int64_t span = static_cast<int64_t>(std::llround(params_.f_v * view_keys));
+  span = std::clamp<int64_t>(span, 1, view_keys);
+  const int64_t max_lo = view_keys - span;
+  const int64_t lo =
+      max_lo > 0 ? static_cast<int64_t>(rng_.Uniform(max_lo + 1)) : 0;
+  return QueryRange{lo, lo + span - 1};
+}
+
+std::vector<Scenario::OpKind> Scenario::OpSequence() const {
+  // Spread k updates evenly among q queries: before each query run
+  // floor/ceil(k/q) transactions so every query sees ~u updated tuples —
+  // the steady state the cost model averages over.
+  const int64_t k = static_cast<int64_t>(std::llround(params_.k));
+  const int64_t q = static_cast<int64_t>(std::llround(params_.q));
+  std::vector<OpKind> ops;
+  ops.reserve(static_cast<size_t>(k + q));
+  int64_t updates_emitted = 0;
+  for (int64_t i = 1; i <= q; ++i) {
+    const int64_t target = (k * i) / q;
+    for (; updates_emitted < target; ++updates_emitted) {
+      ops.push_back(OpKind::kUpdate);
+    }
+    ops.push_back(OpKind::kQuery);
+  }
+  for (; updates_emitted < k; ++updates_emitted) {
+    ops.push_back(OpKind::kUpdate);
+  }
+  return ops;
+}
+
+}  // namespace viewmat::workload

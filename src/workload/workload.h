@@ -1,0 +1,103 @@
+#ifndef VIEWMAT_WORKLOAD_WORKLOAD_H_
+#define VIEWMAT_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "costmodel/params.h"
+#include "db/catalog.h"
+#include "db/predicate.h"
+#include "db/relation.h"
+#include "db/transaction.h"
+
+namespace viewmat::workload {
+
+/// Builds the paper's database shapes and operation mix from a cost-model
+/// parameter set, so the simulator exercises exactly the scenario the
+/// formulas describe:
+///
+///  - R / R1: N tuples of S bytes — (k1, k2, v, pad) where k1 is the unique
+///    clustering key 0..N-1 (the view-predicate field), k2 joins to R2, v is
+///    the updated/aggregated payload.
+///  - R2 (Model 2): f_R2*N tuples (key, w, pad2) clustered-hashed on key;
+///    R1.k2 is uniform over R2 keys so every restricted R1 tuple joins
+///    exactly one R2 tuple.
+///  - View predicate: k1 < f*N (selectivity f, a single t-lockable range).
+///  - Update transactions: l random victims get a fresh v (keys unchanged).
+///  - Queries: a random view-key range spanning a fraction f_v of the view
+///    (Models 1 and 2); a state read (Model 3).
+///
+/// An in-memory oracle mirrors v per key so update transactions can name
+/// old tuple values without touching the measured database, and so tests
+/// can verify query answers independently.
+class Scenario {
+ public:
+  /// Field indices in R/R1's schema.
+  static constexpr size_t kFieldK1 = 0;
+  static constexpr size_t kFieldK2 = 1;
+  static constexpr size_t kFieldV = 2;
+  static constexpr size_t kFieldPad = 3;
+
+  Scenario(const costmodel::Params& params, uint64_t seed);
+
+  /// The schema of R / R1 sized so records are exactly S bytes.
+  db::Schema BaseSchema() const;
+  /// The schema of R2 (also S bytes).
+  db::Schema R2Schema() const;
+
+  /// Creates and loads R/R1 into the catalog with the given access method.
+  StatusOr<db::Relation*> LoadBase(db::Catalog* catalog,
+                                   const std::string& name,
+                                   db::AccessMethod method);
+  /// Creates and loads R2 (clustered hash on its key).
+  StatusOr<db::Relation*> LoadR2(db::Catalog* catalog,
+                                 const std::string& name);
+
+  /// The view predicate k1 < f*N over the base schema.
+  db::PredicateRef ViewPredicate() const;
+
+  /// Number of base tuples satisfying the predicate (= |view|).
+  int64_t ViewTupleCount() const { return f_cut_; }
+
+  /// The current tuple for a key, per the oracle.
+  db::Tuple BaseTuple(int64_t key) const;
+  db::Tuple R2Tuple(int64_t key) const;
+
+  /// One update transaction: l random victims, each getting a fresh v.
+  /// Mutates the oracle so subsequent transactions see the new values.
+  db::Transaction NextUpdateTransaction(db::Relation* rel);
+
+  /// A random query range covering a fraction f_v of the view's keyspace.
+  struct QueryRange {
+    int64_t lo;
+    int64_t hi;
+  };
+  QueryRange NextQueryRange();
+
+  /// The deterministic interleaving of k update transactions and q queries
+  /// (spread evenly, matching the model's averages).
+  enum class OpKind { kUpdate, kQuery };
+  std::vector<OpKind> OpSequence() const;
+
+  const costmodel::Params& params() const { return params_; }
+  int64_t n() const { return n_; }
+  int64_t r2_count() const { return r2_count_; }
+
+ private:
+  costmodel::Params params_;
+  Random rng_;
+  int64_t n_;        ///< tuples in R/R1
+  int64_t r2_count_; ///< tuples in R2
+  int64_t f_cut_;    ///< predicate boundary: keys < f_cut_ are in the view
+  uint32_t pad_width_;
+  std::vector<int64_t> k2_by_key_;  ///< R1.k2 oracle
+  std::vector<double> v_by_key_;    ///< R1.v oracle
+  std::vector<double> w_by_key_;    ///< R2.w oracle
+};
+
+}  // namespace viewmat::workload
+
+#endif  // VIEWMAT_WORKLOAD_WORKLOAD_H_

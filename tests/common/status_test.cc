@@ -1,0 +1,131 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace viewmat {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::NotFound("x"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("too big");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOr, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(bool fail, bool* reached_end) {
+  VIEWMAT_RETURN_IF_ERROR(FailsWhen(fail));
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  bool reached = false;
+  EXPECT_EQ(UsesReturnIfError(true, &reached).code(), StatusCode::kInternal);
+  EXPECT_FALSE(reached);
+  EXPECT_TRUE(UsesReturnIfError(false, &reached).ok());
+  EXPECT_TRUE(reached);
+}
+
+StatusOr<int> MaybeValue(bool fail) {
+  if (fail) return Status::NotFound("no value");
+  return 9;
+}
+
+Status UsesAssignOrReturn(bool fail, int* out) {
+  VIEWMAT_ASSIGN_OR_RETURN(*out, MaybeValue(fail));
+  return Status::OK();
+}
+
+TEST(Macros, AssignOrReturnPropagatesOrAssigns) {
+  int out = 0;
+  EXPECT_EQ(UsesAssignOrReturn(true, &out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(UsesAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 9);
+}
+
+TEST(RandomTest, DeterministicAndBounded) {
+  Random a(5);
+  Random b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Random r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random r(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace viewmat

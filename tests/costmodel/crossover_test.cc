@@ -1,0 +1,74 @@
+#include "costmodel/crossover.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/model3.h"
+
+namespace viewmat::costmodel {
+namespace {
+
+TEST(EqualCostP, FindsKnownCrossing) {
+  // cost_a = P (via k/q = P/(1-P) shaped into linear form below), but use
+  // simple synthetic functions of P to validate the bisection itself.
+  auto f = [](const Params& at) { return at.P(); };
+  auto g = [](const Params&) { return 0.25; };
+  auto cross = EqualCostP(f, g, Params(), 0.0, 0.999);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_NEAR(*cross, 0.25, 1e-6);
+}
+
+TEST(EqualCostP, ReturnsNulloptWhenOneDominates) {
+  auto f = [](const Params& at) { return at.P() + 10.0; };
+  auto g = [](const Params&) { return 0.5; };
+  EXPECT_FALSE(EqualCostP(f, g, Params()).has_value());
+}
+
+TEST(EqualCostP, EndpointExactHit) {
+  auto f = [](const Params& at) { return at.P(); };
+  auto g = [](const Params&) { return 0.0; };
+  auto cross = EqualCostP(f, g, Params(), 0.0, 0.9);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_DOUBLE_EQ(*cross, 0.0);
+}
+
+TEST(Model3EqualCostP, CurveIsHighAndDecreasingInL) {
+  // Figure 9: recomputation only wins at extreme P; the equal-cost P falls
+  // as l grows (more update work per transaction).
+  const Params base;
+  auto p_at_1 = Model3EqualCostP(base, 1.0);
+  auto p_at_100 = Model3EqualCostP(base, 100.0);
+  auto p_at_1000 = Model3EqualCostP(base, 1000.0);
+  ASSERT_TRUE(p_at_1.has_value());
+  ASSERT_TRUE(p_at_100.has_value());
+  ASSERT_TRUE(p_at_1000.has_value());
+  EXPECT_GT(*p_at_1, 0.99);
+  EXPECT_GT(*p_at_1, *p_at_100);
+  EXPECT_GT(*p_at_100, *p_at_1000);
+}
+
+TEST(Model3EqualCostP, LargerFRaisesTheCurve) {
+  // Figure 9 draws one curve per f: larger aggregated fractions keep
+  // maintenance attractive to even higher P.
+  Params small;
+  small.f = 0.01;
+  Params large;
+  large.f = 0.5;
+  auto p_small = Model3EqualCostP(small, 50.0);
+  auto p_large = Model3EqualCostP(large, 50.0);
+  ASSERT_TRUE(p_small.has_value());
+  ASSERT_TRUE(p_large.has_value());
+  EXPECT_GT(*p_large, *p_small);
+}
+
+TEST(Model3EqualCostP, AtCurveCostsActuallyEqual) {
+  const Params base;
+  auto cross = Model3EqualCostP(base, 25.0);
+  ASSERT_TRUE(cross.has_value());
+  Params at = base;
+  at.l = 25.0;
+  at = at.WithUpdateProbability(*cross);
+  EXPECT_NEAR(TotalImmediate3(at) / TotalRecompute3(at), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace viewmat::costmodel

@@ -1,0 +1,170 @@
+#include "costmodel/model1.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/yao.h"
+
+namespace viewmat::costmodel {
+namespace {
+
+// Hand-computed values at the paper's default parameters (P = 0.5):
+//   H_vi = ceil(log_200 10000) = 2
+//   C_query1 = 30*(0.1*0.1*2500/2) + 30*2 + 1*(0.1*0.1*100000)
+//            = 375 + 60 + 1000 = 1435
+//   C_screen = 1 * 0.1 * 25 = 2.5
+//   C_ADread = 30 * 50/40 = 37.5
+//   C_AD     = 30 * 1 * y(50, 1.25, 25) = 30 * 1.25 = 37.5
+//   X1 = X2  = y(10000, 125, 5)
+//   TOTAL_clustered  = 30*2500*0.01 + 100000*0.01 = 1750
+//   TOTAL_sequential = 30*2500 + 100000 = 175000
+
+TEST(Model1, ViewIndexHeightAtDefaults) {
+  EXPECT_DOUBLE_EQ(ViewIndexHeight1(Params()), 2.0);
+}
+
+TEST(Model1, ViewIndexHeightGrowsWithView) {
+  Params p;
+  p.f = 1.0;  // 100000-entry index needs 3 levels at fanout 200
+  EXPECT_DOUBLE_EQ(ViewIndexHeight1(p), 3.0);
+}
+
+TEST(Model1, QueryCostAtDefaults) {
+  EXPECT_NEAR(CQuery1(Params()), 1435.0, 1e-9);
+}
+
+TEST(Model1, ScreenCostAtDefaults) {
+  EXPECT_NEAR(CScreen(Params()), 2.5, 1e-9);
+}
+
+TEST(Model1, AdCostsAtDefaults) {
+  const Params p;
+  EXPECT_NEAR(CAdRead(p), 37.5, 1e-9);
+  // y(50, 1.25, 25) saturates at the 1.25-page file size.
+  EXPECT_NEAR(CAd(p), 30.0 * 1.25, 1e-6);
+}
+
+TEST(Model1, RefreshCostsMatchYaoTerms) {
+  const Params p;
+  const double x = Yao(10000, 125, 5);
+  EXPECT_NEAR(CDefRefresh1(p), 30.0 * 5.0 * x, 1e-9);
+  EXPECT_NEAR(CImmRefresh1(p), 30.0 * 5.0 * x, 1e-9);  // k/q = 1, l = u
+}
+
+TEST(Model1, OverheadAtDefaults) {
+  EXPECT_NEAR(COverhead(Params()), 5.0, 1e-9);  // C3*2*f*l*(k/q)
+}
+
+TEST(Model1, QueryModificationTotals) {
+  const Params p;
+  EXPECT_NEAR(TotalClustered(p), 1750.0, 1e-9);
+  EXPECT_NEAR(TotalSequential(p), 175000.0, 1e-9);
+  const double expected_unclustered = 30.0 * Yao(100000, 2500, 1000) + 1000.0;
+  EXPECT_NEAR(TotalUnclustered(p), expected_unclustered, 1e-9);
+  EXPECT_GT(TotalUnclustered(p), 5.0 * TotalClustered(p));
+}
+
+TEST(Model1, TotalsAreSumsOfComponents) {
+  const Params p;
+  EXPECT_NEAR(TotalDeferred1(p),
+              CAd(p) + CAdRead(p) + CQuery1(p) + CDefRefresh1(p) + CScreen(p),
+              1e-9);
+  EXPECT_NEAR(TotalImmediate1(p),
+              CQuery1(p) + CImmRefresh1(p) + CScreen(p) + COverhead(p), 1e-9);
+}
+
+// --- Qualitative properties the paper reports (§3.3) ----------------------
+
+TEST(Model1, ClusteredBeatsMaterializationAtDefaults) {
+  // Figure 1: "query modification using a clustered access path has
+  // performance equal or superior to deferred and immediate."
+  const Params p;
+  EXPECT_LT(TotalClustered(p), TotalDeferred1(p));
+  EXPECT_LT(TotalClustered(p), TotalImmediate1(p));
+}
+
+TEST(Model1, DeferredAndImmediateNearlyEqualAtDefaults) {
+  const Params p;
+  const double d = TotalDeferred1(p);
+  const double i = TotalImmediate1(p);
+  EXPECT_NEAR(d / i, 1.0, 0.06);
+}
+
+TEST(Model1, MaterializationConvergesToQueryCostAtLowP) {
+  // As P -> 0 both maintenance strategies degenerate to just reading the
+  // stored view, which beats reading the base relation (half the pages).
+  const Params p = Params().WithUpdateProbability(0.0);
+  EXPECT_NEAR(TotalDeferred1(p), CQuery1(p), 1e-6);
+  EXPECT_NEAR(TotalImmediate1(p), CQuery1(p), 1e-6);
+  EXPECT_LT(TotalDeferred1(p), TotalClustered(p));
+}
+
+TEST(Model1, HighPFavorsQueryModification) {
+  const Params p = Params().WithUpdateProbability(0.95);
+  EXPECT_LT(TotalClustered(p), TotalDeferred1(p));
+  EXPECT_LT(TotalClustered(p), TotalImmediate1(p));
+}
+
+TEST(Model1, ImmediateSlightlyBetterAtLowPositiveP) {
+  // §4: "if P is low, immediate view maintenance has a slight advantage."
+  const Params p = Params().WithUpdateProbability(0.2);
+  EXPECT_LT(TotalImmediate1(p), TotalDeferred1(p));
+}
+
+TEST(Model1, LargerC3PenalizesImmediateOnly) {
+  Params p;
+  const double imm_before = TotalImmediate1(p);
+  const double def_before = TotalDeferred1(p);
+  p.C3 = 2.0;
+  EXPECT_GT(TotalImmediate1(p), imm_before);
+  EXPECT_DOUBLE_EQ(TotalDeferred1(p), def_before);
+}
+
+TEST(Model1, SmallFvFavorsQueryModification) {
+  // §3.3: lowering f_v favors QM because maintenance overhead is
+  // independent of f_v while query cost shrinks.
+  Params p = Params().WithUpdateProbability(0.3);
+  p.f_v = 0.01;
+  EXPECT_LT(TotalClustered(p), TotalDeferred1(p));
+  EXPECT_LT(TotalClustered(p), TotalImmediate1(p));
+}
+
+TEST(Model1, CostsScaleWithC2) {
+  Params p;
+  const double base = TotalDeferred1(p);
+  p.C2 = 60;
+  EXPECT_GT(TotalDeferred1(p), 1.5 * base);
+}
+
+TEST(Model1, DispatchMatchesDirectCalls) {
+  const Params p;
+  EXPECT_DOUBLE_EQ(*Model1Cost(Strategy::kDeferred, p), TotalDeferred1(p));
+  EXPECT_DOUBLE_EQ(*Model1Cost(Strategy::kImmediate, p), TotalImmediate1(p));
+  EXPECT_DOUBLE_EQ(*Model1Cost(Strategy::kQmClustered, p), TotalClustered(p));
+  EXPECT_DOUBLE_EQ(*Model1Cost(Strategy::kQmUnclustered, p),
+                   TotalUnclustered(p));
+  EXPECT_DOUBLE_EQ(*Model1Cost(Strategy::kQmSequential, p),
+                   TotalSequential(p));
+  EXPECT_FALSE(Model1Cost(Strategy::kQmLoopJoin, p).ok());
+  EXPECT_FALSE(Model1Cost(Strategy::kQmRecompute, p).ok());
+}
+
+// --- Parameterized: deferred/immediate near-equality holds across P -------
+
+class Model1NearEqualTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Model1NearEqualTest, DeferredTracksImmediateWithinFactor) {
+  // §3.3: "deferred and immediate view maintenance have almost identical
+  // cost" across the P sweep of Figure 1.
+  const Params p = Params().WithUpdateProbability(GetParam());
+  const double d = TotalDeferred1(p);
+  const double i = TotalImmediate1(p);
+  EXPECT_LT(std::max(d, i) / std::min(d, i), 1.35)
+      << "P=" << GetParam() << " deferred=" << d << " immediate=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, Model1NearEqualTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                           0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace viewmat::costmodel

@@ -1,0 +1,132 @@
+#include "costmodel/model2.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/crossover.h"
+#include "costmodel/model1.h"
+#include "costmodel/yao.h"
+
+namespace viewmat::costmodel {
+namespace {
+
+// Hand-computed values at the defaults (P = 0.5):
+//   C_query2 = 30*2 + 30*(0.1*0.1*2500) + 1*(0.1*0.1*100000)
+//            = 60 + 750 + 1000 = 1810
+//   X3 = X4 = X5 = X6 = y(10000, 250, 5)
+//   C_def-refresh2 = 30*X3 + 2*25 + 30*5*X4
+//   TOT_loop = 30*ceil(log_200 1e5) + 30*25 + 30*y(10000,250,1000) + 2000
+
+TEST(Model2, QueryCostAtDefaults) {
+  EXPECT_NEAR(CQuery2(Params()), 1810.0, 1e-9);
+}
+
+TEST(Model2, RefreshCostsMatchYaoTerms) {
+  const Params p;
+  const double x = Yao(10000, 250, 5);
+  EXPECT_NEAR(CDefRefresh2(p), 30.0 * x + 50.0 + 150.0 * x, 1e-9);
+  EXPECT_NEAR(CImmRefresh2(p), 30.0 * x + 50.0 + 150.0 * x, 1e-9);
+}
+
+TEST(Model2, LoopJoinAtDefaults) {
+  const Params p;
+  const double expected = 30.0 * 3.0 + 750.0 + 30.0 * Yao(10000, 250, 1000) +
+                          2000.0;
+  EXPECT_NEAR(TotalLoopJoin(p), expected, 1e-9);
+}
+
+TEST(Model2, TotalsAreSumsOfComponents) {
+  const Params p;
+  EXPECT_NEAR(TotalDeferred2(p),
+              CAd(p) + CAdRead(p) + CDefRefresh2(p) + CQuery2(p) + CScreen(p),
+              1e-9);
+  EXPECT_NEAR(TotalImmediate2(p),
+              CImmRefresh2(p) + CQuery2(p) + COverhead(p) + CScreen(p), 1e-9);
+}
+
+// --- Qualitative claims of §3.5 -------------------------------------------
+
+TEST(Model2, MaterializationBeatsLoopJoinAtDefaults) {
+  // "When the view joins data from more than one relation, incremental view
+  // maintenance algorithms perform better relative to query modification."
+  const Params p;
+  EXPECT_LT(TotalDeferred2(p), TotalLoopJoin(p));
+  EXPECT_LT(TotalImmediate2(p), TotalLoopJoin(p));
+}
+
+TEST(Model2, LoopJoinWinsAtVeryHighP) {
+  const Params p = Params().WithUpdateProbability(0.99);
+  EXPECT_LT(TotalLoopJoin(p), TotalDeferred2(p));
+  EXPECT_LT(TotalLoopJoin(p), TotalImmediate2(p));
+}
+
+TEST(Model2, CrossoverExistsBetweenMaterializationAndLoopJoin) {
+  auto cross = EqualCostP(
+      [](const Params& at) { return TotalImmediate2(at); },
+      [](const Params& at) { return TotalLoopJoin(at); }, Params());
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_GT(*cross, 0.5);
+  EXPECT_LT(*cross, 1.0);
+}
+
+TEST(Model2, EmpDeptCaseQueryModificationWinsFromLowP) {
+  // §3.5: EMP-DEPT with f=1, l=1, f_v = 1/N — "query modification is
+  // superior to deferred and immediate for all values of P >= .08".
+  Params p;
+  p.f = 1.0;
+  p.l = 1.0;
+  p.f_v = 1.0 / p.N;
+  for (const double P : {0.08, 0.2, 0.5, 0.9}) {
+    const Params at = p.WithUpdateProbability(P);
+    EXPECT_LT(TotalLoopJoin(at), TotalDeferred2(at)) << "P=" << P;
+    EXPECT_LT(TotalLoopJoin(at), TotalImmediate2(at)) << "P=" << P;
+  }
+  // And materialization still wins at sufficiently low P.
+  const Params low = p.WithUpdateProbability(0.005);
+  EXPECT_LT(TotalImmediate2(low), TotalLoopJoin(low));
+}
+
+TEST(Model2, EmpDeptCrossoverNearPointZeroEight) {
+  Params p;
+  p.f = 1.0;
+  p.l = 1.0;
+  p.f_v = 1.0 / p.N;
+  auto cross = EqualCostP(
+      [](const Params& at) { return TotalImmediate2(at); },
+      [](const Params& at) { return TotalLoopJoin(at); }, p, 0.0, 0.5);
+  ASSERT_TRUE(cross.has_value());
+  // The paper reports .08; allow modeling slack around it.
+  EXPECT_GT(*cross, 0.01);
+  EXPECT_LT(*cross, 0.2);
+}
+
+TEST(Model2, SmallFvFavorsLoopJoin) {
+  Params p = Params().WithUpdateProbability(0.4);
+  p.f_v = 0.001;
+  EXPECT_LT(TotalLoopJoin(p), TotalDeferred2(p));
+  EXPECT_LT(TotalLoopJoin(p), TotalImmediate2(p));
+}
+
+TEST(Model2, DispatchMatchesDirectCalls) {
+  const Params p;
+  EXPECT_DOUBLE_EQ(*Model2Cost(Strategy::kDeferred, p), TotalDeferred2(p));
+  EXPECT_DOUBLE_EQ(*Model2Cost(Strategy::kImmediate, p), TotalImmediate2(p));
+  EXPECT_DOUBLE_EQ(*Model2Cost(Strategy::kQmLoopJoin, p), TotalLoopJoin(p));
+  EXPECT_FALSE(Model2Cost(Strategy::kQmClustered, p).ok());
+  EXPECT_FALSE(Model2Cost(Strategy::kQmRecompute, p).ok());
+}
+
+class Model2NearEqualTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Model2NearEqualTest, DeferredTracksImmediate) {
+  const Params p = Params().WithUpdateProbability(GetParam());
+  const double d = TotalDeferred2(p);
+  const double i = TotalImmediate2(p);
+  EXPECT_LT(std::max(d, i) / std::min(d, i), 1.25)
+      << "P=" << GetParam() << " deferred=" << d << " immediate=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, Model2NearEqualTest,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace viewmat::costmodel

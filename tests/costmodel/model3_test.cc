@@ -1,0 +1,106 @@
+#include "costmodel/model3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costmodel/model1.h"
+
+namespace viewmat::costmodel {
+namespace {
+
+TEST(Model3, QueryIsOneRead) {
+  EXPECT_DOUBLE_EQ(CQuery3(Params()), 30.0);
+}
+
+TEST(Model3, RefreshProbabilitiesAtDefaults) {
+  const Params p;  // f = .1, u = 25, l = 25, k/q = 1
+  const double prob = 1.0 - std::pow(0.9, 50.0);
+  EXPECT_NEAR(CDefRefresh3(p), 30.0 * prob, 1e-9);
+  EXPECT_NEAR(CImmRefresh3(p), 30.0 * prob, 1e-9);
+}
+
+TEST(Model3, RecomputeUsesFullScanOfSelection) {
+  // aggregate_scan_fraction defaults to 1: recomputation reads the whole
+  // f-selection regardless of f_v.
+  const Params p;
+  EXPECT_NEAR(TotalRecompute3(p), 30.0 * 250.0 + 10000.0, 1e-9);
+  Params half = p;
+  half.aggregate_scan_fraction = 0.5;
+  EXPECT_NEAR(TotalRecompute3(half), 0.5 * TotalRecompute3(p), 1e-9);
+}
+
+TEST(Model3, TotalsAreSumsOfComponents) {
+  const Params p;
+  EXPECT_NEAR(TotalDeferred3(p),
+              CAd(p) + CAdRead(p) + CQuery3(p) + CDefRefresh3(p) + CScreen(p),
+              1e-9);
+  EXPECT_NEAR(TotalImmediate3(p), CQuery3(p) + CImmRefresh3(p) + CScreen(p),
+              1e-9);
+}
+
+// --- §3.7 claims ------------------------------------------------------------
+
+TEST(Model3, MaintainingCostsSmallFractionOfRecompute) {
+  // Figure 8's headline: for small l, maintenance costs only a small
+  // percentage of computing from scratch.
+  for (const double l : {1.0, 5.0, 25.0, 100.0}) {
+    Params p;
+    p.l = l;
+    EXPECT_LT(TotalImmediate3(p), 0.05 * TotalRecompute3(p)) << "l=" << l;
+    EXPECT_LT(TotalDeferred3(p), 0.15 * TotalRecompute3(p)) << "l=" << l;
+  }
+}
+
+TEST(Model3, RefreshProbabilitySaturatesWithL) {
+  Params small;
+  small.l = 1;
+  Params large;
+  large.l = 1000;
+  EXPECT_LT(CImmRefresh3(small), CImmRefresh3(large));
+  EXPECT_NEAR(CImmRefresh3(large), 30.0, 1e-6);  // probability ~ 1
+}
+
+TEST(Model3, LargerFMakesMaintenanceMoreAttractive) {
+  // §3.7: "maintaining materialized aggregates is most attractive when the
+  // fraction of the relation being aggregated (f) is largest" — the
+  // recompute cost grows linearly in f while maintenance saturates.
+  Params lo;
+  lo.f = 0.01;
+  Params hi;
+  hi.f = 0.5;
+  const double ratio_lo = TotalRecompute3(lo) / TotalImmediate3(lo);
+  const double ratio_hi = TotalRecompute3(hi) / TotalImmediate3(hi);
+  EXPECT_GT(ratio_hi, ratio_lo);
+}
+
+TEST(Model3, DeferredAndImmediateBothTiny) {
+  const Params p;
+  EXPECT_LT(TotalImmediate3(p), 100.0);
+  EXPECT_LT(TotalDeferred3(p), 200.0);
+  EXPECT_GT(TotalRecompute3(p), 10000.0);
+}
+
+TEST(Model3, DispatchMatchesDirectCalls) {
+  const Params p;
+  EXPECT_DOUBLE_EQ(*Model3Cost(Strategy::kDeferred, p), TotalDeferred3(p));
+  EXPECT_DOUBLE_EQ(*Model3Cost(Strategy::kImmediate, p), TotalImmediate3(p));
+  EXPECT_DOUBLE_EQ(*Model3Cost(Strategy::kQmRecompute, p),
+                   TotalRecompute3(p));
+  EXPECT_FALSE(Model3Cost(Strategy::kQmLoopJoin, p).ok());
+}
+
+class Model3SweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Model3SweepTest, ImmediateBeatsRecomputeExceptExtremeP) {
+  // Figure 9: the equal-cost curves sit at very high P — for any ordinary
+  // update probability, maintenance wins.
+  Params p = Params().WithUpdateProbability(GetParam());
+  EXPECT_LT(TotalImmediate3(p), TotalRecompute3(p)) << "P=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, Model3SweepTest,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.8, 0.9));
+
+}  // namespace
+}  // namespace viewmat::costmodel

@@ -1,0 +1,87 @@
+#include "costmodel/params.h"
+
+#include <gtest/gtest.h>
+
+namespace viewmat::costmodel {
+namespace {
+
+TEST(Params, PaperDefaults) {
+  const Params p;
+  EXPECT_DOUBLE_EQ(p.N, 100000);
+  EXPECT_DOUBLE_EQ(p.S, 100);
+  EXPECT_DOUBLE_EQ(p.B, 4000);
+  EXPECT_DOUBLE_EQ(p.k, 100);
+  EXPECT_DOUBLE_EQ(p.l, 25);
+  EXPECT_DOUBLE_EQ(p.q, 100);
+  EXPECT_DOUBLE_EQ(p.n, 20);
+  EXPECT_DOUBLE_EQ(p.f, 0.1);
+  EXPECT_DOUBLE_EQ(p.f_v, 0.1);
+  EXPECT_DOUBLE_EQ(p.f_R2, 0.1);
+  EXPECT_DOUBLE_EQ(p.C1, 1);
+  EXPECT_DOUBLE_EQ(p.C2, 30);
+  EXPECT_DOUBLE_EQ(p.C3, 1);
+}
+
+TEST(Params, DerivedQuantities) {
+  const Params p;
+  EXPECT_DOUBLE_EQ(p.b(), 2500);   // N*S/B
+  EXPECT_DOUBLE_EQ(p.T(), 40);     // B/S
+  EXPECT_DOUBLE_EQ(p.u(), 25);     // k*l/q
+  EXPECT_DOUBLE_EQ(p.P(), 0.5);    // k/(k+q)
+}
+
+TEST(Params, WithUpdateProbabilityRoundTrips) {
+  const Params p;
+  for (const double target : {0.0, 0.1, 0.25, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(p.WithUpdateProbability(target).P(), target, 1e-12);
+  }
+}
+
+TEST(Params, WithUpdateProbabilityHoldsQFixed) {
+  const Params p;
+  const Params at = p.WithUpdateProbability(0.8);
+  EXPECT_DOUBLE_EQ(at.q, p.q);
+  EXPECT_NEAR(at.k, 400.0, 1e-9);  // 0.8/(0.2) * 100
+  EXPECT_NEAR(at.u(), 100.0, 1e-9);
+}
+
+TEST(Params, WithUpdateProbabilityClampsNearOne) {
+  const Params at = Params().WithUpdateProbability(1.0);
+  EXPECT_LT(at.P(), 1.0);
+  EXPECT_GT(at.k, 1e5);
+}
+
+TEST(Params, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(Params().Validate().ok());
+}
+
+TEST(Params, ValidateRejectsBadValues) {
+  Params p;
+  p.N = -5;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p = Params();
+  p.f = 1.5;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p = Params();
+  p.B = 50;  // smaller than a tuple
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p = Params();
+  p.n = 3000;  // fanout below 2
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p = Params();
+  p.C2 = -1;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p = Params();
+  p.q = 0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Params, ToStringMentionsKeyFields) {
+  const std::string s = Params().ToString();
+  EXPECT_NE(s.find("100000"), std::string::npos);
+  EXPECT_NE(s.find("2500"), std::string::npos);  // b
+  EXPECT_NE(s.find("0.5"), std::string::npos);   // P
+}
+
+}  // namespace
+}  // namespace viewmat::costmodel

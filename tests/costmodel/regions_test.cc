@@ -1,0 +1,179 @@
+#include "costmodel/regions.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/model1.h"
+#include "costmodel/model2.h"
+
+namespace viewmat::costmodel {
+namespace {
+
+double Model1CostOrInf(Strategy s, const Params& p) {
+  auto c = Model1Cost(s, p);
+  return c.ok() ? *c : 1e300;
+}
+
+double Model2CostOrInf(Strategy s, const Params& p) {
+  auto c = Model2Cost(s, p);
+  return c.ok() ? *c : 1e300;
+}
+
+const std::vector<Strategy> kModel1Candidates = {
+    Strategy::kDeferred, Strategy::kImmediate, Strategy::kQmClustered,
+    Strategy::kQmUnclustered, Strategy::kQmSequential};
+
+const std::vector<Strategy> kModel2Candidates = {
+    Strategy::kDeferred, Strategy::kImmediate, Strategy::kQmLoopJoin};
+
+TEST(Axis, LinearSampling) {
+  const Axis a{0.0, 1.0, 5, false};
+  EXPECT_DOUBLE_EQ(a.At(0), 0.0);
+  EXPECT_DOUBLE_EQ(a.At(2), 0.5);
+  EXPECT_DOUBLE_EQ(a.At(4), 1.0);
+}
+
+TEST(Axis, LogSampling) {
+  const Axis a{0.001, 1.0, 4, true};
+  EXPECT_DOUBLE_EQ(a.At(0), 0.001);
+  EXPECT_NEAR(a.At(1), 0.01, 1e-12);
+  EXPECT_NEAR(a.At(2), 0.1, 1e-12);
+  EXPECT_NEAR(a.At(3), 1.0, 1e-12);
+}
+
+TEST(Axis, SinglePointAxis) {
+  const Axis a{0.3, 0.9, 1, false};
+  EXPECT_DOUBLE_EQ(a.At(0), 0.3);
+}
+
+TEST(Winner, PicksCheapest) {
+  const Params p;  // clustered wins at defaults (Model 1 test pins this)
+  EXPECT_EQ(Winner(Model1CostOrInf, kModel1Candidates, p),
+            Strategy::kQmClustered);
+}
+
+TEST(Regions, GridShapeAndCoverage) {
+  const Axis f_axis{0.01, 0.5, 6, true};
+  const Axis p_axis{0.02, 0.9, 8, false};
+  const RegionGrid grid =
+      ComputeRegions(Model1CostOrInf, kModel1Candidates, Params(), f_axis,
+                     p_axis);
+  EXPECT_EQ(grid.winners.size(), 48u);
+  double total_share = 0.0;
+  for (const Strategy s : kModel1Candidates) total_share += grid.WinShare(s);
+  EXPECT_NEAR(total_share, 1.0, 1e-12);
+}
+
+TEST(Regions, Figure2DeferredNeverWinsAtDefaultC3) {
+  // §3.3: "deferred is never the most efficient algorithm under these
+  // parameter settings" (C3 = 1, f_v = .1).
+  const Axis f_axis{0.005, 1.0, 24, true};
+  const Axis p_axis{0.01, 0.97, 24, false};
+  const RegionGrid grid =
+      ComputeRegions(Model1CostOrInf, kModel1Candidates, Params(), f_axis,
+                     p_axis);
+  EXPECT_DOUBLE_EQ(grid.WinShare(Strategy::kDeferred), 0.0);
+  EXPECT_GT(grid.WinShare(Strategy::kImmediate), 0.0);
+  EXPECT_GT(grid.WinShare(Strategy::kQmClustered), 0.0);
+}
+
+TEST(Regions, Figure4DeferredRegionAppearsAsC3Grows) {
+  // §3.3 / Figure 4: raising C3 makes deferred best in part of the plane —
+  // the methods are "very sensitive" to A/D set upkeep cost. The paper
+  // reports a region already at C3 = 2; under the Cardenas form of the Yao
+  // function deferred is within 0.01% of winning there and crosses at
+  // C3 ≈ 4 (recorded as a deviation in EXPERIMENTS.md). The robust claim —
+  // the deferred region appears and grows monotonically with C3 — is what
+  // this test pins.
+  const Axis f_axis{0.005, 1.0, 32, true};
+  const Axis p_axis{0.01, 0.97, 32, false};
+  double prev_share = -1.0;
+  for (const double c3 : {1.0, 2.0, 4.0, 8.0}) {
+    Params p;
+    p.C3 = c3;
+    const RegionGrid grid =
+        ComputeRegions(Model1CostOrInf, kModel1Candidates, p, f_axis, p_axis);
+    const double share = grid.WinShare(Strategy::kDeferred);
+    EXPECT_GE(share, prev_share) << "C3=" << c3;
+    prev_share = share;
+  }
+  // By C3 = 8 the region is unambiguous.
+  Params p;
+  p.C3 = 8.0;
+  const RegionGrid grid =
+      ComputeRegions(Model1CostOrInf, kModel1Candidates, p, f_axis, p_axis);
+  EXPECT_GT(grid.WinShare(Strategy::kDeferred), 0.0);
+}
+
+TEST(Regions, HigherC3ShrinksImmediateAdvantageOverDeferred) {
+  // The mechanism behind Figure 4, tested pointwise: at any (f, P) the
+  // deferred-minus-immediate difference falls as C3 rises.
+  for (const double f : {0.05, 0.3, 0.95}) {
+    for (const double P : {0.2, 0.5, 0.8}) {
+      Params p1 = Params().WithUpdateProbability(P);
+      p1.f = f;
+      Params p2 = p1;
+      p2.C3 = 2.0;
+      const double diff1 = TotalDeferred1(p1) - TotalImmediate1(p1);
+      const double diff2 = TotalDeferred1(p2) - TotalImmediate1(p2);
+      EXPECT_LT(diff2, diff1) << "f=" << f << " P=" << P;
+    }
+  }
+}
+
+TEST(Regions, Figure3ClusteredGrowsWhenFvShrinks) {
+  const Axis f_axis{0.005, 1.0, 20, true};
+  const Axis p_axis{0.01, 0.97, 20, false};
+  Params fv10;
+  fv10.f_v = 0.1;
+  Params fv01;
+  fv01.f_v = 0.01;
+  const double share_10 =
+      ComputeRegions(Model1CostOrInf, kModel1Candidates, fv10, f_axis, p_axis)
+          .WinShare(Strategy::kQmClustered);
+  const double share_01 =
+      ComputeRegions(Model1CostOrInf, kModel1Candidates, fv01, f_axis, p_axis)
+          .WinShare(Strategy::kQmClustered);
+  EXPECT_GT(share_01, share_10);
+}
+
+TEST(Regions, Figure6MaterializationDominatesJoinViewsAtModerateP) {
+  const Axis f_axis{0.005, 1.0, 20, true};
+  const Axis p_axis{0.01, 0.97, 20, false};
+  const RegionGrid grid = ComputeRegions(
+      Model2CostOrInf, kModel2Candidates, Params(), f_axis, p_axis);
+  // Materialization (deferred+immediate) wins a majority of the plane...
+  EXPECT_GT(grid.WinShare(Strategy::kDeferred) +
+                grid.WinShare(Strategy::kImmediate),
+            0.5);
+  // ...but loop-join still wins somewhere (high P).
+  EXPECT_GT(grid.WinShare(Strategy::kQmLoopJoin), 0.0);
+}
+
+TEST(Regions, Figure7LoopJoinGrowsWhenFvShrinks) {
+  const Axis f_axis{0.005, 1.0, 20, true};
+  const Axis p_axis{0.01, 0.97, 20, false};
+  Params fv01;
+  fv01.f_v = 0.01;
+  const double share_10 = ComputeRegions(Model2CostOrInf, kModel2Candidates,
+                                         Params(), f_axis, p_axis)
+                              .WinShare(Strategy::kQmLoopJoin);
+  const double share_01 = ComputeRegions(Model2CostOrInf, kModel2Candidates,
+                                         fv01, f_axis, p_axis)
+                              .WinShare(Strategy::kQmLoopJoin);
+  EXPECT_GT(share_01, share_10);
+}
+
+TEST(Regions, AsciiRenderingContainsLegendAndRows) {
+  const Axis f_axis{0.01, 0.5, 4, true};
+  const Axis p_axis{0.1, 0.9, 10, false};
+  const RegionGrid grid = ComputeRegions(
+      Model1CostOrInf, kModel1Candidates, Params(), f_axis, p_axis);
+  const std::string art = grid.ToAscii();
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+  EXPECT_NE(art.find("f="), std::string::npos);
+  // 4 f-rows, each with p_axis.count cells.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '|'), 4);
+}
+
+}  // namespace
+}  // namespace viewmat::costmodel

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/model1.h"
+#include "costmodel/yao.h"
+
+namespace viewmat::costmodel {
+namespace {
+
+TEST(YaoFor, DispatchesOnFlag) {
+  EXPECT_DOUBLE_EQ(YaoFor(false, 1000, 25, 100), Yao(1000, 25, 100));
+  EXPECT_DOUBLE_EQ(YaoFor(true, 1000, 25, 100), YaoExact(1000, 25, 100));
+}
+
+TEST(YaoFor, ExactRoundsFractionalArguments) {
+  // 50 tuples on 1.25 pages: the exact form needs integers — rounds to
+  // one block.
+  EXPECT_DOUBLE_EQ(YaoFor(true, 50.0, 1.25, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(YaoFor(true, 50.4, 2.6, 10.2), YaoExact(50, 3, 10));
+}
+
+TEST(YaoFor, DegenerateInputsStillZero) {
+  EXPECT_DOUBLE_EQ(YaoFor(true, 0.0, 5.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(YaoFor(true, 5.0, 5.0, 0.0), 0.0);
+}
+
+TEST(Model1YaoVariant, TotalsShiftOnlySlightlyAtDefaults) {
+  // Appendix B: the approximation is very close when n/m > 10 — so the
+  // headline totals barely move under the exact form...
+  Params approx;
+  Params exact;
+  exact.use_exact_yao = true;
+  EXPECT_NEAR(TotalDeferred1(exact) / TotalDeferred1(approx), 1.0, 0.05);
+  EXPECT_NEAR(TotalImmediate1(exact) / TotalImmediate1(approx), 1.0, 0.05);
+}
+
+TEST(Model1YaoVariant, KnifeEdgeComparisonsCanFlip) {
+  // ...but knife-edge strategy comparisons can flip — the mechanism behind
+  // the Figure 4 threshold deviation documented in EXPERIMENTS.md. Verify
+  // that the deferred-vs-immediate gap genuinely moves between variants at
+  // the near-boundary point.
+  Params p = Params().WithUpdateProbability(0.283);
+  p.f = 0.957;
+  p.C3 = 2.0;
+  Params pe = p;
+  pe.use_exact_yao = true;
+  const double gap_approx = TotalDeferred1(p) - TotalImmediate1(p);
+  const double gap_exact = TotalDeferred1(pe) - TotalImmediate1(pe);
+  EXPECT_NE(gap_approx, gap_exact);
+  // Both gaps are tiny relative to the totals (< 1%) — the knife edge.
+  EXPECT_LT(std::abs(gap_approx), 0.01 * TotalDeferred1(p));
+}
+
+TEST(Model1YaoVariant, ExactVariantRespectsBounds) {
+  for (const double P : {0.1, 0.5, 0.9}) {
+    Params p = Params().WithUpdateProbability(P);
+    p.use_exact_yao = true;
+    EXPECT_GT(TotalDeferred1(p), 0.0);
+    EXPECT_GT(TotalImmediate1(p), 0.0);
+    EXPECT_LT(TotalDeferred1(p), TotalSequential(p) * 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace viewmat::costmodel

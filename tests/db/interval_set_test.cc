@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "db/predicate.h"
+
+namespace viewmat::db {
+namespace {
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+IntervalSet Of(int64_t lo, int64_t hi) {
+  return IntervalSet(Interval{lo, hi});
+}
+
+TEST(IntervalSet, EmptyAndAll) {
+  EXPECT_TRUE(IntervalSet::Empty().empty());
+  EXPECT_FALSE(IntervalSet::Empty().Contains(0));
+  EXPECT_TRUE(IntervalSet::All().IsAll());
+  EXPECT_TRUE(IntervalSet::All().Contains(kMin));
+  EXPECT_TRUE(IntervalSet::All().Contains(kMax));
+}
+
+TEST(IntervalSet, InvertedIntervalIsEmpty) {
+  EXPECT_TRUE(Of(5, 3).empty());
+}
+
+TEST(IntervalSet, UnionMergesOverlapsAndTouches) {
+  const IntervalSet u1 = IntervalSet::Union(Of(0, 10), Of(5, 20));
+  EXPECT_EQ(u1.size(), 1u);
+  EXPECT_TRUE(u1.Contains(15));
+  // Touching integers merge: [0,10] ∪ [11,20] = [0,20].
+  const IntervalSet u2 = IntervalSet::Union(Of(0, 10), Of(11, 20));
+  EXPECT_EQ(u2.size(), 1u);
+  // Disjoint stays disjoint.
+  const IntervalSet u3 = IntervalSet::Union(Of(0, 10), Of(50, 60));
+  EXPECT_EQ(u3.size(), 2u);
+  EXPECT_FALSE(u3.Contains(30));
+}
+
+TEST(IntervalSet, IntersectProducesGapsCorrectly) {
+  const IntervalSet a = IntervalSet::Union(Of(0, 10), Of(20, 30));
+  const IntervalSet b = Of(5, 25);
+  const IntervalSet i = IntervalSet::Intersect(a, b);
+  EXPECT_EQ(i.size(), 2u);
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(15));
+  EXPECT_TRUE(i.Contains(22));
+  EXPECT_FALSE(i.Contains(28));
+}
+
+TEST(IntervalSet, ComplementOfMiddleInterval) {
+  const IntervalSet c = IntervalSet::Complement(Of(10, 20));
+  EXPECT_TRUE(c.Contains(9));
+  EXPECT_FALSE(c.Contains(10));
+  EXPECT_FALSE(c.Contains(20));
+  EXPECT_TRUE(c.Contains(21));
+  EXPECT_TRUE(c.Contains(kMin));
+  EXPECT_TRUE(c.Contains(kMax));
+}
+
+TEST(IntervalSet, ComplementEdgesOfDomain) {
+  EXPECT_TRUE(IntervalSet::Complement(IntervalSet::All()).empty());
+  const IntervalSet c = IntervalSet::Complement(IntervalSet::Empty());
+  EXPECT_TRUE(c.Contains(0));
+  // Interval reaching kMax: complement stops below its lo.
+  const IntervalSet c2 =
+      IntervalSet::Complement(IntervalSet(Interval{5, std::nullopt}));
+  EXPECT_TRUE(c2.Contains(4));
+  EXPECT_FALSE(c2.Contains(5));
+}
+
+TEST(IntervalSet, DoubleComplementIsIdentityOnMembership) {
+  const IntervalSet a = IntervalSet::Union(Of(0, 10), Of(100, 200));
+  const IntervalSet cc = IntervalSet::Complement(IntervalSet::Complement(a));
+  for (const int64_t v : {-5, 0, 10, 11, 50, 100, 200, 201}) {
+    EXPECT_EQ(cc.Contains(v), a.Contains(v)) << v;
+  }
+}
+
+TEST(IntervalSet, HullSpansEnds) {
+  const IntervalSet a = IntervalSet::Union(Of(0, 10), Of(100, 200));
+  const Interval hull = a.Hull();
+  EXPECT_EQ(*hull.lo, 0);
+  EXPECT_EQ(*hull.hi, 200);
+}
+
+TEST(ImpliedRangeSet, NeIsExactComplement) {
+  auto p = Predicate::Compare(0, CompareOp::kNe, Value(int64_t{7}));
+  const IntervalSet s = p->ImpliedRangeSet(0);
+  EXPECT_FALSE(s.Contains(7));
+  EXPECT_TRUE(s.Contains(6));
+  EXPECT_TRUE(s.Contains(8));
+}
+
+TEST(ImpliedRangeSet, OrKeepsDisjointPieces) {
+  auto p = Predicate::Or(Predicate::Between(0, 0, 5),
+                         Predicate::Between(0, 100, 105));
+  const IntervalSet s = p->ImpliedRangeSet(0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.Contains(50));  // the hull-based ImpliedRange admits this
+  EXPECT_TRUE(p->ImpliedRange(0).Contains(50));
+}
+
+TEST(ImpliedRangeSet, NotOfSingleFieldIsExact) {
+  auto p = Predicate::Not(Predicate::Between(0, 10, 20));
+  const IntervalSet s = p->ImpliedRangeSet(0);
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(15));
+  EXPECT_TRUE(s.Contains(21));
+}
+
+TEST(ImpliedRangeSet, NotTouchingOtherFieldsStaysAll) {
+  auto p = Predicate::Not(
+      Predicate::And(Predicate::Between(0, 10, 20),
+                     Predicate::Compare(1, CompareOp::kEq,
+                                        Value(int64_t{5}))));
+  EXPECT_TRUE(p->ImpliedRangeSet(0).IsAll());
+}
+
+TEST(ImpliedRangeSet, BoundaryComparisonsAtDomainEdges) {
+  auto lt_min = Predicate::Compare(0, CompareOp::kLt, Value(kMin));
+  EXPECT_TRUE(lt_min->ImpliedRangeSet(0).empty());
+  auto gt_max = Predicate::Compare(0, CompareOp::kGt, Value(kMax));
+  EXPECT_TRUE(gt_max->ImpliedRangeSet(0).empty());
+}
+
+// ---- Randomized soundness + exactness fuzz --------------------------------
+
+PredicateRef RandomPredicate(Random* rng, int depth, size_t fields) {
+  const int kind = depth <= 0 ? 0 : static_cast<int>(rng->Uniform(4));
+  switch (kind) {
+    default:
+    case 0: {
+      const size_t field = rng->Uniform(fields);
+      const auto op = static_cast<CompareOp>(rng->Uniform(6));
+      return Predicate::Compare(field, op, Value(rng->UniformInt(-50, 50)));
+    }
+    case 1:
+      return Predicate::And(RandomPredicate(rng, depth - 1, fields),
+                            RandomPredicate(rng, depth - 1, fields));
+    case 2:
+      return Predicate::Or(RandomPredicate(rng, depth - 1, fields),
+                           RandomPredicate(rng, depth - 1, fields));
+    case 3:
+      return Predicate::Not(RandomPredicate(rng, depth - 1, fields));
+  }
+}
+
+TEST(ImpliedRangeSet, FuzzSoundnessOverTwoFields) {
+  // Soundness: any satisfying tuple's field value lies in the set.
+  Random rng(2027);
+  for (int trial = 0; trial < 300; ++trial) {
+    const PredicateRef p = RandomPredicate(&rng, 3, 2);
+    const IntervalSet s = p->ImpliedRangeSet(0);
+    for (int64_t v0 = -60; v0 <= 60; v0 += 3) {
+      for (int64_t v1 : {-20, 0, 20}) {
+        const Tuple t({Value(v0), Value(v1)});
+        if (p->Evaluate(t)) {
+          ASSERT_TRUE(s.Contains(v0))
+              << p->ToString() << " v0=" << v0 << " v1=" << v1;
+        }
+      }
+    }
+  }
+}
+
+TEST(ImpliedRangeSet, FuzzExactnessOnSingleFieldPredicates) {
+  // Exactness: when the predicate references only field 0, membership in
+  // the set is equivalent to satisfiability.
+  Random rng(2028);
+  for (int trial = 0; trial < 300; ++trial) {
+    const PredicateRef p = RandomPredicate(&rng, 3, 1);
+    const IntervalSet s = p->ImpliedRangeSet(0);
+    for (int64_t v = -60; v <= 60; ++v) {
+      const Tuple t({Value(v)});
+      ASSERT_EQ(s.Contains(v), p->Evaluate(t))
+          << p->ToString() << " v=" << v;
+    }
+  }
+}
+
+TEST(ImpliedRangeSet, FuzzSetAlgebraMatchesMembership) {
+  // Union/Intersect/Complement agree with pointwise boolean algebra.
+  Random rng(2029);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalSet a;
+    IntervalSet b;
+    for (int i = 0; i < 3; ++i) {
+      const int64_t lo1 = rng.UniformInt(-40, 40);
+      a = IntervalSet::Union(a, Of(lo1, lo1 + rng.UniformInt(0, 20)));
+      const int64_t lo2 = rng.UniformInt(-40, 40);
+      b = IntervalSet::Union(b, Of(lo2, lo2 + rng.UniformInt(0, 20)));
+    }
+    const IntervalSet u = IntervalSet::Union(a, b);
+    const IntervalSet i = IntervalSet::Intersect(a, b);
+    const IntervalSet c = IntervalSet::Complement(a);
+    for (int64_t v = -70; v <= 70; v += 2) {
+      ASSERT_EQ(u.Contains(v), a.Contains(v) || b.Contains(v)) << v;
+      ASSERT_EQ(i.Contains(v), a.Contains(v) && b.Contains(v)) << v;
+      ASSERT_EQ(c.Contains(v), !a.Contains(v)) << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewmat::db

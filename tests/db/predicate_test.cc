@@ -1,0 +1,146 @@
+#include "db/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace viewmat::db {
+namespace {
+
+Tuple Row(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+TEST(Interval, ContainsRespectsOptionalBounds) {
+  EXPECT_TRUE(Interval{}.Contains(-100));
+  EXPECT_TRUE((Interval{5, std::nullopt}.Contains(5)));
+  EXPECT_FALSE((Interval{5, std::nullopt}.Contains(4)));
+  EXPECT_TRUE((Interval{std::nullopt, 5}.Contains(5)));
+  EXPECT_FALSE((Interval{std::nullopt, 5}.Contains(6)));
+  EXPECT_TRUE((Interval{1, 3}.Contains(2)));
+}
+
+TEST(Interval, IntersectAndHull) {
+  const Interval a{0, 10};
+  const Interval b{5, 20};
+  const Interval i = Interval::Intersect(a, b);
+  EXPECT_EQ(*i.lo, 5);
+  EXPECT_EQ(*i.hi, 10);
+  const Interval h = Interval::Hull(a, b);
+  EXPECT_EQ(*h.lo, 0);
+  EXPECT_EQ(*h.hi, 20);
+  // Hull with an unbounded side stays unbounded.
+  const Interval hu = Interval::Hull(a, Interval{});
+  EXPECT_FALSE(hu.lo.has_value());
+  EXPECT_FALSE(hu.hi.has_value());
+}
+
+TEST(Predicate, TrueAcceptsEverything) {
+  EXPECT_TRUE(Predicate::True()->Evaluate(Row(1, 2)));
+}
+
+TEST(Predicate, AllCompareOps) {
+  const Tuple t = Row(5, 0);
+  auto check = [&](CompareOp op, int64_t rhs, bool want) {
+    EXPECT_EQ(Predicate::Compare(0, op, Value(rhs))->Evaluate(t), want)
+        << static_cast<int>(op) << " " << rhs;
+  };
+  check(CompareOp::kEq, 5, true);
+  check(CompareOp::kEq, 6, false);
+  check(CompareOp::kNe, 5, false);
+  check(CompareOp::kNe, 6, true);
+  check(CompareOp::kLt, 6, true);
+  check(CompareOp::kLt, 5, false);
+  check(CompareOp::kLe, 5, true);
+  check(CompareOp::kLe, 4, false);
+  check(CompareOp::kGt, 4, true);
+  check(CompareOp::kGt, 5, false);
+  check(CompareOp::kGe, 5, true);
+  check(CompareOp::kGe, 6, false);
+}
+
+TEST(Predicate, BooleanCombinators) {
+  auto lt10 = Predicate::Compare(0, CompareOp::kLt, Value(int64_t{10}));
+  auto ge5 = Predicate::Compare(0, CompareOp::kGe, Value(int64_t{5}));
+  auto both = Predicate::And(lt10, ge5);
+  EXPECT_TRUE(both->Evaluate(Row(7, 0)));
+  EXPECT_FALSE(both->Evaluate(Row(3, 0)));
+  EXPECT_FALSE(both->Evaluate(Row(12, 0)));
+  auto either = Predicate::Or(
+      Predicate::Compare(0, CompareOp::kEq, Value(int64_t{1})),
+      Predicate::Compare(0, CompareOp::kEq, Value(int64_t{2})));
+  EXPECT_TRUE(either->Evaluate(Row(2, 0)));
+  EXPECT_FALSE(either->Evaluate(Row(3, 0)));
+  auto negated = Predicate::Not(lt10);
+  EXPECT_TRUE(negated->Evaluate(Row(12, 0)));
+  EXPECT_FALSE(negated->Evaluate(Row(3, 0)));
+}
+
+TEST(Predicate, BetweenConvenience) {
+  auto p = Predicate::Between(1, 10, 20);
+  EXPECT_TRUE(p->Evaluate(Row(0, 10)));
+  EXPECT_TRUE(p->Evaluate(Row(0, 20)));
+  EXPECT_FALSE(p->Evaluate(Row(0, 9)));
+  EXPECT_FALSE(p->Evaluate(Row(0, 21)));
+}
+
+TEST(Predicate, ImpliedRangeForComparisons) {
+  auto lt = Predicate::Compare(0, CompareOp::kLt, Value(int64_t{10}));
+  const Interval r = lt->ImpliedRange(0);
+  EXPECT_FALSE(r.lo.has_value());
+  EXPECT_EQ(*r.hi, 9);
+  auto eq = Predicate::Compare(0, CompareOp::kEq, Value(int64_t{7}));
+  const Interval re = eq->ImpliedRange(0);
+  EXPECT_EQ(*re.lo, 7);
+  EXPECT_EQ(*re.hi, 7);
+}
+
+TEST(Predicate, ImpliedRangeOtherFieldUnbounded) {
+  auto p = Predicate::Compare(1, CompareOp::kEq, Value(int64_t{7}));
+  EXPECT_TRUE(p->ImpliedRange(0).Unbounded());
+}
+
+TEST(Predicate, ImpliedRangeAndIntersects) {
+  auto p = Predicate::Between(0, 10, 20);
+  const Interval r = p->ImpliedRange(0);
+  EXPECT_EQ(*r.lo, 10);
+  EXPECT_EQ(*r.hi, 20);
+}
+
+TEST(Predicate, ImpliedRangeOrTakesHull) {
+  auto p = Predicate::Or(Predicate::Between(0, 0, 5),
+                         Predicate::Between(0, 100, 105));
+  const Interval r = p->ImpliedRange(0);
+  EXPECT_EQ(*r.lo, 0);
+  EXPECT_EQ(*r.hi, 105);
+}
+
+TEST(Predicate, ImpliedRangeIsConservativeSuperset) {
+  // Soundness property behind t-lock screening: any tuple satisfying the
+  // predicate must fall inside the implied range.
+  auto p = Predicate::Or(
+      Predicate::And(Predicate::Between(0, 5, 10),
+                     Predicate::Compare(1, CompareOp::kGt, Value(int64_t{0}))),
+      Predicate::Not(Predicate::Between(0, 0, 100)));
+  const Interval r = p->ImpliedRange(0);
+  for (int64_t v = -200; v <= 200; ++v) {
+    for (int64_t w : {-1, 1}) {
+      if (p->Evaluate(Row(v, w))) {
+        EXPECT_TRUE(r.Contains(v)) << "v=" << v << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(Predicate, NotIsUnbounded) {
+  auto p = Predicate::Not(Predicate::Between(0, 10, 20));
+  EXPECT_TRUE(p->ImpliedRange(0).Unbounded());
+}
+
+TEST(Predicate, ToStringReadable) {
+  const Schema s({Field::Int64("age"), Field::Int64("dept")});
+  auto p = Predicate::And(
+      Predicate::Compare(0, CompareOp::kGe, Value(int64_t{21})),
+      Predicate::Compare(1, CompareOp::kEq, Value(int64_t{5})));
+  EXPECT_EQ(p->ToString(&s), "(age >= 21 and dept = 5)");
+  EXPECT_EQ(p->ToString(nullptr), "($0 >= 21 and $1 = 5)");
+}
+
+}  // namespace
+}  // namespace viewmat::db

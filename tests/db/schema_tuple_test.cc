@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "db/schema.h"
+#include "db/tuple.h"
+
+namespace viewmat::db {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field::Int64("id"), Field::Double("score"),
+                 Field::String("name", 12)});
+}
+
+TEST(Schema, OffsetsAndRecordSize) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.record_size(), 28u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 16u);
+  EXPECT_EQ(s.field_count(), 3u);
+}
+
+TEST(Schema, FieldIndexLookup) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(*s.FieldIndex("score"), 1u);
+  EXPECT_EQ(s.FieldIndex("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Schema, ProjectReordersFields) {
+  const Schema s = TestSchema();
+  const Schema p = s.Project({2, 0});
+  EXPECT_EQ(p.field_count(), 2u);
+  EXPECT_EQ(p.field(0).name, "name");
+  EXPECT_EQ(p.field(1).name, "id");
+  EXPECT_EQ(p.record_size(), 20u);
+}
+
+TEST(Schema, ConcatPrefixesNames) {
+  const Schema a({Field::Int64("x")});
+  const Schema b({Field::Int64("x")});
+  const Schema c = Schema::Concat(a, "L", b, "R");
+  EXPECT_EQ(c.field(0).name, "L.x");
+  EXPECT_EQ(c.field(1).name, "R.x");
+  const Schema d = Schema::Concat(a, "", b, "");
+  EXPECT_EQ(d.field(0).name, "x");
+}
+
+TEST(Schema, Equality) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  const Schema other({Field::Int64("id")});
+  EXPECT_FALSE(TestSchema() == other);
+}
+
+TEST(Tuple, SerializeDeserializeRoundTrip) {
+  const Schema s = TestSchema();
+  const Tuple t({Value(int64_t{-42}), Value(3.25), Value(std::string("bob"))});
+  std::vector<uint8_t> buf(s.record_size());
+  t.Serialize(s, buf.data());
+  const Tuple back = Tuple::Deserialize(s, buf.data());
+  EXPECT_TRUE(back == t);
+}
+
+TEST(Tuple, StringTruncatedToWidth) {
+  const Schema s = TestSchema();
+  const Tuple t({Value(int64_t{1}), Value(0.0),
+                 Value(std::string("a-very-long-name-indeed"))});
+  std::vector<uint8_t> buf(s.record_size());
+  t.Serialize(s, buf.data());
+  const Tuple back = Tuple::Deserialize(s, buf.data());
+  EXPECT_EQ(back.at(2).AsString(), "a-very-long-");  // 12 bytes kept
+}
+
+TEST(Tuple, EmptyStringRoundTrips) {
+  const Schema s = TestSchema();
+  const Tuple t({Value(int64_t{1}), Value(0.0), Value(std::string(""))});
+  std::vector<uint8_t> buf(s.record_size());
+  t.Serialize(s, buf.data());
+  EXPECT_EQ(Tuple::Deserialize(s, buf.data()).at(2).AsString(), "");
+}
+
+TEST(Tuple, ProjectAndConcat) {
+  const Tuple t({Value(int64_t{1}), Value(2.0), Value(std::string("x"))});
+  const Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).AsString(), "x");
+  EXPECT_EQ(p.at(1).AsInt64(), 1);
+  const Tuple joined = Tuple::Concat(p, t);
+  EXPECT_EQ(joined.size(), 5u);
+  EXPECT_EQ(joined.at(4).AsString(), "x");
+}
+
+TEST(Tuple, LexicographicOrder) {
+  const Tuple a({Value(int64_t{1}), Value(int64_t{5})});
+  const Tuple b({Value(int64_t{1}), Value(int64_t{7})});
+  const Tuple c({Value(int64_t{1})});
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(c < a);  // prefix orders first
+}
+
+TEST(Tuple, HashStableAndSensitive) {
+  const Tuple a({Value(int64_t{1}), Value(int64_t{2})});
+  const Tuple b({Value(int64_t{2}), Value(int64_t{1})});
+  EXPECT_EQ(a.Hash(), Tuple({Value(int64_t{1}), Value(int64_t{2})}).Hash());
+  EXPECT_NE(a.Hash(), b.Hash());  // order matters
+}
+
+TEST(Tuple, ToStringReadable) {
+  const Tuple t({Value(int64_t{1}), Value(std::string("y"))});
+  EXPECT_EQ(t.ToString(), "(1, y)");
+}
+
+}  // namespace
+}  // namespace viewmat::db

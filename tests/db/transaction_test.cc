@@ -1,0 +1,134 @@
+#include "db/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "db/catalog.h"
+
+namespace viewmat::db {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field::Int64("key"), Field::Int64("aux")});
+}
+
+Tuple Row(int64_t key, int64_t aux) { return Tuple({Value(key), Value(aux)}); }
+
+TEST(NetChange, InsertThenDeleteCancels) {
+  NetChange nc;
+  nc.AddInsert(Row(1, 1));
+  nc.AddDelete(Row(1, 1));
+  EXPECT_TRUE(nc.empty());
+}
+
+TEST(NetChange, DeleteThenReinsertCancels) {
+  NetChange nc;
+  nc.AddDelete(Row(1, 1));
+  nc.AddInsert(Row(1, 1));
+  EXPECT_TRUE(nc.empty());
+}
+
+TEST(NetChange, DistinctTuplesDoNotCancel) {
+  NetChange nc;
+  nc.AddInsert(Row(1, 1));
+  nc.AddDelete(Row(1, 2));  // same key, different value: both stand
+  EXPECT_EQ(nc.inserts().size(), 1u);
+  EXPECT_EQ(nc.deletes().size(), 1u);
+  EXPECT_EQ(nc.size(), 2u);
+}
+
+TEST(NetChange, ADIntersectionAlwaysEmpty) {
+  // The §2.1 invariant A ∩ D = ∅ under an arbitrary op interleaving.
+  NetChange nc;
+  nc.AddInsert(Row(1, 1));
+  nc.AddInsert(Row(2, 2));
+  nc.AddDelete(Row(1, 1));
+  nc.AddDelete(Row(3, 3));
+  nc.AddInsert(Row(3, 3));
+  nc.AddInsert(Row(1, 1));
+  for (const Tuple& a : nc.inserts()) {
+    for (const Tuple& d : nc.deletes()) {
+      EXPECT_FALSE(a == d);
+    }
+  }
+}
+
+TEST(Transaction, UpdateRecordsDeletePlusInsert) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation rel(&pool, "t", TestSchema(), AccessMethod::kClusteredBTree, 0);
+
+  Transaction txn;
+  txn.Update(&rel, Row(1, 1), Row(1, 2));
+  const NetChange& nc = txn.ChangesFor(&rel);
+  ASSERT_EQ(nc.deletes().size(), 1u);
+  ASSERT_EQ(nc.inserts().size(), 1u);
+  EXPECT_TRUE(nc.deletes()[0] == Row(1, 1));
+  EXPECT_TRUE(nc.inserts()[0] == Row(1, 2));
+  EXPECT_EQ(txn.tuples_written(), 2u);
+}
+
+TEST(Transaction, ChangesForUntouchedRelationEmpty) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation rel(&pool, "t", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  const Transaction txn;
+  EXPECT_TRUE(txn.ChangesFor(&rel).empty());
+}
+
+TEST(Transaction, ApplyToBaseExecutesNetChange) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation rel(&pool, "t", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  ASSERT_TRUE(rel.Insert(Row(1, 1)).ok());
+  ASSERT_TRUE(rel.Insert(Row(2, 2)).ok());
+
+  Transaction txn;
+  txn.Update(&rel, Row(1, 1), Row(1, 10));
+  txn.Delete(&rel, Row(2, 2));
+  txn.Insert(&rel, Row(3, 3));
+  ASSERT_TRUE(txn.ApplyToBase().ok());
+
+  Tuple out;
+  ASSERT_TRUE(rel.FindByKey(1, &out).ok());
+  EXPECT_EQ(out.at(1).AsInt64(), 10);
+  EXPECT_EQ(rel.FindByKey(2, &out).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(rel.FindByKey(3, &out).ok());
+  EXPECT_EQ(rel.tuple_count(), 2u);
+}
+
+TEST(Transaction, DeleteThenInsertSameKeyDifferentValue) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation rel(&pool, "t", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  ASSERT_TRUE(rel.Insert(Row(5, 1)).ok());
+  Transaction txn;
+  txn.Delete(&rel, Row(5, 1));
+  txn.Insert(&rel, Row(5, 2));
+  ASSERT_TRUE(txn.ApplyToBase().ok());
+  Tuple out;
+  ASSERT_TRUE(rel.FindByKey(5, &out).ok());
+  EXPECT_EQ(out.at(1).AsInt64(), 2);
+  EXPECT_EQ(rel.tuple_count(), 1u);
+}
+
+TEST(Transaction, MultipleRelations) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation r1(&pool, "r1", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  Relation r2(&pool, "r2", TestSchema(), AccessMethod::kClusteredHash, 0);
+  Transaction txn;
+  txn.Insert(&r1, Row(1, 1));
+  txn.Insert(&r2, Row(2, 2));
+  EXPECT_EQ(txn.changes().size(), 2u);
+  ASSERT_TRUE(txn.ApplyToBase().ok());
+  EXPECT_EQ(r1.tuple_count(), 1u);
+  EXPECT_EQ(r2.tuple_count(), 1u);
+}
+
+}  // namespace
+}  // namespace viewmat::db

@@ -1,0 +1,70 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace viewmat::db {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(std::string("hi")).type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("hi")).AsString(), "hi");
+}
+
+TEST(Value, DefaultIsZeroInt) {
+  const Value v;
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(Value, NumericConversions) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).Numeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).Numeric(), 1.5);
+}
+
+TEST(Value, CompareIntegers) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(int64_t{2})), 0);
+  EXPECT_GT(Value(int64_t{3}).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(Value, CompareStrings) {
+  EXPECT_LT(Value(std::string("abc")).Compare(Value(std::string("abd"))), 0);
+  EXPECT_EQ(Value(std::string("x")).Compare(Value(std::string("x"))), 0);
+  EXPECT_GT(Value(std::string("b")).Compare(Value(std::string("ab"))), 0);
+}
+
+TEST(Value, CompareDoubles) {
+  EXPECT_LT(Value(1.0).Compare(Value(1.5)), 0);
+  EXPECT_EQ(Value(1.5).Compare(Value(1.5)), 0);
+}
+
+TEST(Value, EqualityIsTypeAware) {
+  EXPECT_TRUE(Value(int64_t{1}) == Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));  // different types
+  EXPECT_FALSE(Value(int64_t{1}) == Value(int64_t{2}));
+}
+
+TEST(Value, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(Value, HashDistinguishesValuesAndTypes) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+  EXPECT_NE(Value(std::string("a")).Hash(), Value(std::string("b")).Hash());
+  EXPECT_EQ(Value(int64_t{42}).Hash(), Value(int64_t{42}).Hash());
+}
+
+TEST(Value, OrderingOperator) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{1}));
+}
+
+}  // namespace
+}  // namespace viewmat::db

@@ -1,0 +1,148 @@
+#include "hr/ad_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace viewmat::hr {
+namespace {
+
+db::Schema TestSchema() {
+  return db::Schema({db::Field::Int64("key"), db::Field::Int64("aux")});
+}
+
+db::Tuple Row(int64_t key, int64_t aux) {
+  return db::Tuple({db::Value(key), db::Value(aux)});
+}
+
+class AdFileTest : public ::testing::Test {
+ protected:
+  AdFileTest()
+      : disk_(512, &tracker_),
+        pool_(&disk_, 32),
+        ad_(&pool_, TestSchema(), 0, AdFile::Options{4, 128, 0.01}) {}
+
+  storage::CostTracker tracker_;
+  storage::SimulatedDisk disk_;
+  storage::BufferPool pool_;
+  AdFile ad_;
+};
+
+TEST_F(AdFileTest, RecordInsertShowsUpInNet) {
+  ASSERT_TRUE(ad_.RecordInsert(Row(1, 10)).ok());
+  std::vector<db::Tuple> a, d;
+  ASSERT_TRUE(ad_.ScanNet(&a, &d).ok());
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_TRUE(a[0] == Row(1, 10));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST_F(AdFileTest, InsertThenDeleteNetsToNothing) {
+  ASSERT_TRUE(ad_.RecordInsert(Row(1, 10)).ok());
+  ASSERT_TRUE(ad_.RecordDelete(Row(1, 10)).ok());
+  std::vector<db::Tuple> a, d;
+  ASSERT_TRUE(ad_.ScanNet(&a, &d).ok());
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(ad_.entry_count(), 0u);
+}
+
+TEST_F(AdFileTest, DeleteThenReinsertNetsToNothing) {
+  ASSERT_TRUE(ad_.RecordDelete(Row(2, 5)).ok());
+  ASSERT_TRUE(ad_.RecordInsert(Row(2, 5)).ok());
+  std::vector<db::Tuple> a, d;
+  ASSERT_TRUE(ad_.ScanNet(&a, &d).ok());
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST_F(AdFileTest, UpdateKeepsOldAndNewVersions) {
+  // The paper's modify rule: old value into D, new value into A — same key,
+  // same bucket page.
+  ASSERT_TRUE(ad_.RecordDelete(Row(3, 1)).ok());
+  ASSERT_TRUE(ad_.RecordInsert(Row(3, 2)).ok());
+  std::vector<db::Tuple> a, d;
+  ASSERT_TRUE(ad_.ScanNet(&a, &d).ok());
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(a[0] == Row(3, 2));
+  EXPECT_TRUE(d[0] == Row(3, 1));
+}
+
+TEST_F(AdFileTest, BloomScreensAbsentKeys) {
+  for (int64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(ad_.RecordInsert(Row(k, k)).ok());
+  }
+  // Every recorded key must be admitted (no false negatives).
+  for (int64_t k = 0; k < 50; ++k) {
+    EXPECT_TRUE(ad_.MightContainKey(k)) << k;
+  }
+  // Most absent keys must be screened out.
+  int admitted = 0;
+  for (int64_t k = 1000; k < 2000; ++k) {
+    if (ad_.MightContainKey(k)) ++admitted;
+  }
+  EXPECT_LT(admitted, 100);  // << 10% false drops
+}
+
+TEST_F(AdFileTest, VisitKeyReturnsRolesAndValues) {
+  ASSERT_TRUE(ad_.RecordDelete(Row(7, 1)).ok());
+  ASSERT_TRUE(ad_.RecordInsert(Row(7, 2)).ok());
+  int appended = 0, deleted = 0;
+  ASSERT_TRUE(ad_.VisitKey(7, [&](AdFile::Role role, const db::Tuple& t) {
+    if (role == AdFile::Role::kAppended) {
+      EXPECT_TRUE(t == Row(7, 2));
+      ++appended;
+    } else {
+      EXPECT_TRUE(t == Row(7, 1));
+      ++deleted;
+    }
+    return true;
+  }).ok());
+  EXPECT_EQ(appended, 1);
+  EXPECT_EQ(deleted, 1);
+}
+
+TEST_F(AdFileTest, ResetClearsFileAndBloom) {
+  for (int64_t k = 0; k < 30; ++k) {
+    ASSERT_TRUE(ad_.RecordInsert(Row(k, k)).ok());
+  }
+  ASSERT_TRUE(ad_.Reset().ok());
+  EXPECT_EQ(ad_.entry_count(), 0u);
+  EXPECT_EQ(ad_.page_count(), 0u);
+  EXPECT_FALSE(ad_.MightContainKey(5));
+  std::vector<db::Tuple> a, d;
+  ASSERT_TRUE(ad_.ScanNet(&a, &d).ok());
+  EXPECT_TRUE(a.empty());
+}
+
+TEST_F(AdFileTest, ManyUpdatesStayCompact) {
+  // Re-updating the same keys must not grow the file unboundedly: each
+  // update replaces the pending A entry for that tuple chain.
+  Random rng(9);
+  std::vector<int64_t> vals(10, 0);
+  for (int round = 0; round < 200; ++round) {
+    const int64_t key = rng.UniformInt(0, 9);
+    const int64_t next = rng.UniformInt(1, 1000000);
+    ASSERT_TRUE(ad_.RecordDelete(Row(key, vals[key])).ok());
+    ASSERT_TRUE(ad_.RecordInsert(Row(key, next)).ok());
+    vals[key] = next;
+  }
+  std::vector<db::Tuple> a, d;
+  ASSERT_TRUE(ad_.ScanNet(&a, &d).ok());
+  // Net effect: one delete (original value 0 per key, deduped by netting
+  // of intermediate versions) and one insert per key.
+  EXPECT_LE(a.size(), 10u);
+  EXPECT_LE(d.size(), 10u);
+  for (int64_t key = 0; key < 10; ++key) {
+    const bool in_a = std::any_of(a.begin(), a.end(), [&](const db::Tuple& t) {
+      return t == Row(key, vals[key]);
+    });
+    EXPECT_TRUE(in_a) << key;
+  }
+}
+
+}  // namespace
+}  // namespace viewmat::hr

@@ -1,0 +1,99 @@
+#include "storage/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace viewmat::storage {
+namespace {
+
+TEST(BloomFilter, NoFalseNegativesEver) {
+  BloomFilter filter(1024, 3);
+  Random rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(rng.Next());
+  for (const uint64_t k : keys) filter.Add(k);
+  for (const uint64_t k : keys) {
+    EXPECT_TRUE(filter.MayContain(k)) << k;
+  }
+}
+
+TEST(BloomFilter, EmptyFilterRejectsEverything) {
+  BloomFilter filter(512, 4);
+  Random rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(filter.MayContain(rng.Next()));
+  }
+}
+
+TEST(BloomFilter, ClearForgetsKeys) {
+  BloomFilter filter(512, 4);
+  filter.Add(42);
+  EXPECT_TRUE(filter.MayContain(42));
+  filter.Clear();
+  EXPECT_FALSE(filter.MayContain(42));
+  EXPECT_EQ(filter.keys_added(), 0u);
+}
+
+TEST(BloomFilter, SizingHitsTargetRate) {
+  // The Severance-Lohman point: m can buy any screening power you want.
+  const BloomFilter filter = BloomFilter::ForExpectedKeys(1000, 0.01);
+  EXPECT_GT(filter.bits(), 9000u);   // ~9.6 bits/key for 1%
+  EXPECT_LT(filter.bits(), 11000u);
+  EXPECT_GE(filter.hashes(), 6);
+  EXPECT_LE(filter.hashes(), 8);
+}
+
+TEST(BloomFilter, MeasuredFpRateNearAnalytical) {
+  BloomFilter filter = BloomFilter::ForExpectedKeys(500, 0.02);
+  Random rng(3);
+  for (int i = 0; i < 500; ++i) filter.Add(rng.Next());
+  const double predicted = filter.ExpectedFpRate();
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MayContain(rng.Next())) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  EXPECT_LT(measured, 2.5 * predicted + 0.005);
+  EXPECT_LT(measured, 0.06);
+}
+
+TEST(BloomFilter, MoreBitsLowerFpRate) {
+  Random rng(4);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back(rng.Next());
+  auto measure = [&](size_t bits) {
+    BloomFilter f(bits, 4);
+    for (const uint64_t k : keys) f.Add(k);
+    int fp = 0;
+    Random probe_rng(5);
+    for (int i = 0; i < 5000; ++i) {
+      if (f.MayContain(probe_rng.Next())) ++fp;
+    }
+    return fp;
+  };
+  EXPECT_GT(measure(512), measure(8192));
+}
+
+class BloomRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomRateTest, SizedFilterStaysNearTarget) {
+  const double target = GetParam();
+  BloomFilter filter = BloomFilter::ForExpectedKeys(1000, target);
+  Random rng(6);
+  for (int i = 0; i < 1000; ++i) filter.Add(rng.Next());
+  int fp = 0;
+  const int probes = 30000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MayContain(rng.Next())) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  EXPECT_LT(measured, 3.0 * target + 0.003) << "target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, BloomRateTest,
+                         ::testing::Values(0.1, 0.05, 0.01, 0.001));
+
+}  // namespace
+}  // namespace viewmat::storage

@@ -1,0 +1,372 @@
+#include "storage/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/random.h"
+
+namespace viewmat::storage {
+namespace {
+
+/// Small pages force deep trees so splits and multi-level descent are
+/// exercised with modest key counts.
+class BPTreeTest : public ::testing::Test {
+ protected:
+  BPTreeTest() : disk_(256, &tracker_), pool_(&disk_, 64), tree_(&pool_, 8) {}
+
+  std::vector<uint8_t> Payload(uint64_t tag) {
+    std::vector<uint8_t> p(8);
+    std::memcpy(p.data(), &tag, 8);
+    return p;
+  }
+  static uint64_t TagOf(const uint8_t* payload) {
+    uint64_t tag;
+    std::memcpy(&tag, payload, 8);
+    return tag;
+  }
+  BPTree::Matcher MatchTag(uint64_t tag) {
+    return [tag](const uint8_t* p) { return TagOf(p) == tag; };
+  }
+
+  CostTracker tracker_;
+  SimulatedDisk disk_;
+  BufferPool pool_;
+  BPTree tree_;
+};
+
+TEST_F(BPTreeTest, EmptyTreeFindsNothing) {
+  uint8_t out[8];
+  EXPECT_EQ(tree_.Find(1, out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree_.entry_count(), 0u);
+  EXPECT_EQ(tree_.Height(), 1u);
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_F(BPTreeTest, InsertFindRoundTrip) {
+  ASSERT_TRUE(tree_.Insert(5, Payload(50).data()).ok());
+  uint8_t out[8];
+  ASSERT_TRUE(tree_.Find(5, out).ok());
+  EXPECT_EQ(TagOf(out), 50u);
+}
+
+TEST_F(BPTreeTest, SequentialInsertGrowsHeight) {
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_.Insert(i, Payload(i).data()).ok());
+  }
+  EXPECT_EQ(tree_.entry_count(), 2000u);
+  EXPECT_GE(tree_.Height(), 3u);
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  uint8_t out[8];
+  for (int64_t i = 0; i < 2000; i += 97) {
+    ASSERT_TRUE(tree_.Find(i, out).ok()) << i;
+    EXPECT_EQ(TagOf(out), static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(BPTreeTest, ReverseInsertStaysValid) {
+  for (int64_t i = 1000; i > 0; --i) {
+    ASSERT_TRUE(tree_.Insert(i, Payload(i).data()).ok());
+  }
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  uint8_t out[8];
+  EXPECT_TRUE(tree_.Find(1, out).ok());
+  EXPECT_TRUE(tree_.Find(1000, out).ok());
+}
+
+TEST_F(BPTreeTest, RangeScanInOrder) {
+  Random rng(11);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.UniformInt(0, 100000));
+  for (const int64_t k : keys) {
+    ASSERT_TRUE(tree_.Insert(k, Payload(k).data()).ok());
+  }
+  int64_t prev = -1;
+  size_t count = 0;
+  ASSERT_TRUE(tree_.RangeScan(0, 100000, [&](int64_t k, const uint8_t*) {
+    EXPECT_GE(k, prev);
+    prev = k;
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, keys.size());
+}
+
+TEST_F(BPTreeTest, RangeScanRespectsBounds) {
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_.Insert(i, Payload(i).data()).ok());
+  }
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(tree_.RangeScan(10, 19, [&](int64_t k, const uint8_t*) {
+    seen.push_back(k);
+    return true;
+  }).ok());
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 10);
+  EXPECT_EQ(seen.back(), 19);
+}
+
+TEST_F(BPTreeTest, EmptyRangeAndEarlyStop) {
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree_.Insert(i, Payload(i).data()).ok());
+  }
+  int visits = 0;
+  ASSERT_TRUE(tree_.RangeScan(60, 70, [&](int64_t, const uint8_t*) {
+    ++visits;
+    return true;
+  }).ok());
+  EXPECT_EQ(visits, 0);
+  ASSERT_TRUE(tree_.RangeScan(20, 10, [&](int64_t, const uint8_t*) {
+    ++visits;
+    return true;
+  }).ok());
+  EXPECT_EQ(visits, 0);
+  ASSERT_TRUE(tree_.ScanAll([&](int64_t, const uint8_t*) {
+    return ++visits < 5;
+  }).ok());
+  EXPECT_EQ(visits, 5);
+}
+
+TEST_F(BPTreeTest, DuplicateKeysAllStored) {
+  for (uint64_t tag = 0; tag < 100; ++tag) {
+    ASSERT_TRUE(tree_.Insert(7, Payload(tag).data()).ok());
+  }
+  EXPECT_EQ(tree_.entry_count(), 100u);
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  size_t found = 0;
+  ASSERT_TRUE(tree_.RangeScan(7, 7, [&](int64_t, const uint8_t*) {
+    ++found;
+    return true;
+  }).ok());
+  EXPECT_EQ(found, 100u);
+}
+
+TEST_F(BPTreeTest, DuplicatesInterleavedWithOtherKeys) {
+  // Duplicate runs crossing leaf boundaries must still be fully reachable
+  // from a leftmost descent.
+  for (int round = 0; round < 60; ++round) {
+    ASSERT_TRUE(tree_.Insert(50, Payload(round).data()).ok());
+    ASSERT_TRUE(tree_.Insert(round, Payload(1000 + round).data()).ok());
+  }
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  size_t dups = 0;
+  ASSERT_TRUE(tree_.RangeScan(50, 50, [&](int64_t, const uint8_t* p) {
+    if (TagOf(p) < 1000) ++dups;
+    return true;
+  }).ok());
+  EXPECT_EQ(dups, 60u);
+}
+
+TEST_F(BPTreeTest, DeleteSpecificDuplicate) {
+  for (uint64_t tag = 0; tag < 10; ++tag) {
+    ASSERT_TRUE(tree_.Insert(3, Payload(tag).data()).ok());
+  }
+  ASSERT_TRUE(tree_.Delete(3, MatchTag(4)).ok());
+  EXPECT_EQ(tree_.entry_count(), 9u);
+  bool saw_4 = false;
+  ASSERT_TRUE(tree_.RangeScan(3, 3, [&](int64_t, const uint8_t* p) {
+    if (TagOf(p) == 4) saw_4 = true;
+    return true;
+  }).ok());
+  EXPECT_FALSE(saw_4);
+  EXPECT_EQ(tree_.Delete(3, MatchTag(4)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BPTreeTest, DeleteMissingKeyFails) {
+  ASSERT_TRUE(tree_.Insert(1, Payload(1).data()).ok());
+  EXPECT_EQ(tree_.Delete(2, nullptr).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BPTreeTest, UpdatePayloadInPlace) {
+  ASSERT_TRUE(tree_.Insert(9, Payload(1).data()).ok());
+  ASSERT_TRUE(tree_.Insert(9, Payload(2).data()).ok());
+  ASSERT_TRUE(tree_.UpdatePayload(9, MatchTag(2), Payload(22).data()).ok());
+  size_t seen_22 = 0;
+  ASSERT_TRUE(tree_.RangeScan(9, 9, [&](int64_t, const uint8_t* p) {
+    if (TagOf(p) == 22) ++seen_22;
+    return true;
+  }).ok());
+  EXPECT_EQ(seen_22, 1u);
+  EXPECT_EQ(tree_.UpdatePayload(9, MatchTag(2), Payload(0).data()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BPTreeTest, NegativeKeysWork) {
+  for (int64_t k = -500; k < 0; ++k) {
+    ASSERT_TRUE(tree_.Insert(k, Payload(-k).data()).ok());
+  }
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  uint8_t out[8];
+  ASSERT_TRUE(tree_.Find(-250, out).ok());
+  EXPECT_EQ(TagOf(out), 250u);
+}
+
+TEST_F(BPTreeTest, BulkLoadBuildsPackedValidTree) {
+  std::vector<std::pair<int64_t, uint64_t>> data;
+  for (int64_t i = 0; i < 1500; ++i) data.emplace_back(i * 2, i);
+  size_t next = 0;
+  ASSERT_TRUE(tree_.BulkLoad([&](int64_t* key, uint8_t* payload) {
+    if (next >= data.size()) return false;
+    *key = data[next].first;
+    std::memcpy(payload, &data[next].second, 8);
+    ++next;
+    return true;
+  }).ok());
+  EXPECT_EQ(tree_.entry_count(), 1500u);
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  // Packed: leaf count equals ceil(n / capacity).
+  const size_t expected_leaves =
+      (1500 + tree_.leaf_capacity() - 1) / tree_.leaf_capacity();
+  EXPECT_EQ(tree_.leaf_page_count(), expected_leaves);
+  uint8_t out[8];
+  ASSERT_TRUE(tree_.Find(2 * 977, out).ok());
+  EXPECT_EQ(TagOf(out), 977u);
+  EXPECT_EQ(tree_.Find(3, out).code(), StatusCode::kNotFound);
+  // The tree remains fully updatable after a bulk load.
+  ASSERT_TRUE(tree_.Insert(3, Payload(9999).data()).ok());
+  ASSERT_TRUE(tree_.Delete(4, nullptr).ok());
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_F(BPTreeTest, BulkLoadRejectsUnsortedAndNonEmpty) {
+  int calls = 0;
+  auto bad_source = [&](int64_t* key, uint8_t* payload) {
+    std::memset(payload, 0, 8);
+    *key = (calls == 0) ? 10 : 5;  // descending: invalid
+    return ++calls <= 2;
+  };
+  EXPECT_EQ(tree_.BulkLoad(bad_source).code(), StatusCode::kInvalidArgument);
+  // Tree with entries refuses bulk load.
+  CostTracker tracker;
+  SimulatedDisk disk(256, &tracker);
+  BufferPool pool(&disk, 64);
+  BPTree other(&pool, 8);
+  ASSERT_TRUE(other.Insert(1, Payload(1).data()).ok());
+  int n = 0;
+  EXPECT_EQ(other.BulkLoad([&](int64_t* k, uint8_t* p) {
+    *k = n; std::memset(p, 0, 8);
+    return ++n <= 1;
+  }).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BPTreeTest, BulkLoadEmptySourceLeavesEmptyTree) {
+  ASSERT_TRUE(tree_.BulkLoad([](int64_t*, uint8_t*) { return false; }).ok());
+  EXPECT_EQ(tree_.entry_count(), 0u);
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_F(BPTreeTest, BulkLoadWithDuplicates) {
+  size_t next = 0;
+  ASSERT_TRUE(tree_.BulkLoad([&](int64_t* key, uint8_t* payload) {
+    if (next >= 300) return false;
+    *key = static_cast<int64_t>(next / 10);  // 10 copies of each key
+    std::memcpy(payload, &next, 8);
+    ++next;
+    return true;
+  }).ok());
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  size_t dups = 0;
+  ASSERT_TRUE(tree_.RangeScan(7, 7, [&](int64_t, const uint8_t*) {
+    ++dups;
+    return true;
+  }).ok());
+  EXPECT_EQ(dups, 10u);
+}
+
+TEST_F(BPTreeTest, CompactReclaimsEmptyLeavesAndRepacks) {
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_.Insert(i, Payload(i).data()).ok());
+  }
+  // Hollow out a big key range: lazy deletion leaves empty pages behind.
+  for (int64_t i = 200; i < 1800; ++i) {
+    ASSERT_TRUE(tree_.Delete(i, nullptr).ok());
+  }
+  const size_t leaves_before = tree_.leaf_page_count();
+  const size_t disk_before = disk_.live_pages();
+  ASSERT_TRUE(tree_.Compact().ok());
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+  EXPECT_EQ(tree_.entry_count(), 400u);
+  EXPECT_LT(tree_.leaf_page_count(), leaves_before / 2);
+  EXPECT_LT(disk_.live_pages(), disk_before);
+  uint8_t out[8];
+  ASSERT_TRUE(tree_.Find(100, out).ok());
+  ASSERT_TRUE(tree_.Find(1900, out).ok());
+  EXPECT_EQ(tree_.Find(1000, out).code(), StatusCode::kNotFound);
+}
+
+// Randomized model check: the tree must always agree with a std::multimap.
+struct ChurnCase {
+  uint64_t seed;
+  int steps;
+  int64_t key_space;
+};
+
+class BPTreeChurnTest : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(BPTreeChurnTest, MatchesReferenceMultimap) {
+  const ChurnCase c = GetParam();
+  CostTracker tracker;
+  SimulatedDisk disk(256, &tracker);
+  BufferPool pool(&disk, 64);
+  BPTree tree(&pool, 8);
+  Random rng(c.seed);
+  std::multimap<int64_t, uint64_t> model;
+  uint64_t next_tag = 0;
+
+  for (int step = 0; step < c.steps; ++step) {
+    const int64_t key = rng.UniformInt(0, c.key_space - 1);
+    if (model.empty() || rng.Bernoulli(0.6)) {
+      const uint64_t tag = next_tag++;
+      uint8_t payload[8];
+      std::memcpy(payload, &tag, 8);
+      ASSERT_TRUE(tree.Insert(key, payload).ok());
+      model.emplace(key, tag);
+    } else {
+      auto it = model.lower_bound(key);
+      if (it == model.end()) it = model.begin();
+      const int64_t del_key = it->first;
+      const uint64_t del_tag = it->second;
+      ASSERT_TRUE(tree.Delete(del_key, [del_tag](const uint8_t* p) {
+        uint64_t t;
+        std::memcpy(&t, p, 8);
+        return t == del_tag;
+      }).ok());
+      model.erase(it);
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  ASSERT_EQ(tree.entry_count(), model.size());
+
+  // Equal keys may come back in any order among themselves; compare as
+  // order-insensitive multisets of (key, tag) pairs.
+  std::vector<std::pair<int64_t, uint64_t>> scanned;
+  ASSERT_TRUE(tree.ScanAll([&](int64_t k, const uint8_t* p) {
+    uint64_t t;
+    std::memcpy(&t, p, 8);
+    scanned.emplace_back(k, t);
+    return true;
+  }).ok());
+  std::vector<std::pair<int64_t, uint64_t>> expected(model.begin(),
+                                                     model.end());
+  std::sort(scanned.begin(), scanned.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(scanned, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Churn, BPTreeChurnTest,
+    ::testing::Values(ChurnCase{1, 3000, 100},    // heavy duplicates
+                      ChurnCase{2, 3000, 100000}, // mostly unique
+                      ChurnCase{3, 5000, 1000},   // mixed
+                      ChurnCase{4, 2000, 10}),    // extreme duplication
+    [](const ::testing::TestParamInfo<ChurnCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "keys" +
+             std::to_string(info.param.key_space);
+    });
+
+}  // namespace
+}  // namespace viewmat::storage

@@ -1,0 +1,161 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace viewmat::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  CostTracker tracker_;
+  SimulatedDisk disk_{256, &tracker_};
+  BufferPool pool_{&disk_, 4};
+};
+
+TEST_F(BufferPoolTest, NewPageIsPinnedAndWritable) {
+  auto guard = pool_.NewPage();
+  ASSERT_TRUE(guard.ok());
+  guard->page().WriteAt<uint64_t>(0, 77);
+  guard->MarkDirty();
+  EXPECT_TRUE(guard->valid());
+}
+
+TEST_F(BufferPoolTest, FetchHitCostsNoIo) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard->id();
+  }
+  tracker_.Reset();
+  {
+    auto guard = pool_.Fetch(id);
+    ASSERT_TRUE(guard.ok());
+  }
+  EXPECT_EQ(tracker_.counters().disk_reads, 0u);
+}
+
+TEST_F(BufferPoolTest, MissReadsFromDisk) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guard->page().WriteAt<uint64_t>(8, 123);
+    guard->MarkDirty();
+    id = guard->id();
+  }
+  ASSERT_TRUE(pool_.FlushAndEvictAll().ok());
+  tracker_.Reset();
+  auto guard = pool_.Fetch(id);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(tracker_.counters().disk_reads, 1u);
+  EXPECT_EQ(guard->page().ReadAt<uint64_t>(8), 123u);
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionWritesBack) {
+  PageId first;
+  {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guard->page().WriteAt<uint64_t>(0, 555);
+    guard->MarkDirty();
+    first = guard->id();
+  }
+  tracker_.Reset();
+  // Fill the pool to force eviction of `first`.
+  for (int i = 0; i < 4; ++i) {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+  }
+  EXPECT_GE(tracker_.counters().disk_writes, 1u);
+  // The evicted page's content survived.
+  auto back = pool_.Fetch(first);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->page().ReadAt<uint64_t>(0), 555u);
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    ids[i] = guard->id();
+  }
+  // Touch ids[0] so ids[1] becomes LRU.
+  { auto g = pool_.Fetch(ids[0]); ASSERT_TRUE(g.ok()); }
+  // Two more new pages: evicts ids[1] first (then ids[2]).
+  { auto g = pool_.NewPage(); ASSERT_TRUE(g.ok()); }
+  { auto g = pool_.NewPage(); ASSERT_TRUE(g.ok()); }
+  tracker_.Reset();
+  { auto g = pool_.Fetch(ids[0]); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(tracker_.counters().disk_reads, 0u);  // still resident
+  { auto g = pool_.Fetch(ids[1]); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(tracker_.counters().disk_reads, 1u);  // was evicted
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  std::vector<PageGuard> guards;
+  for (int i = 0; i < 4; ++i) {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guards.push_back(std::move(*guard));
+  }
+  auto fifth = pool_.NewPage();
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BufferPoolTest, PinCountBlocksEviction) {
+  auto pinned = pool_.NewPage();
+  ASSERT_TRUE(pinned.ok());
+  // Fill remaining frames; the pinned page must not be evicted.
+  for (int i = 0; i < 6; ++i) {
+    auto g = pool_.NewPage();
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_TRUE(pinned->valid());
+  pinned->page().WriteAt<uint64_t>(0, 9);  // still safe to touch
+}
+
+TEST_F(BufferPoolTest, DeletePageRemovesFromPoolAndDisk) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard->id();
+  }
+  ASSERT_TRUE(pool_.DeletePage(id).ok());
+  EXPECT_FALSE(pool_.Fetch(id).ok());
+}
+
+TEST_F(BufferPoolTest, DeletePinnedPageFails) {
+  auto guard = pool_.NewPage();
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(pool_.DeletePage(guard->id()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyOnce) {
+  auto guard = pool_.NewPage();
+  ASSERT_TRUE(guard.ok());
+  guard->MarkDirty();
+  guard->Release();
+  tracker_.Reset();
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  EXPECT_EQ(tracker_.counters().disk_writes, 1u);
+  tracker_.Reset();
+  ASSERT_TRUE(pool_.FlushAll().ok());  // already clean
+  EXPECT_EQ(tracker_.counters().disk_writes, 0u);
+}
+
+TEST_F(BufferPoolTest, MoveSemanticsTransferPin) {
+  auto guard = pool_.NewPage();
+  ASSERT_TRUE(guard.ok());
+  PageGuard moved = std::move(*guard);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(guard->valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+}
+
+}  // namespace
+}  // namespace viewmat::storage

@@ -1,0 +1,106 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace viewmat::storage {
+namespace {
+
+class DiskTest : public ::testing::Test {
+ protected:
+  CostTracker tracker_{1.0, 30.0, 1.0};
+  SimulatedDisk disk_{256, &tracker_};
+};
+
+TEST_F(DiskTest, AllocateReturnsDistinctIds) {
+  const PageId a = disk_.Allocate();
+  const PageId b = disk_.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(disk_.live_pages(), 2u);
+}
+
+TEST_F(DiskTest, WriteThenReadRoundTrips) {
+  const PageId id = disk_.Allocate();
+  Page out(256);
+  out.WriteAt<uint64_t>(0, 0xdeadbeefULL);
+  out.WriteAt<uint32_t>(100, 42);
+  ASSERT_TRUE(disk_.Write(id, out).ok());
+  Page in(256);
+  ASSERT_TRUE(disk_.Read(id, &in).ok());
+  EXPECT_EQ(in.ReadAt<uint64_t>(0), 0xdeadbeefULL);
+  EXPECT_EQ(in.ReadAt<uint32_t>(100), 42u);
+}
+
+TEST_F(DiskTest, ChargesC2PerIo) {
+  const PageId id = disk_.Allocate();
+  Page pg(256);
+  EXPECT_DOUBLE_EQ(tracker_.TotalMs(), 0.0);
+  ASSERT_TRUE(disk_.Write(id, pg).ok());
+  EXPECT_DOUBLE_EQ(tracker_.TotalMs(), 30.0);
+  ASSERT_TRUE(disk_.Read(id, &pg).ok());
+  EXPECT_DOUBLE_EQ(tracker_.TotalMs(), 60.0);
+  EXPECT_EQ(tracker_.counters().disk_reads, 1u);
+  EXPECT_EQ(tracker_.counters().disk_writes, 1u);
+}
+
+TEST_F(DiskTest, FreedPagesAreRecycled) {
+  const PageId a = disk_.Allocate();
+  ASSERT_TRUE(disk_.Free(a).ok());
+  const PageId b = disk_.Allocate();
+  EXPECT_EQ(a, b);  // recycled
+  EXPECT_EQ(disk_.live_pages(), 1u);
+}
+
+TEST_F(DiskTest, RecycledPageIsZeroed) {
+  const PageId a = disk_.Allocate();
+  Page pg(256);
+  pg.WriteAt<uint64_t>(0, 123);
+  ASSERT_TRUE(disk_.Write(a, pg).ok());
+  ASSERT_TRUE(disk_.Free(a).ok());
+  const PageId b = disk_.Allocate();
+  ASSERT_EQ(a, b);
+  Page in(256);
+  ASSERT_TRUE(disk_.Read(b, &in).ok());
+  EXPECT_EQ(in.ReadAt<uint64_t>(0), 0u);
+}
+
+TEST_F(DiskTest, AccessingFreedPageFails) {
+  const PageId a = disk_.Allocate();
+  ASSERT_TRUE(disk_.Free(a).ok());
+  Page pg(256);
+  EXPECT_EQ(disk_.Read(a, &pg).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk_.Write(a, pg).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk_.Free(a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DiskTest, ReadingUnallocatedPageFails) {
+  Page pg(256);
+  EXPECT_FALSE(disk_.Read(999, &pg).ok());
+}
+
+TEST(CostTrackerTest, MsFormula) {
+  CostTracker t(2.0, 25.0, 3.0);
+  t.ChargeRead(4);
+  t.ChargeWrite(1);
+  t.ChargeScreen(10);
+  t.ChargeTupleCpu(5);
+  t.ChargeAdSetOp(7);
+  // 25*(4+1) + 2*(10+5) + 3*7 = 125 + 30 + 21
+  EXPECT_DOUBLE_EQ(t.TotalMs(), 176.0);
+  t.Reset();
+  EXPECT_DOUBLE_EQ(t.TotalMs(), 0.0);
+}
+
+TEST(CostTrackerTest, CounterDeltas) {
+  CostTracker t;
+  t.ChargeRead(3);
+  const CostCounters before = t.counters();
+  t.ChargeRead(2);
+  t.ChargeWrite(5);
+  const CostCounters delta = t.counters() - before;
+  EXPECT_EQ(delta.disk_reads, 2u);
+  EXPECT_EQ(delta.disk_writes, 5u);
+  EXPECT_EQ(delta.disk_ios(), 7u);
+}
+
+}  // namespace
+}  // namespace viewmat::storage

@@ -1,0 +1,172 @@
+#include "storage/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/random.h"
+
+namespace viewmat::storage {
+namespace {
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  HashIndexTest()
+      : disk_(256, &tracker_), pool_(&disk_, 32), index_(&pool_, 8, 4) {}
+
+  std::vector<uint8_t> Payload(uint64_t tag) {
+    std::vector<uint8_t> p(8);
+    std::memcpy(p.data(), &tag, 8);
+    return p;
+  }
+  static uint64_t TagOf(const uint8_t* payload) {
+    uint64_t tag;
+    std::memcpy(&tag, payload, 8);
+    return tag;
+  }
+  HashIndex::Matcher MatchTag(uint64_t tag) {
+    return [tag](const uint8_t* p) { return TagOf(p) == tag; };
+  }
+
+  CostTracker tracker_;
+  SimulatedDisk disk_;
+  BufferPool pool_;
+  HashIndex index_;  // 4 buckets force chains quickly
+};
+
+TEST_F(HashIndexTest, EmptyIndexHasNoPages) {
+  uint8_t out[8];
+  EXPECT_EQ(index_.Find(1, out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(index_.page_count(), 0u);
+}
+
+TEST_F(HashIndexTest, InsertFindRoundTrip) {
+  ASSERT_TRUE(index_.Insert(10, Payload(100).data()).ok());
+  uint8_t out[8];
+  ASSERT_TRUE(index_.Find(10, out).ok());
+  EXPECT_EQ(TagOf(out), 100u);
+  EXPECT_EQ(index_.entry_count(), 1u);
+}
+
+TEST_F(HashIndexTest, OverflowChainsGrow) {
+  // 256-byte pages, 16-byte entries -> ~15 per page; 4 buckets; 500 keys
+  // must spill into overflow pages.
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(index_.Insert(k, Payload(k).data()).ok());
+  }
+  EXPECT_GT(index_.page_count(), 4u);
+  uint8_t out[8];
+  for (int64_t k = 0; k < 500; k += 37) {
+    ASSERT_TRUE(index_.Find(k, out).ok()) << k;
+    EXPECT_EQ(TagOf(out), static_cast<uint64_t>(k));
+  }
+}
+
+TEST_F(HashIndexTest, FindAllVisitsDuplicates) {
+  for (uint64_t tag = 0; tag < 40; ++tag) {
+    ASSERT_TRUE(index_.Insert(5, Payload(tag).data()).ok());
+  }
+  size_t count = 0;
+  ASSERT_TRUE(index_.FindAll(5, [&](int64_t, const uint8_t*) {
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, 40u);
+}
+
+TEST_F(HashIndexTest, DeleteSpecificEntry) {
+  ASSERT_TRUE(index_.Insert(5, Payload(1).data()).ok());
+  ASSERT_TRUE(index_.Insert(5, Payload(2).data()).ok());
+  ASSERT_TRUE(index_.Delete(5, MatchTag(1)).ok());
+  EXPECT_EQ(index_.entry_count(), 1u);
+  uint8_t out[8];
+  ASSERT_TRUE(index_.Find(5, out).ok());
+  EXPECT_EQ(TagOf(out), 2u);
+  EXPECT_EQ(index_.Delete(5, MatchTag(1)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(HashIndexTest, EmptyOverflowPagesAreFreed) {
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(index_.Insert(k, Payload(k).data()).ok());
+  }
+  const size_t pages_full = index_.page_count();
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(index_.Delete(k, nullptr).ok());
+  }
+  EXPECT_EQ(index_.entry_count(), 0u);
+  EXPECT_LT(index_.page_count(), pages_full);
+}
+
+TEST_F(HashIndexTest, UpdatePayload) {
+  ASSERT_TRUE(index_.Insert(3, Payload(7).data()).ok());
+  ASSERT_TRUE(index_.UpdatePayload(3, MatchTag(7), Payload(8).data()).ok());
+  uint8_t out[8];
+  ASSERT_TRUE(index_.Find(3, out).ok());
+  EXPECT_EQ(TagOf(out), 8u);
+  EXPECT_EQ(
+      index_.UpdatePayload(99, nullptr, Payload(0).data()).code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(HashIndexTest, ScanAllCoversEverything) {
+  std::map<int64_t, uint64_t> want;
+  for (int64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(index_.Insert(k, Payload(k * 2).data()).ok());
+    want[k] = k * 2;
+  }
+  std::map<int64_t, uint64_t> got;
+  ASSERT_TRUE(index_.ScanAll([&](int64_t k, const uint8_t* p) {
+    got[k] = TagOf(p);
+    return true;
+  }).ok());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(HashIndexTest, ClearReleasesAllPages) {
+  for (int64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(index_.Insert(k, Payload(k).data()).ok());
+  }
+  ASSERT_TRUE(index_.Clear().ok());
+  EXPECT_EQ(index_.entry_count(), 0u);
+  EXPECT_EQ(index_.page_count(), 0u);
+  uint8_t out[8];
+  EXPECT_EQ(index_.Find(5, out).code(), StatusCode::kNotFound);
+  // Reusable after clear.
+  ASSERT_TRUE(index_.Insert(5, Payload(5).data()).ok());
+  ASSERT_TRUE(index_.Find(5, out).ok());
+}
+
+TEST_F(HashIndexTest, RandomChurnMatchesReference) {
+  Random rng(17);
+  std::multimap<int64_t, uint64_t> model;
+  uint64_t next_tag = 0;
+  for (int step = 0; step < 4000; ++step) {
+    if (model.empty() || rng.Bernoulli(0.55)) {
+      const int64_t key = rng.UniformInt(0, 200);
+      const uint64_t tag = next_tag++;
+      ASSERT_TRUE(index_.Insert(key, Payload(tag).data()).ok());
+      model.emplace(key, tag);
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(index_.Delete(it->first, MatchTag(it->second)).ok());
+      model.erase(it);
+    }
+  }
+  ASSERT_EQ(index_.entry_count(), model.size());
+  // Bucket order is arbitrary: compare order-insensitively.
+  std::vector<std::pair<int64_t, uint64_t>> scanned;
+  ASSERT_TRUE(index_.ScanAll([&](int64_t k, const uint8_t* p) {
+    scanned.emplace_back(k, TagOf(p));
+    return true;
+  }).ok());
+  std::vector<std::pair<int64_t, uint64_t>> expected(model.begin(),
+                                                     model.end());
+  std::sort(scanned.begin(), scanned.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(scanned, expected);
+}
+
+}  // namespace
+}  // namespace viewmat::storage

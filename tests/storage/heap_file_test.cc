@@ -1,0 +1,146 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/random.h"
+
+namespace viewmat::storage {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest() : disk_(256, &tracker_), pool_(&disk_, 8), heap_(&pool_, 16) {}
+
+  std::vector<uint8_t> Record(uint64_t tag) {
+    std::vector<uint8_t> r(16, 0);
+    std::memcpy(r.data(), &tag, 8);
+    return r;
+  }
+  uint64_t TagOf(const uint8_t* rec) {
+    uint64_t tag;
+    std::memcpy(&tag, rec, 8);
+    return tag;
+  }
+
+  CostTracker tracker_;
+  SimulatedDisk disk_;
+  BufferPool pool_;
+  HeapFile heap_;
+};
+
+TEST_F(HeapFileTest, InsertAndGet) {
+  auto rid = heap_.Insert(Record(42).data());
+  ASSERT_TRUE(rid.ok());
+  uint8_t out[16];
+  ASSERT_TRUE(heap_.Get(*rid, out).ok());
+  EXPECT_EQ(TagOf(out), 42u);
+  EXPECT_EQ(heap_.record_count(), 1u);
+}
+
+TEST_F(HeapFileTest, FillsPagesBeforeAllocatingNew) {
+  const uint32_t per_page = heap_.slots_per_page();
+  for (uint32_t i = 0; i < per_page; ++i) {
+    ASSERT_TRUE(heap_.Insert(Record(i).data()).ok());
+  }
+  EXPECT_EQ(heap_.page_count(), 1u);
+  ASSERT_TRUE(heap_.Insert(Record(999).data()).ok());
+  EXPECT_EQ(heap_.page_count(), 2u);
+}
+
+TEST_F(HeapFileTest, DeleteFreesSlotForReuse) {
+  const uint32_t per_page = heap_.slots_per_page();
+  std::vector<Rid> rids;
+  for (uint32_t i = 0; i < per_page; ++i) {
+    auto rid = heap_.Insert(Record(i).data());
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  ASSERT_TRUE(heap_.Delete(rids[3]).ok());
+  auto rid = heap_.Insert(Record(777).data());
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(heap_.page_count(), 1u);  // reused the freed slot
+  EXPECT_EQ(rid->page, rids[3].page);
+  EXPECT_EQ(rid->slot, rids[3].slot);
+}
+
+TEST_F(HeapFileTest, GetDeletedRecordFails) {
+  auto rid = heap_.Insert(Record(1).data());
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(heap_.Delete(*rid).ok());
+  uint8_t out[16];
+  EXPECT_EQ(heap_.Get(*rid, out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(heap_.Delete(*rid).code(), StatusCode::kNotFound);
+}
+
+TEST_F(HeapFileTest, UpdateOverwritesInPlace) {
+  auto rid = heap_.Insert(Record(5).data());
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(heap_.Update(*rid, Record(6).data()).ok());
+  uint8_t out[16];
+  ASSERT_TRUE(heap_.Get(*rid, out).ok());
+  EXPECT_EQ(TagOf(out), 6u);
+}
+
+TEST_F(HeapFileTest, ScanVisitsEverythingOnce) {
+  std::set<uint64_t> want;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap_.Insert(Record(i).data()).ok());
+    want.insert(i);
+  }
+  std::set<uint64_t> got;
+  ASSERT_TRUE(heap_.Scan([&](Rid, const uint8_t* rec) {
+    EXPECT_TRUE(got.insert(TagOf(rec)).second) << "duplicate visit";
+    return true;
+  }).ok());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(HeapFileTest, ScanEarlyStop) {
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(heap_.Insert(Record(i).data()).ok());
+  }
+  int visited = 0;
+  ASSERT_TRUE(heap_.Scan([&](Rid, const uint8_t*) {
+    return ++visited < 7;
+  }).ok());
+  EXPECT_EQ(visited, 7);
+}
+
+TEST_F(HeapFileTest, RandomChurnKeepsCountsConsistent) {
+  Random rng(7);
+  std::vector<std::pair<Rid, uint64_t>> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      const uint64_t tag = rng.Next();
+      auto rid = heap_.Insert(Record(tag).data());
+      ASSERT_TRUE(rid.ok());
+      live.emplace_back(*rid, tag);
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      ASSERT_TRUE(heap_.Delete(live[idx].first).ok());
+      live.erase(live.begin() + idx);
+    }
+  }
+  EXPECT_EQ(heap_.record_count(), live.size());
+  for (const auto& [rid, tag] : live) {
+    uint8_t out[16];
+    ASSERT_TRUE(heap_.Get(rid, out).ok());
+    EXPECT_EQ(TagOf(out), tag);
+  }
+}
+
+TEST_F(HeapFileTest, DestroyReleasesPages) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap_.Insert(Record(i).data()).ok());
+  }
+  const size_t live_before = disk_.live_pages();
+  ASSERT_TRUE(heap_.Destroy().ok());
+  EXPECT_LT(disk_.live_pages(), live_before);
+  EXPECT_EQ(heap_.record_count(), 0u);
+}
+
+}  // namespace
+}  // namespace viewmat::storage

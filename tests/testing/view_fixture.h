@@ -1,0 +1,134 @@
+#ifndef VIEWMAT_TESTS_TESTING_VIEW_FIXTURE_H_
+#define VIEWMAT_TESTS_TESTING_VIEW_FIXTURE_H_
+
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+#include "db/catalog.h"
+#include "db/predicate.h"
+#include "db/relation.h"
+#include "db/transaction.h"
+#include "hr/ad_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "view/strategy.h"
+#include "view/view_def.h"
+
+namespace viewmat::testing {
+
+/// Small shared database for view-strategy tests:
+///   R  (k1, k2, v): 200 tuples, k1 = 0..199 unique, k2 = k1 % 20,
+///                   v = k1 * 1.0; clustered B+-tree on k1.
+///   R2 (key, w):    20 tuples, key = 0..19, w = key * 100.0;
+///                   clustered hash on key.
+/// View predicate: k1 < 60 (selectivity 0.3).
+class ViewTestDb {
+ public:
+  static constexpr int64_t kN = 200;
+  static constexpr int64_t kR2N = 20;
+  static constexpr int64_t kFCut = 60;
+
+  ViewTestDb()
+      : tracker_(1.0, 30.0, 1.0),
+        disk_(512, &tracker_),
+        pool_(&disk_, 128),
+        catalog_(&pool_) {
+    db::Schema base_schema({db::Field::Int64("k1"), db::Field::Int64("k2"),
+                            db::Field::Double("v")});
+    db::Schema r2_schema({db::Field::Int64("key"), db::Field::Double("w")});
+    base_ = *catalog_.CreateRelation("R", base_schema,
+                                     db::AccessMethod::kClusteredBTree, 0);
+    r2_ = *catalog_.CreateRelation("R2", r2_schema,
+                                   db::AccessMethod::kClusteredHash, 0);
+    for (int64_t k = 0; k < kN; ++k) {
+      VIEWMAT_CHECK(base_->Insert(BaseRow(k, k * 1.0)).ok());
+      v_oracle_[k] = k * 1.0;
+    }
+    for (int64_t k = 0; k < kR2N; ++k) {
+      VIEWMAT_CHECK(
+          r2_->Insert(db::Tuple({db::Value(k), db::Value(k * 100.0)})).ok());
+    }
+  }
+
+  db::Tuple BaseRow(int64_t k1, double v) const {
+    return db::Tuple({db::Value(k1), db::Value(k1 % kR2N), db::Value(v)});
+  }
+
+  /// The Model 1 view: σ(k1 < 60) projected to (k1, v).
+  view::SelectProjectDef SpDef() const {
+    view::SelectProjectDef def;
+    def.base = base_;
+    def.predicate =
+        db::Predicate::Compare(0, db::CompareOp::kLt, db::Value(kFCut));
+    def.projection = {0, 2};
+    def.view_key_field = 0;
+    return def;
+  }
+
+  /// The Model 2 view: σ(k1 < 60)(R ⋈_{k2 = key} R2) -> (k1, v, key, w).
+  view::JoinDef JDef() const {
+    view::JoinDef def;
+    def.r1 = base_;
+    def.r2 = r2_;
+    def.cf = db::Predicate::Compare(0, db::CompareOp::kLt, db::Value(kFCut));
+    def.r1_join_field = 1;
+    def.r1_projection = {0, 2};
+    def.r2_projection = {0, 1};
+    def.view_key_field = 0;
+    return def;
+  }
+
+  view::AggregateDef AggDef(view::AggregateOp op) const {
+    view::AggregateDef def;
+    def.base = base_;
+    def.predicate =
+        db::Predicate::Compare(0, db::CompareOp::kLt, db::Value(kFCut));
+    def.op = op;
+    def.agg_field = 2;
+    return def;
+  }
+
+  hr::AdFile::Options AdOptions() const {
+    hr::AdFile::Options options;
+    options.hash_buckets = 4;
+    options.expected_keys = 512;
+    return options;
+  }
+
+  /// One transaction setting v of `key` to `new_v`.
+  db::Transaction UpdateTxn(int64_t key, double new_v) {
+    db::Transaction txn;
+    txn.Update(base_, BaseRow(key, v_oracle_[key]), BaseRow(key, new_v));
+    v_oracle_[key] = new_v;
+    return txn;
+  }
+
+  /// Collects a strategy's answer over the full key range as a counted
+  /// multiset (QM emits duplicates as repeated count-1 values; fold them).
+  std::map<db::Tuple, int64_t> QueryAll(view::ViewStrategy* strategy,
+                                        int64_t lo = 0,
+                                        int64_t hi = 1 << 20) {
+    std::map<db::Tuple, int64_t> out;
+    VIEWMAT_CHECK(strategy
+                      ->Query(lo, hi,
+                              [&](const db::Tuple& t, int64_t c) {
+                                out[t] += c;
+                                return true;
+                              })
+                      .ok());
+    return out;
+  }
+
+  storage::CostTracker tracker_;
+  storage::SimulatedDisk disk_;
+  storage::BufferPool pool_;
+  db::Catalog catalog_;
+  db::Relation* base_ = nullptr;
+  db::Relation* r2_ = nullptr;
+  std::map<int64_t, double> v_oracle_;
+};
+
+}  // namespace viewmat::testing
+
+#endif  // VIEWMAT_TESTS_TESTING_VIEW_FIXTURE_H_

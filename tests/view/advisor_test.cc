@@ -1,0 +1,79 @@
+#include "view/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/model1.h"
+#include "costmodel/model2.h"
+#include "costmodel/model3.h"
+
+namespace viewmat::view {
+namespace {
+
+using costmodel::Params;
+using costmodel::Strategy;
+
+TEST(Advisor, Model1DefaultsRecommendClustered) {
+  const Advice advice = Advise(ViewModel::kSelectProject, Params());
+  EXPECT_EQ(advice.best(), Strategy::kQmClustered);
+  EXPECT_EQ(advice.ranked.size(), 5u);
+}
+
+TEST(Advisor, RankingIsSortedAscending) {
+  const Advice advice = Advise(ViewModel::kSelectProject, Params());
+  for (size_t i = 1; i < advice.ranked.size(); ++i) {
+    EXPECT_LE(advice.ranked[i - 1].cost_ms, advice.ranked[i].cost_ms);
+  }
+}
+
+TEST(Advisor, CostsMatchModelFunctions) {
+  const Params p;
+  const Advice advice = Advise(ViewModel::kSelectProject, p);
+  for (const auto& entry : advice.ranked) {
+    EXPECT_DOUBLE_EQ(entry.cost_ms, *costmodel::Model1Cost(entry.strategy, p));
+  }
+}
+
+TEST(Advisor, Model1LowPRecommendsMaterialization) {
+  const Advice advice = Advise(ViewModel::kSelectProject,
+                               Params().WithUpdateProbability(0.02));
+  EXPECT_TRUE(advice.best() == Strategy::kImmediate ||
+              advice.best() == Strategy::kDeferred);
+}
+
+TEST(Advisor, Model2DefaultsRecommendMaterialization) {
+  const Advice advice = Advise(ViewModel::kJoin, Params());
+  EXPECT_TRUE(advice.best() == Strategy::kImmediate ||
+              advice.best() == Strategy::kDeferred);
+  EXPECT_EQ(advice.ranked.size(), 3u);
+}
+
+TEST(Advisor, Model2EmpDeptCaseRecommendsQueryModification) {
+  Params p;
+  p.f = 1.0;
+  p.l = 1.0;
+  p.f_v = 1.0 / p.N;
+  const Advice advice =
+      Advise(ViewModel::kJoin, p.WithUpdateProbability(0.2));
+  EXPECT_EQ(advice.best(), Strategy::kQmLoopJoin);
+}
+
+TEST(Advisor, Model3AlmostAlwaysRecommendsMaintenance) {
+  for (const double P : {0.1, 0.5, 0.9}) {
+    const Advice advice =
+        Advise(ViewModel::kAggregate, Params().WithUpdateProbability(P));
+    EXPECT_TRUE(advice.best() == Strategy::kImmediate ||
+                advice.best() == Strategy::kDeferred)
+        << "P=" << P;
+  }
+}
+
+TEST(Advisor, ReportMentionsWinnerAndCosts) {
+  const Advice advice = Advise(ViewModel::kSelectProject, Params());
+  const std::string report = AdviceReport(advice);
+  EXPECT_NE(report.find("recommended"), std::string::npos);
+  EXPECT_NE(report.find("clustered"), std::string::npos);
+  EXPECT_NE(report.find("deferred"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viewmat::view

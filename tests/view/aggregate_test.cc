@@ -1,0 +1,209 @@
+#include "view/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/view_fixture.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+// --- AggregateState ---------------------------------------------------------
+
+TEST(AggregateState, SumCountAvg) {
+  AggregateState sum(AggregateOp::kSum);
+  sum.ApplyInsert(1.0);
+  sum.ApplyInsert(2.5);
+  EXPECT_DOUBLE_EQ(sum.Current()->AsDouble(), 3.5);
+
+  AggregateState count(AggregateOp::kCount);
+  count.ApplyInsert(1.0);
+  count.ApplyInsert(1.0);
+  EXPECT_EQ(count.Current()->AsInt64(), 2);
+
+  AggregateState avg(AggregateOp::kAvg);
+  avg.ApplyInsert(1.0);
+  avg.ApplyInsert(3.0);
+  EXPECT_DOUBLE_EQ(avg.Current()->AsDouble(), 2.0);
+}
+
+TEST(AggregateState, DeletesAreExactForSumLikeOps) {
+  AggregateState sum(AggregateOp::kSum);
+  sum.ApplyInsert(5.0);
+  sum.ApplyInsert(7.0);
+  EXPECT_TRUE(sum.ApplyDelete(5.0));
+  EXPECT_DOUBLE_EQ(sum.Current()->AsDouble(), 7.0);
+  EXPECT_TRUE(sum.exact());
+}
+
+TEST(AggregateState, MinMaxTrackInserts) {
+  AggregateState mn(AggregateOp::kMin);
+  mn.ApplyInsert(5.0);
+  mn.ApplyInsert(2.0);
+  mn.ApplyInsert(9.0);
+  EXPECT_DOUBLE_EQ(mn.Current()->AsDouble(), 2.0);
+  AggregateState mx(AggregateOp::kMax);
+  mx.ApplyInsert(5.0);
+  mx.ApplyInsert(9.0);
+  EXPECT_DOUBLE_EQ(mx.Current()->AsDouble(), 9.0);
+}
+
+TEST(AggregateState, DeletingExtremumInvalidatesMinMax) {
+  AggregateState mn(AggregateOp::kMin);
+  mn.ApplyInsert(5.0);
+  mn.ApplyInsert(2.0);
+  EXPECT_FALSE(mn.ApplyDelete(2.0));  // extremum left: recompute needed
+  EXPECT_FALSE(mn.exact());
+  EXPECT_EQ(mn.Current().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AggregateState, DeletingNonExtremumKeepsMinMaxExact) {
+  AggregateState mn(AggregateOp::kMin);
+  mn.ApplyInsert(5.0);
+  mn.ApplyInsert(2.0);
+  EXPECT_TRUE(mn.ApplyDelete(5.0));
+  EXPECT_DOUBLE_EQ(mn.Current()->AsDouble(), 2.0);
+}
+
+TEST(AggregateState, EmptySetBehaviour) {
+  AggregateState sum(AggregateOp::kSum);
+  EXPECT_DOUBLE_EQ(sum.Current()->AsDouble(), 0.0);
+  AggregateState count(AggregateOp::kCount);
+  EXPECT_EQ(count.Current()->AsInt64(), 0);
+  AggregateState avg(AggregateOp::kAvg);
+  EXPECT_EQ(avg.Current().status().code(), StatusCode::kNotFound);
+  AggregateState mn(AggregateOp::kMin);
+  EXPECT_EQ(mn.Current().status().code(), StatusCode::kNotFound);
+}
+
+TEST(AggregateState, DrainToEmptyRestoresExactness) {
+  AggregateState mn(AggregateOp::kMin);
+  mn.ApplyInsert(2.0);
+  EXPECT_TRUE(mn.ApplyDelete(2.0));  // empty again: exact by definition
+  EXPECT_TRUE(mn.exact());
+}
+
+TEST(AggregateState, SerializeRoundTrips) {
+  AggregateState s(AggregateOp::kAvg);
+  s.ApplyInsert(4.0);
+  s.ApplyInsert(8.0);
+  uint8_t buf[AggregateState::kSerializedSize];
+  s.Serialize(buf);
+  const AggregateState back = AggregateState::Deserialize(buf);
+  EXPECT_TRUE(back == s);
+  EXPECT_DOUBLE_EQ(back.Current()->AsDouble(), 6.0);
+}
+
+// --- Strategies --------------------------------------------------------------
+
+double ExpectedSum(const ViewTestDb& db) {
+  double sum = 0;
+  for (const auto& [k, v] : db.v_oracle_) {
+    if (k < ViewTestDb::kFCut) sum += v;
+  }
+  return sum;
+}
+
+TEST(RecomputeAggregate, ComputesFreshEveryTime) {
+  ViewTestDb db;
+  RecomputeAggregateStrategy strategy(db.AggDef(AggregateOp::kSum),
+                                      &db.tracker_);
+  db::Value out;
+  ASSERT_TRUE(strategy.QueryValue(&out).ok());
+  EXPECT_DOUBLE_EQ(out.AsDouble(), ExpectedSum(db));
+  ASSERT_TRUE(strategy.OnTransaction(db.UpdateTxn(5, 500.0)).ok());
+  ASSERT_TRUE(strategy.QueryValue(&out).ok());
+  EXPECT_DOUBLE_EQ(out.AsDouble(), ExpectedSum(db));
+}
+
+TEST(ImmediateAggregate, MaintainsSumAcrossTransactions) {
+  ViewTestDb db;
+  ImmediateAggregateStrategy strategy(db.AggDef(AggregateOp::kSum), &db.disk_,
+                                      &db.tracker_);
+  ASSERT_TRUE(strategy.InitializeFromBase().ok());
+  db::Value out;
+  ASSERT_TRUE(strategy.QueryValue(&out).ok());
+  EXPECT_DOUBLE_EQ(out.AsDouble(), ExpectedSum(db));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(strategy.OnTransaction(db.UpdateTxn(i * 7, i * 3.25)).ok());
+  }
+  ASSERT_TRUE(strategy.QueryValue(&out).ok());
+  EXPECT_NEAR(out.AsDouble(), ExpectedSum(db), 1e-6);
+}
+
+TEST(ImmediateAggregate, MinRecomputesWhenExtremumLeaves) {
+  ViewTestDb db;
+  ImmediateAggregateStrategy strategy(db.AggDef(AggregateOp::kMin), &db.disk_,
+                                      &db.tracker_);
+  ASSERT_TRUE(strategy.InitializeFromBase().ok());
+  db::Value out;
+  ASSERT_TRUE(strategy.QueryValue(&out).ok());
+  EXPECT_DOUBLE_EQ(out.AsDouble(), 0.0);  // v = k1, min is key 0
+  // Raise the minimum's value: forces a recomputation.
+  ASSERT_TRUE(strategy.OnTransaction(db.UpdateTxn(0, 999.0)).ok());
+  EXPECT_GE(strategy.recompute_count(), 1u);
+  ASSERT_TRUE(strategy.QueryValue(&out).ok());
+  EXPECT_DOUBLE_EQ(out.AsDouble(), 1.0);  // key 1 is the new minimum
+}
+
+TEST(DeferredAggregate, RefreshesAtQueryTime) {
+  ViewTestDb db;
+  DeferredAggregateStrategy strategy(db.AggDef(AggregateOp::kSum),
+                                     db.AdOptions(), &db.disk_, &db.tracker_);
+  ASSERT_TRUE(strategy.InitializeFromBase().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(strategy.OnTransaction(db.UpdateTxn(i, 100.0 + i)).ok());
+  }
+  db::Value out;
+  ASSERT_TRUE(strategy.QueryValue(&out).ok());
+  EXPECT_NEAR(out.AsDouble(), ExpectedSum(db), 1e-6);
+}
+
+TEST(AllAggregateStrategies, AgreeOnRandomHistory) {
+  Random rng(55);
+  ViewTestDb db_rec, db_imm, db_def;
+  RecomputeAggregateStrategy rec(db_rec.AggDef(AggregateOp::kSum),
+                                 &db_rec.tracker_);
+  ImmediateAggregateStrategy imm(db_imm.AggDef(AggregateOp::kSum),
+                                 &db_imm.disk_, &db_imm.tracker_);
+  DeferredAggregateStrategy def(db_def.AggDef(AggregateOp::kSum),
+                                db_def.AdOptions(), &db_def.disk_,
+                                &db_def.tracker_);
+  ASSERT_TRUE(imm.InitializeFromBase().ok());
+  ASSERT_TRUE(def.InitializeFromBase().ok());
+  for (int t = 0; t < 40; ++t) {
+    const int64_t key = rng.UniformInt(0, ViewTestDb::kN - 1);
+    const double v = static_cast<double>(rng.UniformInt(0, 1000));
+    auto drive = [&](ViewTestDb& db, AggregateStrategy* s) {
+      ASSERT_TRUE(s->OnTransaction(db.UpdateTxn(key, v)).ok());
+    };
+    drive(db_rec, &rec);
+    drive(db_imm, &imm);
+    drive(db_def, &def);
+    if (t % 5 == 4) {
+      db::Value a, b, c;
+      ASSERT_TRUE(rec.QueryValue(&a).ok());
+      ASSERT_TRUE(imm.QueryValue(&b).ok());
+      ASSERT_TRUE(def.QueryValue(&c).ok());
+      EXPECT_NEAR(a.AsDouble(), b.AsDouble(), 1e-6) << "txn " << t;
+      EXPECT_NEAR(a.AsDouble(), c.AsDouble(), 1e-6) << "txn " << t;
+    }
+  }
+}
+
+TEST(ComputeAggregateFromBase, UsesRangeScanAndPredicate) {
+  ViewTestDb db;
+  AggregateState out;
+  ASSERT_TRUE(
+      ComputeAggregateFromBase(db.AggDef(AggregateOp::kCount), &db.tracker_,
+                               &out).ok());
+  EXPECT_EQ(out.Current()->AsInt64(), ViewTestDb::kFCut);
+  // Each scanned tuple was screened at C1.
+  EXPECT_GE(db.tracker_.counters().tuple_cpu_ops,
+            static_cast<uint64_t>(ViewTestDb::kFCut));
+}
+
+}  // namespace
+}  // namespace viewmat::view

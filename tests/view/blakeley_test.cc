@@ -1,0 +1,146 @@
+#include "view/blakeley_appendix_a.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace viewmat::view {
+namespace {
+
+db::Tuple R1Row(int64_t a, int64_t b) {
+  return db::Tuple({db::Value(a), db::Value(b)});
+}
+db::Tuple R2Row(int64_t b, int64_t c) {
+  return db::Tuple({db::Value(b), db::Value(c)});
+}
+
+/// Natural join R1(a,b) ⋈ R2(b,c) projected to (a, c) — the paper's §2.1
+/// running example.
+JoinSpec Spec() { return JoinSpec{1, 0, {0, 3}}; }
+
+TEST(JoinProject, BasicJoin) {
+  const CountedSet v =
+      JoinProject({R1Row(1, 10), R1Row(2, 20)}, {R2Row(10, 7), R2Row(30, 9)},
+                  Spec());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.at(db::Tuple({db::Value(int64_t{1}), db::Value(int64_t{7})})),
+            1);
+}
+
+TEST(JoinProject, ProjectionProducesDuplicateCounts) {
+  // Two R1 tuples with different b join different R2 tuples but project to
+  // the same (a, c) value: count 2.
+  const CountedSet v = JoinProject({R1Row(1, 10), R1Row(1, 11)},
+                                   {R2Row(10, 7), R2Row(11, 7)}, Spec());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.at(db::Tuple({db::Value(int64_t{1}), db::Value(int64_t{7})})),
+            2);
+}
+
+TEST(MultisetOps, PlusAndMinus) {
+  CountedSet a;
+  const db::Tuple t({db::Value(int64_t{1})});
+  a[t] = 2;
+  CountedSet b;
+  b[t] = 1;
+  EXPECT_EQ(PlusAll(a, b).at(t), 3);
+  EXPECT_EQ(MinusAll(a, b).at(t), 1);
+  CountedSet drained = MinusAll(b, b);
+  EXPECT_TRUE(drained.empty());  // zero counts vanish
+  CountedSet negative = MinusAll(CountedSet{}, b);
+  EXPECT_EQ(negative.at(t), -1);  // negative counts kept: the corruption
+}
+
+/// The exact Appendix A scenario: t1 ∈ R1 and t2 ∈ R2 join to a view tuple;
+/// one transaction deletes both.
+TwoRelationDelta DualDeleteScenario() {
+  TwoRelationDelta delta;
+  delta.r1 = {R1Row(1, 10), R1Row(2, 20)};
+  delta.r2 = {R2Row(10, 7), R2Row(20, 8)};
+  delta.d1 = {R1Row(1, 10)};
+  delta.d2 = {R2Row(10, 7)};
+  return delta;
+}
+
+TEST(AppendixA, HansonRefreshMatchesRecompute) {
+  const TwoRelationDelta delta = DualDeleteScenario();
+  const JoinSpec spec = Spec();
+  const CountedSet v0 = JoinProject(delta.r1, delta.r2, spec);
+  const CountedSet v1 = HansonRefresh(v0, delta, spec);
+  EXPECT_EQ(v1, RecomputeFromScratch(delta, spec));
+}
+
+TEST(AppendixA, BlakeleyOverDeletesDualDeletedTuple) {
+  // "the result of joining t1 to t2 would be deleted from V0 three times,
+  // not just one" — starting from count 1, the count lands at 1 − 3 = −2.
+  const TwoRelationDelta delta = DualDeleteScenario();
+  const JoinSpec spec = Spec();
+  const CountedSet v0 = JoinProject(delta.r1, delta.r2, spec);
+  const CountedSet v1 = BlakeleyRefresh(v0, delta, spec);
+  const db::Tuple victim({db::Value(int64_t{1}), db::Value(int64_t{7})});
+  ASSERT_TRUE(v1.contains(victim));
+  EXPECT_EQ(v1.at(victim), -2);
+  EXPECT_NE(v1, RecomputeFromScratch(delta, spec));
+}
+
+TEST(AppendixA, BlakeleyCorrectForSingleSidedChanges) {
+  // The incorrect expansion only misbehaves for dual-sided deletions:
+  // one-sided transactions refresh correctly under both expansions.
+  TwoRelationDelta delta;
+  delta.r1 = {R1Row(1, 10), R1Row(2, 20)};
+  delta.r2 = {R2Row(10, 7), R2Row(20, 8), R2Row(30, 9)};
+  delta.d1 = {R1Row(1, 10)};
+  delta.a1 = {R1Row(3, 30)};
+  const JoinSpec spec = Spec();
+  const CountedSet v0 = JoinProject(delta.r1, delta.r2, spec);
+  const CountedSet want = RecomputeFromScratch(delta, spec);
+  EXPECT_EQ(HansonRefresh(v0, delta, spec), want);
+  EXPECT_EQ(BlakeleyRefresh(v0, delta, spec), want);
+}
+
+TEST(AppendixA, HansonHandlesSimultaneousInsertsBothSides) {
+  TwoRelationDelta delta;
+  delta.r1 = {R1Row(1, 10)};
+  delta.r2 = {R2Row(10, 7)};
+  delta.a1 = {R1Row(2, 20)};
+  delta.a2 = {R2Row(20, 8)};
+  const JoinSpec spec = Spec();
+  const CountedSet v0 = JoinProject(delta.r1, delta.r2, spec);
+  const CountedSet v1 = HansonRefresh(v0, delta, spec);
+  EXPECT_EQ(v1, RecomputeFromScratch(delta, spec));
+  // The A1 × A2 cross term matters: (2,20) joins the new (20,8).
+  EXPECT_TRUE(v1.contains(db::Tuple({db::Value(int64_t{2}),
+                                     db::Value(int64_t{8})})));
+}
+
+TEST(AppendixA, RandomizedHansonAlwaysMatchesRecompute) {
+  // Property sweep: Hanson's corrected expansion equals recomputation for
+  // arbitrary mixed transactions; Blakeley's diverges whenever a joined
+  // pair is deleted from both sides.
+  Random rng(77);
+  const JoinSpec spec = Spec();
+  for (int trial = 0; trial < 50; ++trial) {
+    TwoRelationDelta delta;
+    for (int i = 0; i < 6; ++i) {
+      delta.r1.push_back(R1Row(rng.UniformInt(0, 4), rng.UniformInt(0, 5)));
+      delta.r2.push_back(R2Row(rng.UniformInt(0, 5), rng.UniformInt(0, 3)));
+    }
+    // Delete one existing tuple from each side with 50% probability, insert
+    // fresh tuples with 50%.
+    if (rng.Bernoulli(0.5)) delta.d1.push_back(delta.r1[0]);
+    if (rng.Bernoulli(0.5)) delta.d2.push_back(delta.r2[0]);
+    if (rng.Bernoulli(0.5)) {
+      delta.a1.push_back(R1Row(rng.UniformInt(5, 9), rng.UniformInt(0, 5)));
+    }
+    if (rng.Bernoulli(0.5)) {
+      delta.a2.push_back(R2Row(rng.UniformInt(0, 5), rng.UniformInt(4, 7)));
+    }
+    const CountedSet v0 = JoinProject(delta.r1, delta.r2, spec);
+    EXPECT_EQ(HansonRefresh(v0, delta, spec),
+              RecomputeFromScratch(delta, spec))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace viewmat::view

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/view_fixture.h"
+#include "view/deferred.h"
+#include "view/immediate.h"
+#include "view/query_modification.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+/// DESIGN.md property 3 writ large: for any update/query history, all three
+/// strategies must return identical answers — they differ only in cost.
+/// Each strategy runs against its own database instance fed the same
+/// (seeded) history.
+struct EquivCase {
+  uint64_t seed;
+  int transactions;
+  int updates_per_txn;
+  bool join_view;
+};
+
+class StrategyEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(StrategyEquivalenceTest, AllStrategiesAgreeAtEveryQueryPoint) {
+  const EquivCase c = GetParam();
+
+  ViewTestDb db_qm;
+  ViewTestDb db_imm;
+  ViewTestDb db_def;
+
+  std::unique_ptr<ViewStrategy> qm;
+  std::unique_ptr<ImmediateStrategy> imm;
+  std::unique_ptr<DeferredStrategy> def;
+  if (c.join_view) {
+    qm = std::make_unique<QmJoinStrategy>(db_qm.JDef(), &db_qm.tracker_);
+    imm = std::make_unique<ImmediateStrategy>(db_imm.JDef(),
+                                              &db_imm.tracker_);
+    def = std::make_unique<DeferredStrategy>(db_def.JDef(), db_def.AdOptions(),
+                                             &db_def.tracker_);
+  } else {
+    qm = std::make_unique<QmSelectProjectStrategy>(db_qm.SpDef(),
+                                                   &db_qm.tracker_);
+    imm = std::make_unique<ImmediateStrategy>(db_imm.SpDef(),
+                                              &db_imm.tracker_);
+    def = std::make_unique<DeferredStrategy>(db_def.SpDef(), db_def.AdOptions(),
+                                             &db_def.tracker_);
+  }
+  ASSERT_TRUE(imm->InitializeFromBase().ok());
+  ASSERT_TRUE(def->InitializeFromBase().ok());
+
+  Random rng(c.seed);
+  for (int t = 0; t < c.transactions; ++t) {
+    // Same random updates applied to all three databases.
+    std::vector<std::pair<int64_t, double>> updates;
+    for (int i = 0; i < c.updates_per_txn; ++i) {
+      updates.emplace_back(rng.UniformInt(0, ViewTestDb::kN - 1),
+                           static_cast<double>(rng.UniformInt(0, 1 << 16)));
+    }
+    auto apply = [&](ViewTestDb& db, ViewStrategy* s) {
+      db::Transaction txn;
+      for (const auto& [key, v] : updates) {
+        txn.Update(db.base_, db.BaseRow(key, db.v_oracle_[key]),
+                   db.BaseRow(key, v));
+        db.v_oracle_[key] = v;
+      }
+      ASSERT_TRUE(s->OnTransaction(txn).ok());
+    };
+    apply(db_qm, qm.get());
+    apply(db_imm, imm.get());
+    apply(db_def, def.get());
+
+    // Query every few transactions, over a random key range.
+    if (t % 3 == 2) {
+      const int64_t lo = rng.UniformInt(0, ViewTestDb::kFCut - 1);
+      const int64_t hi = rng.UniformInt(lo, ViewTestDb::kFCut + 20);
+      const auto a = db_qm.QueryAll(qm.get(), lo, hi);
+      const auto b = db_imm.QueryAll(imm.get(), lo, hi);
+      const auto d = db_def.QueryAll(def.get(), lo, hi);
+      EXPECT_EQ(a, b) << "QM vs immediate diverged at txn " << t;
+      EXPECT_EQ(a, d) << "QM vs deferred diverged at txn " << t;
+    }
+  }
+
+  // Final full-range agreement.
+  const auto a = db_qm.QueryAll(qm.get());
+  const auto b = db_imm.QueryAll(imm.get());
+  const auto d = db_def.QueryAll(def.get());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, d);
+  // And all views are consistent with a from-scratch recomputation on the
+  // deferred database (whose base has been folded forward by queries).
+  ASSERT_TRUE(def->Refresh().ok());
+  QmSelectProjectStrategy* qm_sp =
+      dynamic_cast<QmSelectProjectStrategy*>(qm.get());
+  if (qm_sp != nullptr) {
+    QmSelectProjectStrategy recompute(db_def.SpDef(), &db_def.tracker_);
+    EXPECT_EQ(db_def.QueryAll(def.get()), db_def.QueryAll(&recompute));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Histories, StrategyEquivalenceTest,
+    ::testing::Values(EquivCase{101, 30, 5, false},
+                      EquivCase{102, 60, 2, false},
+                      EquivCase{103, 15, 20, false},
+                      EquivCase{201, 30, 5, true},
+                      EquivCase{202, 15, 20, true},
+                      EquivCase{203, 60, 1, true}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return std::string(info.param.join_view ? "join" : "sp") + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace viewmat::view

@@ -1,0 +1,195 @@
+#include "view/group_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/view_fixture.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+/// sum(v) where k1 < 60 group by k2 (k2 = k1 % 20).
+GroupAggregateDef SumByK2(ViewTestDb* db) {
+  GroupAggregateDef def;
+  def.base = db->base_;
+  def.predicate =
+      db::Predicate::Compare(0, db::CompareOp::kLt,
+                             db::Value(ViewTestDb::kFCut));
+  def.group_field = 1;
+  def.op = AggregateOp::kSum;
+  def.agg_field = 2;
+  return def;
+}
+
+std::map<int64_t, double> OracleSums(const ViewTestDb& db) {
+  std::map<int64_t, double> out;
+  for (const auto& [key, v] : db.v_oracle_) {
+    if (key < ViewTestDb::kFCut) out[key % ViewTestDb::kR2N] += v;
+  }
+  return out;
+}
+
+std::map<int64_t, double> AllGroups(ImmediateGroupAggregateStrategy* s) {
+  std::map<int64_t, double> out;
+  VIEWMAT_CHECK(s->QueryAll([&](int64_t g, const db::Value& v) {
+    out[g] = v.AsDouble();
+    return true;
+  }).ok());
+  return out;
+}
+
+TEST(GroupAggregate, ValidateRejectsBadDefs) {
+  ViewTestDb db;
+  GroupAggregateDef def = SumByK2(&db);
+  def.group_field = 2;  // double column: not groupable
+  EXPECT_EQ(def.Validate().code(), StatusCode::kInvalidArgument);
+  def = SumByK2(&db);
+  def.base = nullptr;
+  EXPECT_EQ(def.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GroupAggregate, InitializeMatchesOracle) {
+  ViewTestDb db;
+  ImmediateGroupAggregateStrategy strategy(SumByK2(&db), &db.tracker_);
+  ASSERT_TRUE(strategy.InitializeFromBase().ok());
+  const auto groups = AllGroups(&strategy);
+  const auto oracle = OracleSums(db);
+  ASSERT_EQ(groups.size(), oracle.size());
+  for (const auto& [g, sum] : oracle) {
+    EXPECT_NEAR(groups.at(g), sum, 1e-9) << "group " << g;
+  }
+}
+
+TEST(GroupAggregate, UpdatesMoveTheRightGroup) {
+  ViewTestDb db;
+  ImmediateGroupAggregateStrategy strategy(SumByK2(&db), &db.tracker_);
+  ASSERT_TRUE(strategy.InitializeFromBase().ok());
+  // Key 5 is in group 5 (5 % 20): raise its v by 95.
+  ASSERT_TRUE(strategy.OnTransaction(db.UpdateTxn(5, 100.0)).ok());
+  db::Value v;
+  ASSERT_TRUE(strategy.QueryGroup(5, &v).ok());
+  EXPECT_NEAR(v.AsDouble(), OracleSums(db).at(5), 1e-9);
+  // Other groups untouched.
+  ASSERT_TRUE(strategy.QueryGroup(6, &v).ok());
+  EXPECT_NEAR(v.AsDouble(), OracleSums(db).at(6), 1e-9);
+}
+
+TEST(GroupAggregate, EmptyGroupIsNotFound) {
+  ViewTestDb db;
+  ImmediateGroupAggregateStrategy strategy(SumByK2(&db), &db.tracker_);
+  ASSERT_TRUE(strategy.InitializeFromBase().ok());
+  db::Value v;
+  EXPECT_EQ(strategy.QueryGroup(999, &v).code(), StatusCode::kNotFound);
+}
+
+TEST(GroupAggregate, MinRecomputesOnlyTheAffectedGroup) {
+  ViewTestDb db;
+  GroupAggregateDef def = SumByK2(&db);
+  def.op = AggregateOp::kMin;
+  ImmediateGroupAggregateStrategy strategy(def, &db.tracker_);
+  ASSERT_TRUE(strategy.InitializeFromBase().ok());
+  // Group 5 holds keys {5, 25, 45} with v = {5, 25, 45}; min = 5. Raising
+  // key 5's v removes the extremum -> that group recomputes.
+  db::Value v;
+  ASSERT_TRUE(strategy.QueryGroup(5, &v).ok());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 5.0);
+  ASSERT_TRUE(strategy.OnTransaction(db.UpdateTxn(5, 500.0)).ok());
+  EXPECT_EQ(strategy.group_recomputes(), 1u);
+  ASSERT_TRUE(strategy.QueryGroup(5, &v).ok());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 25.0);
+}
+
+TEST(GroupAggregate, AgreesWithRecomputeUnderChurn) {
+  ViewTestDb db_imm;
+  ViewTestDb db_rec;
+  ImmediateGroupAggregateStrategy imm(SumByK2(&db_imm), &db_imm.tracker_);
+  RecomputeGroupAggregateStrategy rec(SumByK2(&db_rec), &db_rec.tracker_);
+  ASSERT_TRUE(imm.InitializeFromBase().ok());
+  Random rng(88);
+  for (int t = 0; t < 50; ++t) {
+    const int64_t key = rng.UniformInt(0, ViewTestDb::kN - 1);
+    const double v = static_cast<double>(rng.UniformInt(0, 1000));
+    ASSERT_TRUE(imm.OnTransaction(db_imm.UpdateTxn(key, v)).ok());
+    ASSERT_TRUE(rec.OnTransaction(db_rec.UpdateTxn(key, v)).ok());
+    if (t % 10 == 9) {
+      std::map<int64_t, double> a = AllGroups(&imm);
+      std::map<int64_t, double> b;
+      ASSERT_TRUE(rec.QueryAll([&](int64_t g, const db::Value& val) {
+        b[g] = val.AsDouble();
+        return true;
+      }).ok());
+      ASSERT_EQ(a.size(), b.size()) << "txn " << t;
+      for (const auto& [g, sum] : b) {
+        EXPECT_NEAR(a.at(g), sum, 1e-6) << "group " << g << " txn " << t;
+      }
+    }
+  }
+}
+
+TEST(GroupAggregate, DeferredMatchesImmediateAcrossChurn) {
+  ViewTestDb db_imm;
+  ViewTestDb db_def;
+  ImmediateGroupAggregateStrategy imm(SumByK2(&db_imm), &db_imm.tracker_);
+  DeferredGroupAggregateStrategy def(SumByK2(&db_def), db_def.AdOptions(),
+                                     &db_def.tracker_);
+  ASSERT_TRUE(imm.InitializeFromBase().ok());
+  ASSERT_TRUE(def.InitializeFromBase().ok());
+  Random rng(91);
+  for (int t = 0; t < 40; ++t) {
+    const int64_t key = rng.UniformInt(0, ViewTestDb::kN - 1);
+    const double v = static_cast<double>(rng.UniformInt(0, 1000));
+    ASSERT_TRUE(imm.OnTransaction(db_imm.UpdateTxn(key, v)).ok());
+    ASSERT_TRUE(def.OnTransaction(db_def.UpdateTxn(key, v)).ok());
+  }
+  EXPECT_GT(def.pending_tuples(), 0u);
+  std::map<int64_t, double> a = AllGroups(&imm);
+  std::map<int64_t, double> b;
+  ASSERT_TRUE(def.QueryAll([&](int64_t g, const db::Value& val) {
+    b[g] = val.AsDouble();
+    return true;
+  }).ok());
+  EXPECT_EQ(def.refresh_count(), 1u);  // one batched refresh at query time
+  EXPECT_EQ(def.pending_tuples(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [g, sum] : a) {
+    EXPECT_NEAR(b.at(g), sum, 1e-6) << "group " << g;
+  }
+}
+
+TEST(GroupAggregate, DeferredMinHandlesExtremumLossAtFold) {
+  ViewTestDb db;
+  GroupAggregateDef def_spec = SumByK2(&db);
+  def_spec.op = AggregateOp::kMin;
+  DeferredGroupAggregateStrategy def(def_spec, db.AdOptions(), &db.tracker_);
+  ASSERT_TRUE(def.InitializeFromBase().ok());
+  // Raise group 5's minimum (key 5, v = 5): the fold must recompute the
+  // group and find the next minimum (key 25, v = 25).
+  ASSERT_TRUE(def.OnTransaction(db.UpdateTxn(5, 999.0)).ok());
+  db::Value v;
+  ASSERT_TRUE(def.QueryGroup(5, &v).ok());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 25.0);
+}
+
+TEST(GroupAggregate, CountAndAvgOps) {
+  ViewTestDb db;
+  GroupAggregateDef def = SumByK2(&db);
+  def.op = AggregateOp::kCount;
+  ImmediateGroupAggregateStrategy count(def, &db.tracker_);
+  ASSERT_TRUE(count.InitializeFromBase().ok());
+  db::Value v;
+  ASSERT_TRUE(count.QueryGroup(0, &v).ok());
+  EXPECT_EQ(v.AsInt64(), 3);  // keys 0, 20, 40 — all < 60
+
+  ViewTestDb db2;
+  GroupAggregateDef avg_def = SumByK2(&db2);
+  avg_def.op = AggregateOp::kAvg;
+  ImmediateGroupAggregateStrategy avg(avg_def, &db2.tracker_);
+  ASSERT_TRUE(avg.InitializeFromBase().ok());
+  ASSERT_TRUE(avg.QueryGroup(0, &v).ok());
+  EXPECT_NEAR(v.AsDouble(), (0.0 + 20.0 + 40.0) / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace viewmat::view

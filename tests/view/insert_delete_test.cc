@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "testing/view_fixture.h"
+#include "view/deferred.h"
+#include "view/immediate.h"
+#include "view/query_modification.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+/// The workload generator only issues updates; these tests drive genuine
+/// insertions of new tuples and deletions of existing ones through every
+/// engine — the A-only / D-only paths of the differential algorithm.
+
+db::Tuple SpValue(int64_t k1, double v) {
+  return db::Tuple({db::Value(k1), db::Value(v)});
+}
+
+TEST(InsertDelete, ImmediateHandlesPureInserts) {
+  ViewTestDb db;
+  ImmediateStrategy imm(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(imm.InitializeFromBase().ok());
+  db::Transaction txn;
+  txn.Insert(db.base_, db.BaseRow(1000, 7.5));  // brand-new key... but wait
+  // kN=200, key 1000 is outside the predicate (>= 60): no view change.
+  txn.Insert(db.base_, db::Tuple({db::Value(int64_t{30}),
+                                  db::Value(int64_t{10}),
+                                  db::Value(123.0)}));  // duplicate key 30!
+  ASSERT_TRUE(imm.OnTransaction(txn).ok());
+  const auto all = db.QueryAll(&imm);
+  // Key 30 now contributes two view tuples (old v=30 and new v=123).
+  EXPECT_EQ(all.count(SpValue(30, 30.0)), 1u);
+  EXPECT_EQ(all.count(SpValue(30, 123.0)), 1u);
+  EXPECT_EQ(imm.view()->total_count(), ViewTestDb::kFCut + 1);
+}
+
+TEST(InsertDelete, ImmediateHandlesPureDeletes) {
+  ViewTestDb db;
+  ImmediateStrategy imm(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(imm.InitializeFromBase().ok());
+  db::Transaction txn;
+  txn.Delete(db.base_, db.BaseRow(10, 10.0));
+  txn.Delete(db.base_, db.BaseRow(150, 150.0));  // outside the view
+  ASSERT_TRUE(imm.OnTransaction(txn).ok());
+  const auto all = db.QueryAll(&imm);
+  EXPECT_EQ(all.count(SpValue(10, 10.0)), 0u);
+  EXPECT_EQ(imm.view()->total_count(), ViewTestDb::kFCut - 1);
+  EXPECT_EQ(db.base_->tuple_count(), static_cast<size_t>(ViewTestDb::kN - 2));
+}
+
+TEST(InsertDelete, DeferredHandlesInsertDeleteMix) {
+  ViewTestDb db;
+  DeferredStrategy def(db.SpDef(), db.AdOptions(), &db.tracker_);
+  ASSERT_TRUE(def.InitializeFromBase().ok());
+  // txn 1: delete a view tuple; txn 2: insert a new in-view tuple with a
+  // fresh key (201 is outside, 45 duplicates an existing key).
+  db::Transaction t1;
+  t1.Delete(db.base_, db.BaseRow(20, 20.0));
+  ASSERT_TRUE(def.OnTransaction(t1).ok());
+  db::Transaction t2;
+  t2.Insert(db.base_, db::Tuple({db::Value(int64_t{45}),
+                                 db::Value(int64_t{5}), db::Value(999.0)}));
+  ASSERT_TRUE(def.OnTransaction(t2).ok());
+  const auto all = db.QueryAll(&def);
+  EXPECT_EQ(all.count(SpValue(20, 20.0)), 0u);
+  EXPECT_EQ(all.count(SpValue(45, 45.0)), 1u);   // original still there
+  EXPECT_EQ(all.count(SpValue(45, 999.0)), 1u);  // plus the new one
+  // The fold applied both to the base as well.
+  size_t with_key_45 = 0;
+  ASSERT_TRUE(db.base_->FindAllByKey(45, [&](const db::Tuple&) {
+    ++with_key_45;
+    return true;
+  }).ok());
+  EXPECT_EQ(with_key_45, 2u);
+}
+
+TEST(InsertDelete, DeleteThenReinsertWithinOneTransactionIsNoOp) {
+  ViewTestDb db;
+  DeferredStrategy def(db.SpDef(), db.AdOptions(), &db.tracker_);
+  ASSERT_TRUE(def.InitializeFromBase().ok());
+  db::Transaction txn;
+  txn.Delete(db.base_, db.BaseRow(7, 7.0));
+  txn.Insert(db.base_, db.BaseRow(7, 7.0));  // cancels inside the txn
+  ASSERT_TRUE(def.OnTransaction(txn).ok());
+  EXPECT_EQ(def.pending_tuples(), 0u);
+  const auto all = db.QueryAll(&def);
+  EXPECT_EQ(all.count(SpValue(7, 7.0)), 1u);
+}
+
+TEST(InsertDelete, ProjectionDuplicatesCountCorrectly) {
+  // Two base tuples projecting to the SAME view value: the duplicate count
+  // must reach 2, and deleting one source must leave the other visible —
+  // the exact motivation for §2.1's duplicate counts.
+  ViewTestDb db;
+  ImmediateStrategy imm(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(imm.InitializeFromBase().ok());
+  // Key 12 already has v=12; add a second tuple with the same (k1, v)
+  // projection.
+  const db::Tuple clone({db::Value(int64_t{12}), db::Value(int64_t{99}),
+                         db::Value(12.0)});
+  db::Transaction txn;
+  txn.Insert(db.base_, clone);
+  ASSERT_TRUE(imm.OnTransaction(txn).ok());
+  auto all = db.QueryAll(&imm);
+  EXPECT_EQ(all.at(SpValue(12, 12.0)), 2);  // count = 2, stored once
+  EXPECT_EQ(imm.view()->distinct_count(),
+            static_cast<size_t>(ViewTestDb::kFCut));
+  // Remove one source: the value survives with count 1.
+  db::Transaction txn2;
+  txn2.Delete(db.base_, clone);
+  ASSERT_TRUE(imm.OnTransaction(txn2).ok());
+  all = db.QueryAll(&imm);
+  EXPECT_EQ(all.at(SpValue(12, 12.0)), 1);
+}
+
+TEST(InsertDelete, JoinViewInsertWithoutPartnerContributesNothing) {
+  ViewTestDb db;
+  ImmediateStrategy imm(db.JDef(), &db.tracker_);
+  ASSERT_TRUE(imm.InitializeFromBase().ok());
+  const int64_t before = imm.view()->total_count();
+  // k2 = 500 has no R2 partner (R2 keys are 0..19).
+  db::Transaction txn;
+  txn.Insert(db.base_, db::Tuple({db::Value(int64_t{33}),
+                                  db::Value(int64_t{500}),
+                                  db::Value(1.0)}));
+  ASSERT_TRUE(imm.OnTransaction(txn).ok());
+  EXPECT_EQ(imm.view()->total_count(), before);  // dangling: no view tuple
+  // And deleting it again must not corrupt the view either.
+  db::Transaction txn2;
+  txn2.Delete(db.base_, db::Tuple({db::Value(int64_t{33}),
+                                   db::Value(int64_t{500}),
+                                   db::Value(1.0)}));
+  ASSERT_TRUE(imm.OnTransaction(txn2).ok());
+  EXPECT_EQ(imm.view()->total_count(), before);
+}
+
+TEST(InsertDelete, QmReflectsInsertsAndDeletesDirectly) {
+  ViewTestDb db;
+  QmSelectProjectStrategy qm(db.SpDef(), &db.tracker_);
+  db::Transaction txn;
+  txn.Delete(db.base_, db.BaseRow(3, 3.0));
+  txn.Insert(db.base_, db::Tuple({db::Value(int64_t{4}),
+                                  db::Value(int64_t{4}), db::Value(44.0)}));
+  ASSERT_TRUE(qm.OnTransaction(txn).ok());
+  const auto all = db.QueryAll(&qm);
+  EXPECT_EQ(all.count(SpValue(3, 3.0)), 0u);
+  EXPECT_EQ(all.count(SpValue(4, 44.0)), 1u);
+}
+
+}  // namespace
+}  // namespace viewmat::view

@@ -1,0 +1,84 @@
+#include "view/recompute_on_change.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/view_fixture.h"
+#include "view/query_modification.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+db::Tuple SpValue(int64_t k1, double v) {
+  return db::Tuple({db::Value(k1), db::Value(v)});
+}
+
+std::map<db::Tuple, int64_t> QueryAllOf(ViewStrategy* s) {
+  std::map<db::Tuple, int64_t> out;
+  VIEWMAT_CHECK(s->Query(0, 1 << 20, [&](const db::Tuple& t, int64_t c) {
+    out[t] += c;
+    return true;
+  }).ok());
+  return out;
+}
+
+TEST(RecomputeOnChange, AnswersMatchQueryModification) {
+  ViewTestDb db;
+  RecomputeOnChangeStrategy roc(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(roc.InitializeFromBase().ok());
+  QmSelectProjectStrategy qm(db.SpDef(), &db.tracker_);
+  EXPECT_EQ(QueryAllOf(&roc), db.QueryAll(&qm));
+}
+
+TEST(RecomputeOnChange, RelevantUpdateTriggersFullRecompute) {
+  ViewTestDb db;
+  RecomputeOnChangeStrategy roc(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(roc.InitializeFromBase().ok());
+  const uint64_t before = roc.recompute_count();
+  ASSERT_TRUE(roc.OnTransaction(db.UpdateTxn(5, 999.0)).ok());
+  const auto contents = QueryAllOf(&roc);  // forces the recompute
+  EXPECT_EQ(roc.recompute_count(), before + 1);
+  EXPECT_EQ(contents.count(SpValue(5, 999.0)), 1u);
+}
+
+TEST(RecomputeOnChange, IrrelevantTupleUpdateDoesNotDirty) {
+  // k1 = 150 lies outside the predicate; the run-time screen rejects it,
+  // so the view stays clean and queries skip the recompute.
+  ViewTestDb db;
+  RecomputeOnChangeStrategy roc(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(roc.InitializeFromBase().ok());
+  const uint64_t before = roc.recompute_count();
+  ASSERT_TRUE(roc.OnTransaction(db.UpdateTxn(150, 1.0)).ok());
+  (void)QueryAllOf(&roc);
+  EXPECT_EQ(roc.recompute_count(), before);
+}
+
+TEST(RecomputeOnChange, ManyRelevantTxnsOneRecompute) {
+  // Dirtiness is a flag, not a queue: ten relevant transactions before a
+  // query cause exactly one recomputation.
+  ViewTestDb db;
+  RecomputeOnChangeStrategy roc(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(roc.InitializeFromBase().ok());
+  const uint64_t before = roc.recompute_count();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(roc.OnTransaction(db.UpdateTxn(i, 100.0 + i)).ok());
+  }
+  const auto contents = QueryAllOf(&roc);
+  EXPECT_EQ(roc.recompute_count(), before + 1);
+  EXPECT_EQ(contents.count(SpValue(9, 109.0)), 1u);
+}
+
+TEST(RecomputeOnChange, AgreesWithQmAfterMixedHistory) {
+  ViewTestDb db;
+  RecomputeOnChangeStrategy roc(db.SpDef(), &db.tracker_);
+  ASSERT_TRUE(roc.InitializeFromBase().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(roc.OnTransaction(db.UpdateTxn((i * 13) % 200, 7.0 * i)).ok());
+  }
+  QmSelectProjectStrategy qm(db.SpDef(), &db.tracker_);
+  EXPECT_EQ(QueryAllOf(&roc), db.QueryAll(&qm));
+}
+
+}  // namespace
+}  // namespace viewmat::view

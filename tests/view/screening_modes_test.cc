@@ -1,0 +1,132 @@
+#include "view/screening_modes.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/view_fixture.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+db::Tuple Row(int64_t k1, int64_t k2, double v) {
+  return db::Tuple({db::Value(k1), db::Value(k2), db::Value(v)});
+}
+
+class ScreeningModesTest : public ::testing::Test {
+ protected:
+  ScreeningModesTest() : def_(db_.SpDef()) {}
+
+  UpdateScreen MakeScreen(ScreeningMode mode) {
+    return UpdateScreen(mode, def_.predicate, def_.base->key_field(),
+                        FieldsRead(def_), &db_.tracker_);
+  }
+
+  ViewTestDb db_;
+  SelectProjectDef def_;
+};
+
+TEST_F(ScreeningModesTest, FieldsReadCoversPredicateAndProjection) {
+  const std::set<size_t> fields = FieldsRead(def_);
+  EXPECT_TRUE(fields.contains(0));  // k1: predicate + projection + key
+  EXPECT_TRUE(fields.contains(2));  // v: projected
+  EXPECT_FALSE(fields.contains(1)); // k2: untouched by this view
+}
+
+TEST_F(ScreeningModesTest, FieldsReadForJoinIncludesJoinField) {
+  const std::set<size_t> fields = FieldsRead(db_.JDef());
+  EXPECT_TRUE(fields.contains(1));  // the join attribute
+  EXPECT_TRUE(fields.contains(0));  // C_f field + projection
+}
+
+TEST_F(ScreeningModesTest, FieldsWrittenDetectsChangedFieldOfUpdate) {
+  db::NetChange nc;
+  nc.AddDelete(Row(5, 1, 10.0));
+  nc.AddInsert(Row(5, 1, 99.0));  // only v changed
+  const std::set<size_t> written = FieldsWritten(nc);
+  EXPECT_EQ(written, (std::set<size_t>{2}));
+}
+
+TEST_F(ScreeningModesTest, FieldsWrittenWholeTupleForPureInsertDelete) {
+  db::NetChange ins;
+  ins.AddInsert(Row(5, 1, 10.0));
+  EXPECT_EQ(FieldsWritten(ins).size(), 3u);
+  db::NetChange del;
+  del.AddDelete(Row(5, 1, 10.0));
+  EXPECT_EQ(FieldsWritten(del).size(), 3u);
+}
+
+TEST_F(ScreeningModesTest, RuleIndexOnlyPaysForIntervalHits) {
+  UpdateScreen screen = MakeScreen(ScreeningMode::kRuleIndex);
+  const auto before = db_.tracker_.counters().screen_tests;
+  EXPECT_FALSE(screen.Passes(Row(150, 0, 1.0)));  // outside [*, 59]
+  EXPECT_EQ(db_.tracker_.counters().screen_tests, before);  // free
+  EXPECT_TRUE(screen.Passes(Row(10, 0, 1.0)));
+  EXPECT_EQ(db_.tracker_.counters().screen_tests, before + 1);
+}
+
+TEST_F(ScreeningModesTest, SubstituteAllPaysForEveryTuple) {
+  UpdateScreen screen = MakeScreen(ScreeningMode::kSubstituteAll);
+  const auto before = db_.tracker_.counters().screen_tests;
+  EXPECT_FALSE(screen.Passes(Row(150, 0, 1.0)));  // still costs C1
+  EXPECT_TRUE(screen.Passes(Row(10, 0, 1.0)));
+  EXPECT_EQ(db_.tracker_.counters().screen_tests, before + 2);
+}
+
+TEST_F(ScreeningModesTest, RiuIgnoresCommandsWritingUnreadFields) {
+  UpdateScreen screen = MakeScreen(ScreeningMode::kRiu);
+  // An update that only rewrites k2 — a field the view never reads.
+  db::NetChange nc;
+  nc.AddDelete(Row(5, 1, 10.0));
+  nc.AddInsert(Row(5, 2, 10.0));
+  EXPECT_TRUE(screen.TransactionIsIgnorable(nc));
+  EXPECT_EQ(screen.riu_transactions(), 1u);
+  EXPECT_EQ(db_.tracker_.counters().screen_tests, 0u);  // no per-tuple cost
+}
+
+TEST_F(ScreeningModesTest, RiuFallsBackToSubstitutionWhenViewFieldWritten) {
+  UpdateScreen screen = MakeScreen(ScreeningMode::kRiu);
+  db::NetChange nc;
+  nc.AddDelete(Row(5, 1, 10.0));
+  nc.AddInsert(Row(5, 1, 99.0));  // v is read by the view
+  EXPECT_FALSE(screen.TransactionIsIgnorable(nc));
+  // Run-time phase substitutes every tuple (no t-lock shortcut in Bune79).
+  EXPECT_TRUE(screen.Passes(nc.deletes()[0]));
+  EXPECT_TRUE(screen.Passes(nc.inserts()[0]));
+  EXPECT_EQ(db_.tracker_.counters().screen_tests, 2u);
+}
+
+TEST_F(ScreeningModesTest, OtherModesNeverIgnoreTransactions) {
+  db::NetChange nc;
+  nc.AddDelete(Row(5, 1, 10.0));
+  nc.AddInsert(Row(5, 2, 10.0));
+  UpdateScreen rule = MakeScreen(ScreeningMode::kRuleIndex);
+  UpdateScreen all = MakeScreen(ScreeningMode::kSubstituteAll);
+  EXPECT_FALSE(rule.TransactionIsIgnorable(nc));
+  EXPECT_FALSE(all.TransactionIsIgnorable(nc));
+}
+
+TEST_F(ScreeningModesTest, AllModesAgreeOnTheDecision) {
+  // Screening schemes differ in cost, never in outcome: a tuple passes one
+  // iff it passes all (for non-ignored commands).
+  UpdateScreen rule = MakeScreen(ScreeningMode::kRuleIndex);
+  UpdateScreen all = MakeScreen(ScreeningMode::kSubstituteAll);
+  UpdateScreen riu = MakeScreen(ScreeningMode::kRiu);
+  for (int64_t k1 = 0; k1 < 200; k1 += 7) {
+    const db::Tuple t = Row(k1, k1 % 20, 1.0 * k1);
+    const bool want = k1 < ViewTestDb::kFCut;
+    EXPECT_EQ(rule.Passes(t), want) << k1;
+    EXPECT_EQ(all.Passes(t), want) << k1;
+    EXPECT_EQ(riu.Passes(t), want) << k1;
+  }
+}
+
+TEST_F(ScreeningModesTest, ModeNames) {
+  EXPECT_STREQ(ScreeningModeName(ScreeningMode::kRuleIndex), "rule-index");
+  EXPECT_STREQ(ScreeningModeName(ScreeningMode::kSubstituteAll),
+               "substitute-all");
+  EXPECT_STREQ(ScreeningModeName(ScreeningMode::kRiu), "riu");
+}
+
+}  // namespace
+}  // namespace viewmat::view

@@ -1,0 +1,134 @@
+#include "view/screening.h"
+
+#include <gtest/gtest.h>
+
+#include "db/catalog.h"
+
+namespace viewmat::view {
+namespace {
+
+db::Schema BaseSchema() {
+  return db::Schema({db::Field::Int64("k1"), db::Field::Int64("k2"),
+                     db::Field::Double("v")});
+}
+
+db::Tuple Row(int64_t k1, int64_t k2, double v) {
+  return db::Tuple({db::Value(k1), db::Value(k2), db::Value(v)});
+}
+
+class ScreeningTest : public ::testing::Test {
+ protected:
+  ScreeningTest()
+      : disk_(512, &tracker_),
+        pool_(&disk_, 16),
+        base_(&pool_, "R", BaseSchema(), db::AccessMethod::kClusteredBTree,
+              0) {}
+
+  storage::CostTracker tracker_;
+  storage::SimulatedDisk disk_;
+  storage::BufferPool pool_;
+  db::Relation base_;
+};
+
+TEST_F(ScreeningTest, Stage1RejectsOutsideIntervalForFree) {
+  // Predicate: k1 in [100, 200). Tuples far outside fail at stage 1 with
+  // no C1 charge.
+  TLockScreen screen(db::Predicate::Between(0, 100, 199), 0, &tracker_);
+  EXPECT_FALSE(screen.Passes(Row(5, 0, 0)));
+  EXPECT_FALSE(screen.Passes(Row(500, 0, 0)));
+  EXPECT_EQ(screen.screened(), 2u);
+  EXPECT_EQ(screen.stage1_hits(), 0u);
+  EXPECT_EQ(tracker_.counters().screen_tests, 0u);  // stage 1 is free
+}
+
+TEST_F(ScreeningTest, Stage2ChargesC1AndDecides) {
+  TLockScreen screen(db::Predicate::Between(0, 100, 199), 0, &tracker_);
+  EXPECT_TRUE(screen.Passes(Row(150, 0, 0)));
+  EXPECT_EQ(screen.stage1_hits(), 1u);
+  EXPECT_EQ(screen.stage2_passes(), 1u);
+  EXPECT_EQ(tracker_.counters().screen_tests, 1u);
+}
+
+TEST_F(ScreeningTest, DisjointClausesLockSeparateIntervals) {
+  // Non-convex predicates lock a set of intervals ("the index intervals
+  // covered by one or more clauses", §1): the gap between clauses fails at
+  // stage 1 for free — no hull false drops.
+  auto pred = db::Predicate::Or(db::Predicate::Between(0, 0, 10),
+                                db::Predicate::Between(0, 100, 110));
+  TLockScreen screen(pred, 0, &tracker_);
+  EXPECT_EQ(screen.intervals().size(), 2u);
+  EXPECT_FALSE(screen.Passes(Row(50, 0, 0)));  // in the gap: free reject
+  EXPECT_EQ(screen.stage1_hits(), 0u);
+  EXPECT_EQ(tracker_.counters().screen_tests, 0u);
+  EXPECT_TRUE(screen.Passes(Row(105, 0, 0)));  // second clause
+}
+
+TEST_F(ScreeningTest, FalseDropsFromOtherFieldClausesPayStage2) {
+  // Genuine false drops remain when the predicate also constrains fields
+  // the single-field t-lock cannot see: the tuple breaks the lock, pays
+  // C1 at stage 2, and is rejected there.
+  auto pred = db::Predicate::And(
+      db::Predicate::Between(0, 0, 100),
+      db::Predicate::Compare(1, db::CompareOp::kEq, db::Value(int64_t{7})));
+  TLockScreen screen(pred, 0, &tracker_);
+  EXPECT_FALSE(screen.Passes(Row(50, 3, 0)));  // k2 != 7: stage-2 reject
+  EXPECT_EQ(screen.stage1_hits(), 1u);
+  EXPECT_EQ(screen.stage2_passes(), 0u);
+  EXPECT_EQ(tracker_.counters().screen_tests, 1u);
+}
+
+TEST_F(ScreeningTest, NoFalseNegativesProperty) {
+  // Safety: every predicate-satisfying tuple must pass the full screen.
+  auto pred = db::Predicate::And(
+      db::Predicate::Between(0, 10, 90),
+      db::Predicate::Compare(1, db::CompareOp::kGt, db::Value(int64_t{5})));
+  TLockScreen screen(pred, 0, &tracker_);
+  for (int64_t k1 = 0; k1 < 120; ++k1) {
+    for (int64_t k2 : {0, 10}) {
+      const db::Tuple t = Row(k1, k2, 0);
+      if (pred->Evaluate(t)) {
+        EXPECT_TRUE(screen.Passes(t)) << t.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(ScreeningTest, UnboundedPredicateScreensEverythingAtStage2) {
+  TLockScreen screen(db::Predicate::True(), 0, &tracker_);
+  EXPECT_TRUE(screen.Passes(Row(1, 0, 0)));
+  EXPECT_EQ(screen.stage1_hits(), 1u);
+}
+
+TEST_F(ScreeningTest, FactoryFromSelectProjectDef) {
+  SelectProjectDef def;
+  def.base = &base_;
+  def.predicate = db::Predicate::Between(0, 0, 49);
+  def.projection = {0, 2};
+  def.view_key_field = 0;
+  TLockScreen screen = TLockScreen::ForSelectProject(def, &tracker_);
+  EXPECT_TRUE(screen.Passes(Row(10, 0, 0)));
+  EXPECT_FALSE(screen.Passes(Row(60, 0, 0)));
+  EXPECT_EQ(*screen.interval().lo, 0);
+  EXPECT_EQ(*screen.interval().hi, 49);
+}
+
+TEST_F(ScreeningTest, NullTrackerStillScreens) {
+  TLockScreen screen(db::Predicate::Between(0, 0, 10), 0, nullptr);
+  EXPECT_TRUE(screen.Passes(Row(5, 0, 0)));
+  EXPECT_FALSE(screen.Passes(Row(50, 0, 0)));
+}
+
+TEST_F(ScreeningTest, CountersAccumulate) {
+  TLockScreen screen(db::Predicate::Between(0, 0, 9), 0, &tracker_);
+  for (int64_t k = 0; k < 100; ++k) {
+    screen.Passes(Row(k, 0, 0));
+  }
+  EXPECT_EQ(screen.screened(), 100u);
+  EXPECT_EQ(screen.stage1_hits(), 10u);
+  EXPECT_EQ(screen.stage2_passes(), 10u);
+  // Exactly the f*u accounting: only interval hits cost C1.
+  EXPECT_EQ(tracker_.counters().screen_tests, 10u);
+}
+
+}  // namespace
+}  // namespace viewmat::view

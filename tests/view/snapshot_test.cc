@@ -1,0 +1,97 @@
+#include "view/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/view_fixture.h"
+#include "view/query_modification.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+db::Tuple SpValue(int64_t k1, double v) {
+  return db::Tuple({db::Value(k1), db::Value(v)});
+}
+
+std::map<db::Tuple, int64_t> QuerySnapshot(SnapshotStrategy* s) {
+  std::map<db::Tuple, int64_t> out;
+  VIEWMAT_CHECK(s->Query(0, 1 << 20, [&](const db::Tuple& t, int64_t c) {
+    out[t] += c;
+    return true;
+  }).ok());
+  return out;
+}
+
+TEST(Snapshot, InitialSnapshotMatchesQueryModification) {
+  ViewTestDb db;
+  SnapshotStrategy snap(db.SpDef(), SnapshotStrategy::Options{5},
+                        &db.tracker_);
+  ASSERT_TRUE(snap.InitializeFromBase().ok());
+  QmSelectProjectStrategy qm(db.SpDef(), &db.tracker_);
+  EXPECT_EQ(QuerySnapshot(&snap), db.QueryAll(&qm));
+}
+
+TEST(Snapshot, ReadsAreStaleBetweenRefreshes) {
+  ViewTestDb db;
+  SnapshotStrategy snap(db.SpDef(), SnapshotStrategy::Options{100},
+                        &db.tracker_);
+  ASSERT_TRUE(snap.InitializeFromBase().ok());
+  ASSERT_TRUE(snap.OnTransaction(db.UpdateTxn(5, 999.0)).ok());
+  // The defining snapshot behaviour: the stored copy still shows the old
+  // value — no screening, no patching happened.
+  const auto contents = QuerySnapshot(&snap);
+  EXPECT_EQ(contents.count(SpValue(5, 5.0)), 1u);
+  EXPECT_EQ(contents.count(SpValue(5, 999.0)), 0u);
+  EXPECT_EQ(snap.stale_transactions(), 1u);
+}
+
+TEST(Snapshot, PeriodicRefreshCatchesUp) {
+  ViewTestDb db;
+  SnapshotStrategy snap(db.SpDef(), SnapshotStrategy::Options{2},
+                        &db.tracker_);
+  ASSERT_TRUE(snap.InitializeFromBase().ok());
+  ASSERT_TRUE(snap.OnTransaction(db.UpdateTxn(5, 999.0)).ok());
+  (void)QuerySnapshot(&snap);  // query 1: stale
+  (void)QuerySnapshot(&snap);  // query 2: stale (period = 2)
+  const auto fresh = QuerySnapshot(&snap);  // query 3: triggers refresh
+  EXPECT_EQ(fresh.count(SpValue(5, 999.0)), 1u);
+  EXPECT_EQ(snap.refresh_count(), 2u);  // initial + periodic
+  EXPECT_EQ(snap.stale_transactions(), 0u);
+}
+
+TEST(Snapshot, RefreshNowForcesConsistency) {
+  ViewTestDb db;
+  SnapshotStrategy snap(db.SpDef(), SnapshotStrategy::Options{1000},
+                        &db.tracker_);
+  ASSERT_TRUE(snap.InitializeFromBase().ok());
+  ASSERT_TRUE(snap.OnTransaction(db.UpdateTxn(7, 123.0)).ok());
+  ASSERT_TRUE(snap.RefreshNow().ok());
+  EXPECT_EQ(QuerySnapshot(&snap).count(SpValue(7, 123.0)), 1u);
+}
+
+TEST(Snapshot, NoPerTransactionScreeningCost) {
+  ViewTestDb db;
+  SnapshotStrategy snap(db.SpDef(), SnapshotStrategy::Options{1000},
+                        &db.tracker_);
+  ASSERT_TRUE(snap.InitializeFromBase().ok());
+  const auto before = db.tracker_.counters().screen_tests;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(snap.OnTransaction(db.UpdateTxn(i, 1.0 * i)).ok());
+  }
+  EXPECT_EQ(db.tracker_.counters().screen_tests, before);
+}
+
+TEST(Snapshot, IrrelevantUpdatesStillCountAsStaleness) {
+  // The snapshot cannot tell relevant from irrelevant updates — that is
+  // precisely what it saves by not screening.
+  ViewTestDb db;
+  SnapshotStrategy snap(db.SpDef(), SnapshotStrategy::Options{10},
+                        &db.tracker_);
+  ASSERT_TRUE(snap.InitializeFromBase().ok());
+  ASSERT_TRUE(snap.OnTransaction(db.UpdateTxn(150, 1.0)).ok());  // outside f
+  EXPECT_EQ(snap.stale_transactions(), 1u);
+}
+
+}  // namespace
+}  // namespace viewmat::view

@@ -1,0 +1,119 @@
+#include "view/view_def.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/view_fixture.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+TEST(SelectProjectDef, ViewSchemaFollowsProjection) {
+  ViewTestDb db;
+  const SelectProjectDef def = db.SpDef();
+  const db::Schema schema = def.ViewSchema();
+  ASSERT_EQ(schema.field_count(), 2u);
+  EXPECT_EQ(schema.field(0).name, "k1");
+  EXPECT_EQ(schema.field(1).name, "v");
+  EXPECT_EQ(def.BaseKeyField(), 0u);
+}
+
+TEST(SelectProjectDef, MapTupleFiltersAndProjects) {
+  ViewTestDb db;
+  const SelectProjectDef def = db.SpDef();
+  db::Tuple out;
+  EXPECT_TRUE(def.MapTuple(db.BaseRow(10, 1.5), &out));
+  EXPECT_TRUE(out == db::Tuple({db::Value(int64_t{10}), db::Value(1.5)}));
+  EXPECT_FALSE(def.MapTuple(db.BaseRow(150, 1.5), &out));  // fails predicate
+}
+
+TEST(SelectProjectDef, ValidateCatchesEveryMistake) {
+  ViewTestDb db;
+  SelectProjectDef def = db.SpDef();
+  EXPECT_TRUE(def.Validate().ok());
+  def.base = nullptr;
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.SpDef();
+  def.predicate = nullptr;
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.SpDef();
+  def.projection = {};
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.SpDef();
+  def.projection = {0, 99};
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.SpDef();
+  def.view_key_field = 5;
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.SpDef();
+  def.projection = {2, 0};  // key field would be the double column v
+  def.view_key_field = 0;
+  EXPECT_FALSE(def.Validate().ok());
+}
+
+TEST(JoinDef, ViewSchemaPrefixesRelationNames) {
+  ViewTestDb db;
+  const JoinDef def = db.JDef();
+  const db::Schema schema = def.ViewSchema();
+  ASSERT_EQ(schema.field_count(), 4u);
+  EXPECT_EQ(schema.field(0).name, "R.k1");
+  EXPECT_EQ(schema.field(2).name, "R2.key");
+}
+
+TEST(JoinDef, MapTupleJoinsOrRejects) {
+  ViewTestDb db;
+  const JoinDef def = db.JDef();
+  db::Tuple out;
+  // k1=7, k2=7 joins R2 key 7 (w = 700).
+  auto joined = def.MapTuple(db.BaseRow(7, 7.0), &out, &db.tracker_);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(*joined);
+  EXPECT_DOUBLE_EQ(out.at(3).AsDouble(), 700.0);
+  // Outside C_f: rejected before the probe.
+  const auto before = db.tracker_.counters().tuple_cpu_ops;
+  auto rejected = def.MapTuple(db.BaseRow(150, 1.0), &out, &db.tracker_);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(*rejected);
+  EXPECT_EQ(db.tracker_.counters().tuple_cpu_ops, before);  // no C1 charged
+  // Dangling join key: satisfies C_f but finds no partner.
+  const db::Tuple dangling({db::Value(int64_t{8}), db::Value(int64_t{5000}),
+                            db::Value(1.0)});
+  auto miss = def.MapTuple(dangling, &out, &db.tracker_);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(*miss);
+}
+
+TEST(JoinDef, ValidateCatchesMistakes) {
+  ViewTestDb db;
+  JoinDef def = db.JDef();
+  EXPECT_TRUE(def.Validate().ok());
+  def.r2 = nullptr;
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.JDef();
+  def.r1_join_field = 99;
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.JDef();
+  def.r1_projection = {};
+  def.r2_projection = {};
+  EXPECT_FALSE(def.Validate().ok());
+  def = db.JDef();
+  def.view_key_field = 10;
+  EXPECT_FALSE(def.Validate().ok());
+}
+
+TEST(AggregateDef, ValidateAndNames) {
+  ViewTestDb db;
+  AggregateDef def = db.AggDef(AggregateOp::kSum);
+  EXPECT_TRUE(def.Validate().ok());
+  def.agg_field = 42;
+  EXPECT_FALSE(def.Validate().ok());
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kSum), "sum");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kCount), "count");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kAvg), "avg");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kMin), "min");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kMax), "max");
+}
+
+}  // namespace
+}  // namespace viewmat::view

@@ -1,0 +1,149 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+
+namespace viewmat::workload {
+namespace {
+
+costmodel::Params SmallParams() {
+  costmodel::Params p;
+  p.N = 1000;
+  p.k = 20;
+  p.l = 5;
+  p.q = 10;
+  return p;
+}
+
+TEST(Scenario, SchemasAreExactlySBytes) {
+  const Scenario scenario(SmallParams(), 1);
+  EXPECT_EQ(scenario.BaseSchema().record_size(), 100u);
+  EXPECT_EQ(scenario.R2Schema().record_size(), 100u);
+}
+
+TEST(Scenario, ViewPredicateSelectsFractionF) {
+  const Scenario scenario(SmallParams(), 1);
+  const db::PredicateRef pred = scenario.ViewPredicate();
+  int64_t matching = 0;
+  for (int64_t k = 0; k < scenario.n(); ++k) {
+    if (pred->Evaluate(scenario.BaseTuple(k))) ++matching;
+  }
+  EXPECT_EQ(matching, scenario.ViewTupleCount());
+  EXPECT_EQ(matching, 100);  // f = .1 of N = 1000
+}
+
+TEST(Scenario, EveryBaseTupleJoinsExactlyOneR2Tuple) {
+  const Scenario scenario(SmallParams(), 1);
+  for (int64_t k = 0; k < scenario.n(); ++k) {
+    const int64_t k2 = scenario.BaseTuple(k).at(Scenario::kFieldK2).AsInt64();
+    EXPECT_GE(k2, 0);
+    EXPECT_LT(k2, scenario.r2_count());
+  }
+  EXPECT_EQ(scenario.r2_count(), 100);  // f_R2 = .1
+}
+
+TEST(Scenario, LoadBasePopulatesRelation) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(4000, &tracker);
+  storage::BufferPool pool(&disk, 64);
+  db::Catalog catalog(&pool);
+  Scenario scenario(SmallParams(), 1);
+  auto rel = scenario.LoadBase(&catalog, "R",
+                               db::AccessMethod::kClusteredBTree);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->tuple_count(), 1000u);
+  db::Tuple row;
+  ASSERT_TRUE((*rel)->FindByKey(42, &row).ok());
+  EXPECT_TRUE(row == scenario.BaseTuple(42));
+}
+
+TEST(Scenario, UpdateTransactionsTouchLTuplesAndMoveOracle) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(4000, &tracker);
+  storage::BufferPool pool(&disk, 64);
+  db::Catalog catalog(&pool);
+  Scenario scenario(SmallParams(), 1);
+  auto rel = scenario.LoadBase(&catalog, "R",
+                               db::AccessMethod::kClusteredBTree);
+  ASSERT_TRUE(rel.ok());
+  const db::Transaction txn = scenario.NextUpdateTransaction(*rel);
+  // l = 5 updates = 5 deletes + 5 inserts net (distinct victims whp).
+  EXPECT_GE(txn.tuples_written(), 8u);
+  EXPECT_LE(txn.tuples_written(), 10u);
+  // Old values in the deletes must round-trip against the relation.
+  ASSERT_TRUE(txn.ApplyToBase().ok());
+  for (const auto& [r, nc] : txn.changes()) {
+    for (const db::Tuple& t : nc.inserts()) {
+      db::Tuple now;
+      ASSERT_TRUE(r->FindByKey(r->KeyOf(t), &now).ok());
+      EXPECT_TRUE(now == scenario.BaseTuple(r->KeyOf(t)));
+    }
+  }
+}
+
+TEST(Scenario, QueryRangeSpansFvOfView) {
+  Scenario scenario(SmallParams(), 1);
+  for (int i = 0; i < 50; ++i) {
+    const Scenario::QueryRange r = scenario.NextQueryRange();
+    EXPECT_EQ(r.hi - r.lo + 1, 10);  // f_v * f * N = .1 * 100
+    EXPECT_GE(r.lo, 0);
+    EXPECT_LE(r.hi, scenario.ViewTupleCount() - 1);
+  }
+}
+
+TEST(Scenario, OpSequenceHasExactCounts) {
+  const Scenario scenario(SmallParams(), 1);
+  const auto ops = scenario.OpSequence();
+  size_t updates = 0, queries = 0;
+  for (const auto op : ops) {
+    (op == Scenario::OpKind::kUpdate ? updates : queries)++;
+  }
+  EXPECT_EQ(updates, 20u);
+  EXPECT_EQ(queries, 10u);
+}
+
+TEST(Scenario, OpSequenceInterleavesEvenly) {
+  const Scenario scenario(SmallParams(), 1);
+  const auto ops = scenario.OpSequence();
+  // With k=20, q=10 the pattern is exactly (U U Q) repeated.
+  int run = 0;
+  for (const auto op : ops) {
+    if (op == Scenario::OpKind::kUpdate) {
+      ++run;
+      EXPECT_LE(run, 2);
+    } else {
+      EXPECT_EQ(run, 2);
+      run = 0;
+    }
+  }
+}
+
+TEST(Scenario, FractionalKPerQueryStillEmitsAllOps) {
+  costmodel::Params p = SmallParams();
+  p.k = 7;  // not a multiple of q
+  const Scenario scenario(p, 1);
+  const auto ops = scenario.OpSequence();
+  size_t updates = 0, queries = 0;
+  for (const auto op : ops) {
+    (op == Scenario::OpKind::kUpdate ? updates : queries)++;
+  }
+  EXPECT_EQ(updates, 7u);
+  EXPECT_EQ(queries, 10u);
+}
+
+TEST(Scenario, SameSeedSameWorkload) {
+  Scenario a(SmallParams(), 99);
+  Scenario b(SmallParams(), 99);
+  EXPECT_TRUE(a.BaseTuple(5) == b.BaseTuple(5));
+  for (int i = 0; i < 10; ++i) {
+    const auto ra = a.NextQueryRange();
+    const auto rb = b.NextQueryRange();
+    EXPECT_EQ(ra.lo, rb.lo);
+    EXPECT_EQ(ra.hi, rb.hi);
+  }
+}
+
+}  // namespace
+}  // namespace viewmat::workload
