@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_separate_ad.dir/bench_ablation_separate_ad.cc.o"
+  "CMakeFiles/bench_ablation_separate_ad.dir/bench_ablation_separate_ad.cc.o.d"
+  "bench_ablation_separate_ad"
+  "bench_ablation_separate_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_separate_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_hr.dir/bench_ablation_shared_hr.cc.o"
+  "CMakeFiles/bench_ablation_shared_hr.dir/bench_ablation_shared_hr.cc.o.d"
+  "bench_ablation_shared_hr"
+  "bench_ablation_shared_hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

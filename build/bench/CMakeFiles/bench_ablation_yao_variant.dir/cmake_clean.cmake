@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_yao_variant.dir/bench_ablation_yao_variant.cc.o"
+  "CMakeFiles/bench_ablation_yao_variant.dir/bench_ablation_yao_variant.cc.o.d"
+  "bench_ablation_yao_variant"
+  "bench_ablation_yao_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_yao_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

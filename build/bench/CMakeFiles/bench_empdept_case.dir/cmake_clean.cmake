@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_empdept_case.dir/bench_empdept_case.cc.o"
+  "CMakeFiles/bench_empdept_case.dir/bench_empdept_case.cc.o.d"
+  "bench_empdept_case"
+  "bench_empdept_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_empdept_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_empdept_case.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_model1_cost_vs_p.dir/bench_fig1_model1_cost_vs_p.cc.o"
+  "CMakeFiles/bench_fig1_model1_cost_vs_p.dir/bench_fig1_model1_cost_vs_p.cc.o.d"
+  "bench_fig1_model1_cost_vs_p"
+  "bench_fig1_model1_cost_vs_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_model1_cost_vs_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

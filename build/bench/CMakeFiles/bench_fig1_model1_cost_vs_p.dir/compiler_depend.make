@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1_model1_cost_vs_p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_model1_regions_c3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_model2_cost_vs_p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_model3_cost_vs_l.dir/bench_fig8_model3_cost_vs_l.cc.o"
+  "CMakeFiles/bench_fig8_model3_cost_vs_l.dir/bench_fig8_model3_cost_vs_l.cc.o.d"
+  "bench_fig8_model3_cost_vs_l"
+  "bench_fig8_model3_cost_vs_l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_model3_cost_vs_l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

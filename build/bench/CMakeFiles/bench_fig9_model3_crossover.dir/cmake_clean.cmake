@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_model3_crossover.dir/bench_fig9_model3_crossover.cc.o"
+  "CMakeFiles/bench_fig9_model3_crossover.dir/bench_fig9_model3_crossover.cc.o.d"
+  "bench_fig9_model3_crossover"
+  "bench_fig9_model3_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_model3_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

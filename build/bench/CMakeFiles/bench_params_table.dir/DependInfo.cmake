@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_params_table.cc" "bench/CMakeFiles/bench_params_table.dir/bench_params_table.cc.o" "gcc" "bench/CMakeFiles/bench_params_table.dir/bench_params_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/viewmat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_hr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_params_table.dir/bench_params_table.cc.o"
+  "CMakeFiles/bench_params_table.dir/bench_params_table.cc.o.d"
+  "bench_params_table"
+  "bench_params_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_params_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_sweeps.dir/bench_sim_sweeps.cc.o"
+  "CMakeFiles/bench_sim_sweeps.dir/bench_sim_sweeps.cc.o.d"
+  "bench_sim_sweeps"
+  "bench_sim_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

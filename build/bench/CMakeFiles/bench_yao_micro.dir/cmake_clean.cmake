@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yao_micro.dir/bench_yao_micro.cc.o"
+  "CMakeFiles/bench_yao_micro.dir/bench_yao_micro.cc.o.d"
+  "bench_yao_micro"
+  "bench_yao_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yao_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_window.dir/db_window.cpp.o"
+  "CMakeFiles/db_window.dir/db_window.cpp.o.d"
+  "db_window"
+  "db_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

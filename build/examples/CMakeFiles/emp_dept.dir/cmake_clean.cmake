@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emp_dept.dir/emp_dept.cpp.o"
+  "CMakeFiles/emp_dept.dir/emp_dept.cpp.o.d"
+  "emp_dept"
+  "emp_dept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emp_dept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

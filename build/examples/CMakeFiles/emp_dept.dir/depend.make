@@ -1,0 +1,2 @@
+# Empty dependencies file for emp_dept.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/crossover.cc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/crossover.cc.o" "gcc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/crossover.cc.o.d"
+  "/root/repo/src/costmodel/model1.cc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/model1.cc.o" "gcc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/model1.cc.o.d"
+  "/root/repo/src/costmodel/model2.cc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/model2.cc.o" "gcc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/model2.cc.o.d"
+  "/root/repo/src/costmodel/model3.cc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/model3.cc.o" "gcc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/model3.cc.o.d"
+  "/root/repo/src/costmodel/params.cc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/params.cc.o" "gcc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/params.cc.o.d"
+  "/root/repo/src/costmodel/regions.cc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/regions.cc.o" "gcc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/regions.cc.o.d"
+  "/root/repo/src/costmodel/yao.cc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/yao.cc.o" "gcc" "src/CMakeFiles/viewmat_costmodel.dir/costmodel/yao.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/crossover.cc.o"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/crossover.cc.o.d"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/model1.cc.o"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/model1.cc.o.d"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/model2.cc.o"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/model2.cc.o.d"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/model3.cc.o"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/model3.cc.o.d"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/params.cc.o"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/params.cc.o.d"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/regions.cc.o"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/regions.cc.o.d"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/yao.cc.o"
+  "CMakeFiles/viewmat_costmodel.dir/costmodel/yao.cc.o.d"
+  "libviewmat_costmodel.a"
+  "libviewmat_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmat_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

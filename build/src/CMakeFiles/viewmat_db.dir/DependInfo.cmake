@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/viewmat_db.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/viewmat_db.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/predicate.cc" "src/CMakeFiles/viewmat_db.dir/db/predicate.cc.o" "gcc" "src/CMakeFiles/viewmat_db.dir/db/predicate.cc.o.d"
+  "/root/repo/src/db/relation.cc" "src/CMakeFiles/viewmat_db.dir/db/relation.cc.o" "gcc" "src/CMakeFiles/viewmat_db.dir/db/relation.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/CMakeFiles/viewmat_db.dir/db/schema.cc.o" "gcc" "src/CMakeFiles/viewmat_db.dir/db/schema.cc.o.d"
+  "/root/repo/src/db/transaction.cc" "src/CMakeFiles/viewmat_db.dir/db/transaction.cc.o" "gcc" "src/CMakeFiles/viewmat_db.dir/db/transaction.cc.o.d"
+  "/root/repo/src/db/tuple.cc" "src/CMakeFiles/viewmat_db.dir/db/tuple.cc.o" "gcc" "src/CMakeFiles/viewmat_db.dir/db/tuple.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/CMakeFiles/viewmat_db.dir/db/value.cc.o" "gcc" "src/CMakeFiles/viewmat_db.dir/db/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/viewmat_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmat_db.dir/db/catalog.cc.o"
+  "CMakeFiles/viewmat_db.dir/db/catalog.cc.o.d"
+  "CMakeFiles/viewmat_db.dir/db/predicate.cc.o"
+  "CMakeFiles/viewmat_db.dir/db/predicate.cc.o.d"
+  "CMakeFiles/viewmat_db.dir/db/relation.cc.o"
+  "CMakeFiles/viewmat_db.dir/db/relation.cc.o.d"
+  "CMakeFiles/viewmat_db.dir/db/schema.cc.o"
+  "CMakeFiles/viewmat_db.dir/db/schema.cc.o.d"
+  "CMakeFiles/viewmat_db.dir/db/transaction.cc.o"
+  "CMakeFiles/viewmat_db.dir/db/transaction.cc.o.d"
+  "CMakeFiles/viewmat_db.dir/db/tuple.cc.o"
+  "CMakeFiles/viewmat_db.dir/db/tuple.cc.o.d"
+  "CMakeFiles/viewmat_db.dir/db/value.cc.o"
+  "CMakeFiles/viewmat_db.dir/db/value.cc.o.d"
+  "libviewmat_db.a"
+  "libviewmat_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmat_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmat_hr.dir/hr/ad_file.cc.o"
+  "CMakeFiles/viewmat_hr.dir/hr/ad_file.cc.o.d"
+  "CMakeFiles/viewmat_hr.dir/hr/hypothetical_relation.cc.o"
+  "CMakeFiles/viewmat_hr.dir/hr/hypothetical_relation.cc.o.d"
+  "libviewmat_hr.a"
+  "libviewmat_hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmat_hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmat_sim.dir/sim/report.cc.o"
+  "CMakeFiles/viewmat_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/viewmat_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/viewmat_sim.dir/sim/simulator.cc.o.d"
+  "libviewmat_sim.a"
+  "libviewmat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bloom_filter.cc" "src/CMakeFiles/viewmat_storage.dir/storage/bloom_filter.cc.o" "gcc" "src/CMakeFiles/viewmat_storage.dir/storage/bloom_filter.cc.o.d"
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/viewmat_storage.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/viewmat_storage.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/viewmat_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/viewmat_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/viewmat_storage.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/viewmat_storage.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/CMakeFiles/viewmat_storage.dir/storage/hash_index.cc.o" "gcc" "src/CMakeFiles/viewmat_storage.dir/storage/hash_index.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/viewmat_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/viewmat_storage.dir/storage/heap_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmat_storage.dir/storage/bloom_filter.cc.o"
+  "CMakeFiles/viewmat_storage.dir/storage/bloom_filter.cc.o.d"
+  "CMakeFiles/viewmat_storage.dir/storage/bptree.cc.o"
+  "CMakeFiles/viewmat_storage.dir/storage/bptree.cc.o.d"
+  "CMakeFiles/viewmat_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/viewmat_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/viewmat_storage.dir/storage/disk.cc.o"
+  "CMakeFiles/viewmat_storage.dir/storage/disk.cc.o.d"
+  "CMakeFiles/viewmat_storage.dir/storage/hash_index.cc.o"
+  "CMakeFiles/viewmat_storage.dir/storage/hash_index.cc.o.d"
+  "CMakeFiles/viewmat_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/viewmat_storage.dir/storage/heap_file.cc.o.d"
+  "libviewmat_storage.a"
+  "libviewmat_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmat_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/view/advisor.cc" "src/CMakeFiles/viewmat_view.dir/view/advisor.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/advisor.cc.o.d"
+  "/root/repo/src/view/aggregate.cc" "src/CMakeFiles/viewmat_view.dir/view/aggregate.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/aggregate.cc.o.d"
+  "/root/repo/src/view/blakeley_appendix_a.cc" "src/CMakeFiles/viewmat_view.dir/view/blakeley_appendix_a.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/blakeley_appendix_a.cc.o.d"
+  "/root/repo/src/view/deferred.cc" "src/CMakeFiles/viewmat_view.dir/view/deferred.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/deferred.cc.o.d"
+  "/root/repo/src/view/group_aggregate.cc" "src/CMakeFiles/viewmat_view.dir/view/group_aggregate.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/group_aggregate.cc.o.d"
+  "/root/repo/src/view/hybrid.cc" "src/CMakeFiles/viewmat_view.dir/view/hybrid.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/hybrid.cc.o.d"
+  "/root/repo/src/view/immediate.cc" "src/CMakeFiles/viewmat_view.dir/view/immediate.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/immediate.cc.o.d"
+  "/root/repo/src/view/materialized_view.cc" "src/CMakeFiles/viewmat_view.dir/view/materialized_view.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/materialized_view.cc.o.d"
+  "/root/repo/src/view/query_modification.cc" "src/CMakeFiles/viewmat_view.dir/view/query_modification.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/query_modification.cc.o.d"
+  "/root/repo/src/view/recompute_on_change.cc" "src/CMakeFiles/viewmat_view.dir/view/recompute_on_change.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/recompute_on_change.cc.o.d"
+  "/root/repo/src/view/screening.cc" "src/CMakeFiles/viewmat_view.dir/view/screening.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/screening.cc.o.d"
+  "/root/repo/src/view/screening_modes.cc" "src/CMakeFiles/viewmat_view.dir/view/screening_modes.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/screening_modes.cc.o.d"
+  "/root/repo/src/view/snapshot.cc" "src/CMakeFiles/viewmat_view.dir/view/snapshot.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/snapshot.cc.o.d"
+  "/root/repo/src/view/view_def.cc" "src/CMakeFiles/viewmat_view.dir/view/view_def.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/view_def.cc.o.d"
+  "/root/repo/src/view/view_group.cc" "src/CMakeFiles/viewmat_view.dir/view/view_group.cc.o" "gcc" "src/CMakeFiles/viewmat_view.dir/view/view_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/viewmat_hr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/viewmat_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

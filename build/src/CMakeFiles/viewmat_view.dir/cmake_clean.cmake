@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmat_view.dir/view/advisor.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/advisor.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/aggregate.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/aggregate.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/blakeley_appendix_a.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/blakeley_appendix_a.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/deferred.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/deferred.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/group_aggregate.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/group_aggregate.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/hybrid.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/hybrid.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/immediate.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/immediate.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/materialized_view.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/materialized_view.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/query_modification.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/query_modification.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/recompute_on_change.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/recompute_on_change.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/screening.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/screening.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/screening_modes.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/screening_modes.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/snapshot.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/snapshot.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/view_def.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/view_def.cc.o.d"
+  "CMakeFiles/viewmat_view.dir/view/view_group.cc.o"
+  "CMakeFiles/viewmat_view.dir/view/view_group.cc.o.d"
+  "libviewmat_view.a"
+  "libviewmat_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmat_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmat_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/viewmat_workload.dir/workload/workload.cc.o.d"
+  "libviewmat_workload.a"
+  "libviewmat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

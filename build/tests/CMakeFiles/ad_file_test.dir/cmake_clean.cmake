@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_file_test.dir/hr/ad_file_test.cc.o"
+  "CMakeFiles/ad_file_test.dir/hr/ad_file_test.cc.o.d"
+  "ad_file_test"
+  "ad_file_test.pdb"
+  "ad_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blakeley_test.dir/view/blakeley_test.cc.o"
+  "CMakeFiles/blakeley_test.dir/view/blakeley_test.cc.o.d"
+  "blakeley_test"
+  "blakeley_test.pdb"
+  "blakeley_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blakeley_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

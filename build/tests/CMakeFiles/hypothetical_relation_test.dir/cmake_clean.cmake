@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypothetical_relation_test.dir/hr/hypothetical_relation_test.cc.o"
+  "CMakeFiles/hypothetical_relation_test.dir/hr/hypothetical_relation_test.cc.o.d"
+  "hypothetical_relation_test"
+  "hypothetical_relation_test.pdb"
+  "hypothetical_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypothetical_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insert_delete_test.dir/view/insert_delete_test.cc.o"
+  "CMakeFiles/insert_delete_test.dir/view/insert_delete_test.cc.o.d"
+  "insert_delete_test"
+  "insert_delete_test.pdb"
+  "insert_delete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insert_delete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialized_view_test.dir/view/materialized_view_test.cc.o"
+  "CMakeFiles/materialized_view_test.dir/view/materialized_view_test.cc.o.d"
+  "materialized_view_test"
+  "materialized_view_test.pdb"
+  "materialized_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialized_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

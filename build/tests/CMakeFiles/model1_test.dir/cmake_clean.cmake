@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model1_test.dir/costmodel/model1_test.cc.o"
+  "CMakeFiles/model1_test.dir/costmodel/model1_test.cc.o.d"
+  "model1_test"
+  "model1_test.pdb"
+  "model1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model2_test.dir/costmodel/model2_test.cc.o"
+  "CMakeFiles/model2_test.dir/costmodel/model2_test.cc.o.d"
+  "model2_test"
+  "model2_test.pdb"
+  "model2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model3_test.dir/costmodel/model3_test.cc.o"
+  "CMakeFiles/model3_test.dir/costmodel/model3_test.cc.o.d"
+  "model3_test"
+  "model3_test.pdb"
+  "model3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

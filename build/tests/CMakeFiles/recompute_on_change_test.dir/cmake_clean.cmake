@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recompute_on_change_test.dir/view/recompute_on_change_test.cc.o"
+  "CMakeFiles/recompute_on_change_test.dir/view/recompute_on_change_test.cc.o.d"
+  "recompute_on_change_test"
+  "recompute_on_change_test.pdb"
+  "recompute_on_change_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recompute_on_change_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screening_modes_test.dir/view/screening_modes_test.cc.o"
+  "CMakeFiles/screening_modes_test.dir/view/screening_modes_test.cc.o.d"
+  "screening_modes_test"
+  "screening_modes_test.pdb"
+  "screening_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screening_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yao_empirical_test.dir/storage/yao_empirical_test.cc.o"
+  "CMakeFiles/yao_empirical_test.dir/storage/yao_empirical_test.cc.o.d"
+  "yao_empirical_test"
+  "yao_empirical_test.pdb"
+  "yao_empirical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yao_empirical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yao_variant_test.dir/costmodel/yao_variant_test.cc.o"
+  "CMakeFiles/yao_variant_test.dir/costmodel/yao_variant_test.cc.o.d"
+  "yao_variant_test"
+  "yao_variant_test.pdb"
+  "yao_variant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yao_variant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
