@@ -2,6 +2,8 @@
 #define VIEWMAT_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <variant>
@@ -108,7 +110,9 @@ class Status {
 
 /// Either a value of type T or a non-OK Status. Mirrors absl::StatusOr in
 /// spirit; accessing the value of a non-OK result is a programming error
-/// checked by assert in debug builds.
+/// and aborts with the carried status in every build type — silently
+/// handing back a moved-from variant in release builds would turn a missed
+/// error check into data corruption.
 template <typename T>
 class StatusOr {
  public:
@@ -129,15 +133,15 @@ class StatusOr {
   }
 
   const T& value() const& {
-    assert(ok());
+    if (!ok()) DieOnBadAccess();
     return std::get<T>(rep_);
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) DieOnBadAccess();
     return std::get<T>(rep_);
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) DieOnBadAccess();
     return std::get<T>(std::move(rep_));
   }
 
@@ -147,6 +151,13 @@ class StatusOr {
   T* operator->() { return &value(); }
 
  private:
+  [[noreturn]] void DieOnBadAccess() const {
+    std::fprintf(stderr, "StatusOr::value() on non-OK status: %s\n",
+                 std::get<Status>(rep_).ToString().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
   std::variant<T, Status> rep_;
 };
 

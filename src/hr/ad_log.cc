@@ -1,0 +1,315 @@
+#include "hr/ad_log.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace viewmat::hr {
+
+using storage::kInvalidPageId;
+using storage::Page;
+using storage::PageId;
+
+AdLog::AdLog(storage::DiskInterface* disk)
+    : disk_(disk), tail_(disk->page_size()) {
+  VIEWMAT_CHECK(disk_ != nullptr);
+  VIEWMAT_CHECK(disk_->page_size() >= kHeaderSize + kRecordHeader + 16);
+  const PageId head = disk_->Allocate();
+  InitHeader(&tail_);
+  VIEWMAT_CHECK_MSG(disk_->Write(head, tail_).ok(),
+                    "AD log head page unwritable at construction");
+  chain_.push_back(head);
+}
+
+AdLog::~AdLog() {
+  for (const PageId id : chain_) (void)disk_->Free(id);
+}
+
+void AdLog::InitHeader(Page* page) const {
+  page->Zero();
+  page->WriteAt<uint32_t>(kUsedOff, kHeaderSize);
+  page->WriteAt<PageId>(kNextOff, kInvalidPageId);
+}
+
+uint16_t AdLog::max_payload() const {
+  return static_cast<uint16_t>(disk_->page_size() - kHeaderSize -
+                               kRecordHeader);
+}
+
+uint32_t AdLog::Checksum(uint8_t type, const uint8_t* payload, uint16_t len) {
+  uint32_t h = 2166136261u;  // FNV-1a
+  const auto mix = [&h](uint8_t b) {
+    h ^= b;
+    h *= 16777619u;
+  };
+  mix(type);
+  mix(static_cast<uint8_t>(len & 0xff));
+  mix(static_cast<uint8_t>(len >> 8));
+  for (uint16_t i = 0; i < len; ++i) mix(payload[i]);
+  return h;
+}
+
+void AdLog::PutRecord(Page* page, uint32_t off, uint8_t type,
+                      const uint8_t* payload, uint16_t len) const {
+  page->WriteAt<uint8_t>(off, type);
+  page->WriteAt<uint16_t>(off + 1, len);
+  page->WriteAt<uint32_t>(off + 3, Checksum(type, payload, len));
+  if (len > 0) page->WriteBytes(off + kRecordHeader, payload, len);
+}
+
+void AdLog::DurableEnd(const Page& page, uint32_t* end, size_t* count) const {
+  const uint32_t page_size = disk_->page_size();
+  uint32_t off = kHeaderSize;
+  *count = 0;
+  while (off + kRecordHeader <= page_size) {
+    const uint8_t type = page.ReadAt<uint8_t>(off);
+    const uint16_t len = page.ReadAt<uint16_t>(off + 1);
+    const uint32_t sum = page.ReadAt<uint32_t>(off + 3);
+    if (off + kRecordHeader + len > page_size ||
+        sum != Checksum(type, page.data() + off + kRecordHeader, len)) {
+      break;
+    }
+    off += kRecordHeader + len;
+    ++*count;
+  }
+  *end = off;
+}
+
+Status AdLog::ResyncTail() {
+  // Walk the durable chain from the head — not from the in-memory tail,
+  // which may be stale in either direction (a link write that landed
+  // despite an error extends the chain; a truncate that landed despite an
+  // error empties it). A garbage (torn) link is recognized by pointing
+  // nowhere useful: an unreadable id, a page with no valid records, or a
+  // page already walked (never follow a cycle).
+  const uint32_t page_size = disk_->page_size();
+  std::vector<PageId> durable_chain;
+  Page page(page_size);
+  Page tail_image(page_size);
+  size_t durable_records = 0;
+  PageId id = chain_.front();
+  while (true) {
+    if (std::find(durable_chain.begin(), durable_chain.end(), id) !=
+        durable_chain.end()) {
+      break;
+    }
+    const Status read = disk_->Read(id, &page);
+    if (!read.ok()) {
+      if (!durable_chain.empty() &&
+          read.code() == StatusCode::kInvalidArgument) {
+        break;  // dangling garbage link: end of durable history
+      }
+      return read;  // head unreadable or transient: stay dirty, retry later
+    }
+    uint32_t end = 0;
+    size_t valid = 0;
+    DurableEnd(page, &end, &valid);
+    if (!durable_chain.empty() && valid == 0) break;  // torn link target
+    durable_chain.push_back(id);
+    durable_records += valid;
+    tail_image = page;
+    const PageId next = page.ReadAt<PageId>(kNextOff);
+    if (next == kInvalidPageId) break;
+    id = next;
+  }
+  // Pages the device no longer reaches (a truncate whose head write landed
+  // despite the error) go back to the allocator.
+  for (const PageId old : chain_) {
+    if (std::find(durable_chain.begin(), durable_chain.end(), old) ==
+        durable_chain.end()) {
+      (void)disk_->Free(old);
+    }
+  }
+  chain_ = std::move(durable_chain);
+  uint32_t end = 0;
+  size_t valid = 0;
+  DurableEnd(tail_image, &end, &valid);
+  // Scrub whatever follows the durable records so the next append rewrites
+  // clean bytes over any torn region.
+  std::memset(tail_image.data() + end, 0, page_size - end);
+  tail_image.WriteAt<uint32_t>(kUsedOff, end);
+  tail_ = std::move(tail_image);
+  tail_used_ = end;
+  record_count_ = durable_records;
+  tail_dirty_ = false;
+  return Status::OK();
+}
+
+Status AdLog::Append(uint8_t type, const uint8_t* payload, uint16_t len) {
+  VIEWMAT_CHECK(len <= max_payload());
+  if (tail_dirty_) VIEWMAT_RETURN_IF_ERROR(ResyncTail());
+  const uint32_t need = kRecordHeader + len;
+  const uint32_t page_size = disk_->page_size();
+
+  if (tail_used_ + need > page_size) {
+    // Tail is full: place the record on a fresh page, write it, and only
+    // then link it from the old tail.
+    const PageId fresh = disk_->Allocate();
+    Page next_page(page_size);
+    InitHeader(&next_page);
+    PutRecord(&next_page, kHeaderSize, type, payload, len);
+    next_page.WriteAt<uint32_t>(kUsedOff, kHeaderSize + need);
+    Status st = disk_->Write(fresh, next_page);
+    if (!st.ok()) {
+      // Not yet linked, so whatever landed is unreachable; the handle can
+      // be returned safely.
+      (void)disk_->Free(fresh);
+      return st;
+    }
+    tail_.WriteAt<PageId>(kNextOff, fresh);
+    st = disk_->Write(chain_.back(), tail_);
+    if (!st.ok()) {
+      // Did the link land anyway? Read the old tail back to find out.
+      Page durable(page_size);
+      const Status read = disk_->Read(chain_.back(), &durable);
+      if (!read.ok()) {
+        // Linkage unknown: the fresh page may be durably reachable, so its
+        // handle must not be reused — leak it and resync before the next
+        // append decides where to write.
+        tail_.WriteAt<PageId>(kNextOff, kInvalidPageId);
+        tail_dirty_ = true;
+        return st;
+      }
+      if (durable.ReadAt<PageId>(kNextOff) != fresh) {
+        // The link is absent (or torn garbage, repaired when the whole page
+        // is next rewritten): the fresh page is unreachable.
+        tail_.WriteAt<PageId>(kNextOff, kInvalidPageId);
+        (void)disk_->Free(fresh);
+        return st;
+      }
+      // The link landed in full before the fault was reported: durable ==
+      // acknowledged. Fall through to the success path.
+    }
+    chain_.push_back(fresh);
+    tail_ = std::move(next_page);
+    tail_used_ = kHeaderSize + need;
+    ++record_count_;
+    return Status::OK();
+  }
+
+  const uint32_t off = tail_used_;
+  PutRecord(&tail_, off, type, payload, len);
+  tail_.WriteAt<uint32_t>(kUsedOff, off + need);
+  const Status st = disk_->Write(chain_.back(), tail_);
+  if (!st.ok()) {
+    // Find out what the device durably holds before deciding the record's
+    // fate: a torn write may still have landed it in full.
+    Page durable(page_size);
+    const Status read = disk_->Read(chain_.back(), &durable);
+    if (!read.ok()) {
+      tail_dirty_ = true;
+      return st;
+    }
+    uint32_t end = 0;
+    size_t valid = 0;
+    DurableEnd(durable, &end, &valid);
+    if (end >= off + need &&
+        std::memcmp(durable.data() + off, tail_.data() + off, need) == 0) {
+      // Landed in full despite the error: durable == acknowledged.
+      tail_used_ = off + need;
+      ++record_count_;
+      return Status::OK();
+    }
+    // Not durable: scrub the failed record from the in-memory image so the
+    // next append rewrites clean bytes over the torn region — the record
+    // can never retroactively become durable.
+    std::memset(tail_.data() + off, 0, page_size - off);
+    tail_.WriteAt<uint32_t>(kUsedOff, off);
+    return st;
+  }
+  tail_used_ = off + need;
+  ++record_count_;
+  return Status::OK();
+}
+
+Status AdLog::Scan(const Visitor& visit, bool* torn_tail) const {
+  if (torn_tail != nullptr) *torn_tail = false;
+  const uint32_t page_size = disk_->page_size();
+  Page page(page_size);
+  PageId id = chain_.front();
+  std::vector<PageId> visited;
+  // Walk the on-disk chain, not the in-memory one: recovery must trust only
+  // what the device durably holds.
+  bool first = true;
+  while (id != kInvalidPageId) {
+    // A torn link write can leave a garbage next pointer; if it happens to
+    // point back into the chain, terminate instead of looping.
+    if (std::find(visited.begin(), visited.end(), id) != visited.end()) {
+      if (torn_tail != nullptr) *torn_tail = true;
+      return Status::OK();
+    }
+    visited.push_back(id);
+    const Status read = disk_->Read(id, &page);
+    if (!read.ok()) {
+      // A dangling link (torn link write) shows up as an invalid page id on
+      // a non-head page: end of durable history. Anything else — e.g. a
+      // transient injected fault — propagates so the caller can retry.
+      if (!first && read.code() == StatusCode::kInvalidArgument) {
+        if (torn_tail != nullptr) *torn_tail = true;
+        return Status::OK();
+      }
+      return read;
+    }
+    // Parse records by their own checksums; the `used` header travels in
+    // the same (tearable) block write as the record bytes, so it is never
+    // trusted. Zero bytes are a clean end; anything else is a torn record.
+    uint32_t off = kHeaderSize;
+    size_t valid_here = 0;
+    while (off + kRecordHeader <= page_size) {
+      const uint8_t type = page.ReadAt<uint8_t>(off);
+      const uint16_t len = page.ReadAt<uint16_t>(off + 1);
+      const uint32_t sum = page.ReadAt<uint32_t>(off + 3);
+      if (off + kRecordHeader + len > page_size ||
+          sum != Checksum(type, page.data() + off + kRecordHeader, len)) {
+        if ((type != 0 || len != 0 || sum != 0) && torn_tail != nullptr) {
+          *torn_tail = true;
+        }
+        break;
+      }
+      if (!visit(type, page.data() + off + kRecordHeader, len)) {
+        return Status::OK();
+      }
+      off += kRecordHeader + len;
+      ++valid_here;
+    }
+    const PageId next = page.ReadAt<PageId>(kNextOff);
+    if (!first && valid_here == 0) {
+      // A linked page that parses to nothing is a torn link target, not
+      // log history.
+      if (torn_tail != nullptr) *torn_tail = true;
+      return Status::OK();
+    }
+    first = false;
+    id = next;
+  }
+  return Status::OK();
+}
+
+Status AdLog::Truncate() {
+  // Empty head first, then free the remainder: a crash in between leaves a
+  // logically empty log (plus leaked pages), never partial history.
+  Page empty(disk_->page_size());
+  InitHeader(&empty);
+  const Status st = disk_->Write(chain_.front(), empty);
+  if (!st.ok()) {
+    // The head write may or may not have landed; resync before the next
+    // append so the old in-memory tail cannot resurrect truncated history.
+    tail_dirty_ = true;
+    return st;
+  }
+  // Once the head is empty the truncation is logically complete — the old
+  // chain is unreachable. Frees are best-effort: under a crashed device
+  // they leak pages (a space cost), never history.
+  for (size_t i = 1; i < chain_.size(); ++i) {
+    (void)disk_->Free(chain_[i]);
+  }
+  chain_.resize(1);
+  tail_ = std::move(empty);
+  tail_used_ = kHeaderSize;
+  record_count_ = 0;
+  tail_dirty_ = false;
+  return Status::OK();
+}
+
+}  // namespace viewmat::hr

@@ -39,6 +39,19 @@ Status HypotheticalRelation::RecordChanges(const db::NetChange& net) {
   return Status::OK();
 }
 
+Status HypotheticalRelation::RecordChangesCommitted(const db::NetChange& net,
+                                                    uint64_t txn_id) {
+  const Status recorded = RecordChanges(net);
+  if (!recorded.ok()) {
+    // Some of the transaction's intents may already be applied to the hash
+    // file; without a commit record they are an uncommitted tail that must
+    // be rolled back before the file is read again.
+    ad_.MarkNeedsRecovery();
+    return recorded;
+  }
+  return ad_.CommitTxn(txn_id, net.deletes().size() + net.inserts().size());
+}
+
 Status HypotheticalRelation::FindAllByKey(
     int64_t key, const db::Relation::TupleVisitor& visit) const {
   std::vector<db::Tuple> pending_inserts;
@@ -115,15 +128,43 @@ Status HypotheticalRelation::Fold(std::vector<db::Tuple>* a_net,
   std::vector<db::Tuple>* a = a_net != nullptr ? a_net : &a_local;
   std::vector<db::Tuple>* d = d_net != nullptr ? d_net : &d_local;
   VIEWMAT_RETURN_IF_ERROR(NetChanges(a, d));
+  VIEWMAT_RETURN_IF_ERROR(FoldNoReset(*a, *d, /*idempotent=*/false));
+  return ad_.Reset();
+}
+
+Status HypotheticalRelation::FoldNoReset(const std::vector<db::Tuple>& a_net,
+                                         const std::vector<db::Tuple>& d_net,
+                                         bool idempotent) {
   // R := (R ∪ A) − D: deletions first so a delete+reinsert of the same key
   // cannot remove the fresh copy.
-  for (const db::Tuple& t : *d) {
-    VIEWMAT_RETURN_IF_ERROR(base_->DeleteExact(t));
+  for (const db::Tuple& t : d_net) {
+    const Status st = base_->DeleteExact(t);
+    if (idempotent && st.code() == StatusCode::kNotFound) continue;
+    VIEWMAT_RETURN_IF_ERROR(st);
   }
-  for (const db::Tuple& t : *a) {
+  for (const db::Tuple& t : a_net) {
+    if (idempotent) {
+      // Skip tuples an earlier partial fold already landed.
+      bool present = false;
+      VIEWMAT_RETURN_IF_ERROR(base_->FindAllByKey(
+          t.at(base_->key_field()).AsInt64(), [&](const db::Tuple& existing) {
+            present = existing == t;
+            return !present;
+          }));
+      if (present) continue;
+    }
     VIEWMAT_RETURN_IF_ERROR(base_->Insert(t));
   }
-  return ad_.Reset();
+  return Status::OK();
+}
+
+Status HypotheticalRelation::Recover(AdFile::RecoveryInfo* info) {
+  VIEWMAT_RETURN_IF_ERROR(ad_.Recover(info));
+  std::vector<db::Tuple> a_net;
+  std::vector<db::Tuple> d_net;
+  VIEWMAT_RETURN_IF_ERROR(ad_.ScanNet(&a_net, &d_net));
+  visible_count_ = base_->tuple_count() + a_net.size() - d_net.size();
+  return Status::OK();
 }
 
 }  // namespace viewmat::hr

@@ -25,6 +25,7 @@ class HypotheticalRelation {
 
   db::Relation* base() { return base_; }
   const AdFile& ad() const { return ad_; }
+  AdFile* mutable_ad() { return &ad_; }
 
   /// Records a transaction's net change to this relation into the AD file,
   /// following the paper's per-tuple update procedure: the caller has
@@ -32,6 +33,13 @@ class HypotheticalRelation {
   /// AD page read + write (I/O #2 and #3, shared across tuples landing on
   /// the same page via the buffer pool).
   Status RecordChanges(const db::NetChange& net);
+
+  /// RecordChanges followed by the AD file's transaction commit record
+  /// (WAL mode): until the commit record is durable the recorded intents
+  /// are an uncommitted tail that recovery discards. Callers should treat a
+  /// non-OK result as "transaction not applied" and verify against
+  /// ad().last_committed_txn() after a crash.
+  Status RecordChangesCommitted(const db::NetChange& net, uint64_t txn_id);
 
   /// Reads a tuple through the hypothetical relation: Bloom screen, then AD
   /// probe if admitted, then the base relation, suppressing tuples with
@@ -53,6 +61,21 @@ class HypotheticalRelation {
   /// and resets the AD file. Returns the folded net sets through the out
   /// parameters when non-null (the deferred engine consumes them).
   Status Fold(std::vector<db::Tuple>* a_net, std::vector<db::Tuple>* d_net);
+
+  /// Applies the given net sets to the base relation without touching the
+  /// AD file — the fold half of the crash-safe refresh protocol, which
+  /// resets the AD file only after a durable fold-commit marker. With
+  /// `idempotent` set the fold tolerates re-execution over a partially
+  /// folded base (roll-forward after a mid-fold crash): deletes ignore
+  /// NotFound and inserts skip tuples already present.
+  Status FoldNoReset(const std::vector<db::Tuple>& a_net,
+                     const std::vector<db::Tuple>& d_net, bool idempotent);
+
+  /// Rebuilds the AD file from its write-ahead log (AdFile::Recover) and
+  /// recomputes the visible-tuple count from the recovered state. The
+  /// in-memory bookkeeping is distrusted entirely: after this returns OK
+  /// the HR reflects exactly the durable committed history.
+  Status Recover(AdFile::RecoveryInfo* info);
 
   /// Tuples visible through the HR (base + pending inserts − pending
   /// deletes). O(1), maintained incrementally.

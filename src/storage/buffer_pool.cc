@@ -37,7 +37,7 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity)
+BufferPool::BufferPool(DiskInterface* disk, size_t capacity)
     : disk_(disk), capacity_(capacity) {
   VIEWMAT_CHECK(disk_ != nullptr);
   VIEWMAT_CHECK(capacity_ >= 2);

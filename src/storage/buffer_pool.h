@@ -46,14 +46,14 @@ class PageGuard {
   PageId id_ = kInvalidPageId;
 };
 
-/// A fixed-capacity LRU buffer pool over a SimulatedDisk. Disk reads are
+/// A fixed-capacity LRU buffer pool over a DiskInterface. Disk reads are
 /// charged only on miss and writes only on dirty eviction or flush, so the
 /// measured I/O counts reflect the same caching assumptions the paper's
 /// formulas make (e.g. R2 pages staying resident during a nested-loops
 /// join).
 class BufferPool {
  public:
-  BufferPool(SimulatedDisk* disk, size_t capacity);
+  BufferPool(DiskInterface* disk, size_t capacity);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -78,7 +78,7 @@ class BufferPool {
   Status FlushAndEvictAll();
 
   size_t capacity() const { return capacity_; }
-  SimulatedDisk* disk() { return disk_; }
+  DiskInterface* disk() { return disk_; }
 
  private:
   friend class PageGuard;
@@ -98,7 +98,7 @@ class BufferPool {
   /// if the pool is full.
   StatusOr<size_t> AcquireFrame();
 
-  SimulatedDisk* disk_;
+  DiskInterface* disk_;
   size_t capacity_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> table_;

@@ -38,9 +38,6 @@ Status SimulatedDisk::Free(PageId id) {
 
 Status SimulatedDisk::Read(PageId id, Page* out) {
   if (!IsLive(id)) return Status::InvalidArgument("reading non-live page");
-  if (read_fault_in_ > 0 && --read_fault_in_ == 0) {
-    return Status::Internal("injected read fault");
-  }
   VIEWMAT_CHECK(out->size() == page_size_);
   out->WriteBytes(0, pages_[id]->data(), page_size_);
   tracker_->ChargeRead();
@@ -49,9 +46,6 @@ Status SimulatedDisk::Read(PageId id, Page* out) {
 
 Status SimulatedDisk::Write(PageId id, const Page& in) {
   if (!IsLive(id)) return Status::InvalidArgument("writing non-live page");
-  if (write_fault_in_ > 0 && --write_fault_in_ == 0) {
-    return Status::Internal("injected write fault");
-  }
   VIEWMAT_CHECK(in.size() == page_size_);
   pages_[id]->WriteBytes(0, in.data(), page_size_);
   tracker_->ChargeWrite();

@@ -1,0 +1,102 @@
+#include "storage/faulty_disk.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace viewmat::storage {
+
+FaultyDisk::FaultyDisk(DiskInterface* inner, uint64_t seed)
+    : inner_(inner), rng_(seed) {
+  VIEWMAT_CHECK(inner_ != nullptr);
+}
+
+Status FaultyDisk::CrashedStatus() const {
+  return Status::Internal(std::string("simulated crash at ") +
+                          CrashPointName(crashed_at_));
+}
+
+void FaultyDisk::ClearFaults() {
+  read_fault_rate_ = 0.0;
+  write_fault_rate_ = 0.0;
+  read_fault_in_ = 0;
+  write_fault_in_ = 0;
+  scripted_point_ = CrashPoint::kNone;
+  scripted_occurrence_ = 0;
+}
+
+void FaultyDisk::ScriptCrash(CrashPoint point, uint64_t occurrence) {
+  VIEWMAT_CHECK(point != CrashPoint::kNone);
+  VIEWMAT_CHECK(occurrence >= 1);
+  scripted_point_ = point;
+  scripted_occurrence_ = occurrence;
+}
+
+void FaultyDisk::Restart() {
+  crashed_ = false;
+}
+
+Status FaultyDisk::AtCrashPoint(CrashPoint p) {
+  if (crashed_) return CrashedStatus();
+  if (p == scripted_point_ && scripted_occurrence_ > 0 && BudgetAllows()) {
+    if (--scripted_occurrence_ == 0) {
+      scripted_point_ = CrashPoint::kNone;
+      crashed_ = true;
+      crashed_at_ = p;
+      ++crashes_;
+      ++faults_injected_;
+      return CrashedStatus();
+    }
+  }
+  return inner_->AtCrashPoint(p);
+}
+
+Status FaultyDisk::Free(PageId id) {
+  if (crashed_) return CrashedStatus();
+  return inner_->Free(id);
+}
+
+Status FaultyDisk::Read(PageId id, Page* out) {
+  if (crashed_) return CrashedStatus();
+  bool fail = false;
+  if (read_fault_in_ > 0 && --read_fault_in_ == 0) fail = true;
+  if (!fail && read_fault_rate_ > 0.0 && BudgetAllows() &&
+      rng_.Bernoulli(read_fault_rate_)) {
+    fail = true;
+  }
+  if (fail) {
+    ++faults_injected_;
+    return Status::Internal("injected read fault");
+  }
+  return inner_->Read(id, out);
+}
+
+Status FaultyDisk::Write(PageId id, const Page& in) {
+  if (crashed_) return CrashedStatus();
+  bool fail = false;
+  if (write_fault_in_ > 0 && --write_fault_in_ == 0) fail = true;
+  if (!fail && write_fault_rate_ > 0.0 && BudgetAllows() &&
+      rng_.Bernoulli(write_fault_rate_)) {
+    fail = true;
+  }
+  if (!fail) return inner_->Write(id, in);
+  ++faults_injected_;
+  if (torn_writes_) {
+    // Persist a random strict prefix of the page, then fail: the block is
+    // now a mix of new and old bytes, exactly what a power cut mid-sector-
+    // train leaves behind. Readers must detect this by checksum.
+    const uint32_t size = inner_->page_size();
+    const uint32_t torn_len =
+        static_cast<uint32_t>(rng_.Uniform(std::max<uint32_t>(size, 2) - 1)) + 1;
+    Page current(size);
+    if (inner_->Read(id, &current).ok()) {
+      current.WriteBytes(0, in.data(), torn_len);
+      (void)inner_->Write(id, current);
+      return Status::Internal("injected torn write");
+    }
+  }
+  return Status::Internal("injected write fault");
+}
+
+}  // namespace viewmat::storage

@@ -1,0 +1,114 @@
+#ifndef VIEWMAT_STORAGE_FAULTY_DISK_H_
+#define VIEWMAT_STORAGE_FAULTY_DISK_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace viewmat::storage {
+
+/// Fault-injecting decorator over any DiskInterface. It is the failure
+/// model of the crash-safety work: the layers above see the exact same
+/// interface, so faults exercise the production error paths, never
+/// test-only ones.
+///
+/// Three failure classes, all deterministic under a seed:
+///
+///  - Transient faults: each read (write) independently fails with
+///    probability read_fault_rate (write_fault_rate), returning Internal
+///    and applying nothing. One-shot scheduled faults (InjectReadFault /
+///    InjectWriteFault) are kept for targeted tests.
+///  - Torn writes: when enabled, a failing write first applies a random
+///    prefix of the page — the classic partially-persisted block. Only the
+///    checksummed AD log is torn-write safe; other structures must be
+///    protected by ordering (write fully or not at all), so tests enable
+///    tearing selectively.
+///  - Scripted crashes: ScriptCrash(p) arms a protocol point; when a layer
+///    announces it via AtCrashPoint(p), the disk enters the crashed state
+///    and every subsequent operation fails until Restart() — a hard stop at
+///    exactly that instant of the refresh/WAL protocol.
+///
+/// A fault budget (set_max_faults) bounds total injected failures so
+/// torture runs provably converge once the budget is spent.
+class FaultyDisk : public DiskInterface {
+ public:
+  explicit FaultyDisk(DiskInterface* inner, uint64_t seed = 0);
+
+  FaultyDisk(const FaultyDisk&) = delete;
+  FaultyDisk& operator=(const FaultyDisk&) = delete;
+
+  // --- DiskInterface ------------------------------------------------------
+  uint32_t page_size() const override { return inner_->page_size(); }
+  PageId Allocate() override { return inner_->Allocate(); }
+  Status Free(PageId id) override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& in) override;
+  size_t live_pages() const override { return inner_->live_pages(); }
+  CostTracker* tracker() override { return inner_->tracker(); }
+  Status AtCrashPoint(CrashPoint p) override;
+
+  // --- Probabilistic faults ----------------------------------------------
+  void set_read_fault_rate(double p) { read_fault_rate_ = p; }
+  void set_write_fault_rate(double p) { write_fault_rate_ = p; }
+  /// Failing writes tear the page (apply a random prefix) instead of
+  /// applying nothing.
+  void set_torn_writes(bool on) { torn_writes_ = on; }
+  /// Stops injecting after `n` total faults (crashes included). 0 = none.
+  void set_max_faults(uint64_t n) { max_faults_ = n; }
+
+  /// One-shot scheduled faults: after `after` more successful reads
+  /// (writes), the next read (write) fails once, then the trigger clears.
+  void InjectReadFault(uint64_t after) { read_fault_in_ = after + 1; }
+  void InjectWriteFault(uint64_t after) { write_fault_in_ = after + 1; }
+
+  /// Disarms every programmed failure (rates, one-shots, crash script).
+  /// Does not clear an already-crashed state — use Restart() for that.
+  void ClearFaults();
+
+  // --- Scripted crashes ---------------------------------------------------
+  /// Crash the `occurrence`-th time `point` is announced (1 = next time).
+  void ScriptCrash(CrashPoint point, uint64_t occurrence = 1);
+
+  /// True once a crash fired; all I/O fails until Restart().
+  bool crashed() const { return crashed_; }
+  CrashPoint crash_point() const { return crashed_at_; }
+
+  /// Clears the crashed state, modelling a restart. The scripted point
+  /// stays consumed; recovery code runs against a healthy device unless new
+  /// faults are armed.
+  void Restart();
+
+  // --- Stats --------------------------------------------------------------
+  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t crashes() const { return crashes_; }
+
+ private:
+  bool BudgetAllows() const {
+    return max_faults_ == 0 || faults_injected_ < max_faults_;
+  }
+  Status CrashedStatus() const;
+
+  DiskInterface* inner_;
+  Random rng_;
+
+  double read_fault_rate_ = 0.0;
+  double write_fault_rate_ = 0.0;
+  bool torn_writes_ = false;
+  uint64_t max_faults_ = 0;
+  uint64_t read_fault_in_ = 0;   ///< 0 = no one-shot armed
+  uint64_t write_fault_in_ = 0;
+
+  CrashPoint scripted_point_ = CrashPoint::kNone;
+  uint64_t scripted_occurrence_ = 0;
+  bool crashed_ = false;
+  CrashPoint crashed_at_ = CrashPoint::kNone;
+
+  uint64_t faults_injected_ = 0;
+  uint64_t crashes_ = 0;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_FAULTY_DISK_H_

@@ -91,7 +91,7 @@ bool operator==(const AggregateState& a, const AggregateState& b) {
          a.min_ == b.min_ && a.max_ == b.max_ && a.exact_ == b.exact_;
 }
 
-MaterializedAggregate::MaterializedAggregate(storage::SimulatedDisk* disk,
+MaterializedAggregate::MaterializedAggregate(storage::DiskInterface* disk,
                                              AggregateOp op)
     : disk_(disk), page_(disk->Allocate()) {
   storage::Page pg(disk_->page_size());
@@ -182,7 +182,7 @@ bool ApplyDelta(AggregateState* state, const AggDelta& delta) {
 }  // namespace
 
 ImmediateAggregateStrategy::ImmediateAggregateStrategy(
-    AggregateDef def, storage::SimulatedDisk* disk,
+    AggregateDef def, storage::DiskInterface* disk,
     storage::CostTracker* tracker)
     : def_(std::move(def)),
       tracker_(tracker),
@@ -224,7 +224,7 @@ Status ImmediateAggregateStrategy::QueryValue(db::Value* out) {
 
 DeferredAggregateStrategy::DeferredAggregateStrategy(
     AggregateDef def, hr::AdFile::Options ad_options,
-    storage::SimulatedDisk* disk, storage::CostTracker* tracker)
+    storage::DiskInterface* disk, storage::CostTracker* tracker)
     : def_(std::move(def)),
       tracker_(tracker),
       screen_(TLockScreen::ForAggregate(def_, tracker)),

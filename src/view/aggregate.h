@@ -60,13 +60,13 @@ class AggregateState {
 /// charges of the Model 3 formulas.
 class MaterializedAggregate {
  public:
-  MaterializedAggregate(storage::SimulatedDisk* disk, AggregateOp op);
+  MaterializedAggregate(storage::DiskInterface* disk, AggregateOp op);
 
   Status Read(AggregateState* out) const;
   Status Write(const AggregateState& state);
 
  private:
-  storage::SimulatedDisk* disk_;
+  storage::DiskInterface* disk_;
   storage::PageId page_;
 };
 
@@ -83,7 +83,7 @@ Status ComputeAggregateFromBase(const AggregateDef& def,
 /// set.
 class ImmediateAggregateStrategy : public AggregateStrategy {
  public:
-  ImmediateAggregateStrategy(AggregateDef def, storage::SimulatedDisk* disk,
+  ImmediateAggregateStrategy(AggregateDef def, storage::DiskInterface* disk,
                              storage::CostTracker* tracker);
 
   Status InitializeFromBase();
@@ -110,7 +110,7 @@ class ImmediateAggregateStrategy : public AggregateStrategy {
 class DeferredAggregateStrategy : public AggregateStrategy {
  public:
   DeferredAggregateStrategy(AggregateDef def, hr::AdFile::Options ad_options,
-                            storage::SimulatedDisk* disk,
+                            storage::DiskInterface* disk,
                             storage::CostTracker* tracker);
 
   Status InitializeFromBase();

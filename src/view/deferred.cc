@@ -1,10 +1,15 @@
 #include "view/deferred.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/logging.h"
 
 namespace viewmat::view {
 
 namespace {
+
+using storage::CrashPoint;
 
 db::Relation* UpdatedOf(const std::variant<SelectProjectDef, JoinDef>& def) {
   if (std::holds_alternative<SelectProjectDef>(def)) {
@@ -92,6 +97,20 @@ Status DeferredStrategy::InitializeFromBase() {
 Status DeferredStrategy::OnTransaction(const db::Transaction& txn) {
   const db::NetChange& net = txn.ChangesFor(UpdatedRelation());
   if (net.empty()) return Status::OK();
+  if (crash_safe() &&
+      (phase_ == RecoveryPhase::kNeedFold ||
+       phase_ == RecoveryPhase::kNeedReset || hr_.ad().needs_recovery())) {
+    // Once the fold has started (or the AD file is untrusted), new intents
+    // cannot be mixed into the half-applied epoch: roll forward first, and
+    // reject the transaction if the device will not let us.
+    const Status recovered = Recover();
+    if (!recovered.ok()) {
+      return Status::FailedPrecondition(
+          "transaction rejected: interrupted refresh could not be rolled "
+          "forward (" +
+          recovered.message() + ")");
+    }
+  }
   // The paper's per-tuple update procedure, I/O #1: read the tuple being
   // modified through the hypothetical relation (Bloom screen, AD probe when
   // admitted, base read).
@@ -105,11 +124,19 @@ Status DeferredStrategy::OnTransaction(const db::Transaction& txn) {
   // the C1 stage-2 charge happens here, once).
   for (const db::Tuple& t : net.deletes()) screen_.Passes(t);
   for (const db::Tuple& t : net.inserts()) screen_.Passes(t);
-  // I/O #2 and #3: land the changes in the AD differential file.
+  // I/O #2 and #3: land the changes in the AD differential file — through
+  // the WAL (intents + commit record) when crash safety is on.
+  if (crash_safe()) {
+    const Status st = hr_.RecordChangesCommitted(net, ++txn_seq_);
+    if (st.ok() && txn_seq_ > committed_txn_high_) {
+      committed_txn_high_ = txn_seq_;
+    }
+    return st;
+  }
   return hr_.RecordChanges(net);
 }
 
-Status DeferredStrategy::Refresh() {
+Status DeferredStrategy::RefreshUnsafe() {
   if (hr_.ad().entry_count() == 0) return Status::OK();
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
@@ -134,10 +161,244 @@ Status DeferredStrategy::Refresh() {
   return view_->ApplyDelta(view_inserts, view_deletes);
 }
 
+Status DeferredStrategy::RefreshSafe() {
+  if (hr_.ad().entry_count() == 0) return Status::OK();
+  storage::BufferPool* pool = UpdatedRelation()->pool();
+  storage::DiskInterface* disk = pool->disk();
+
+  // Read-only preparation: scan the nets and map the view deltas. Failure
+  // here is a clean abort — nothing durable has changed yet.
+  std::vector<db::Tuple> a_net;
+  std::vector<db::Tuple> d_net;
+  VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
+  std::vector<db::Tuple> view_inserts;
+  std::vector<db::Tuple> view_deletes;
+  for (const db::Tuple& t : d_net) {
+    db::Tuple value;
+    VIEWMAT_ASSIGN_OR_RETURN(const bool contributes, Map(t, &value));
+    if (contributes) view_deletes.push_back(std::move(value));
+  }
+  for (const db::Tuple& t : a_net) {
+    db::Tuple value;
+    VIEWMAT_ASSIGN_OR_RETURN(const bool contributes, Map(t, &value));
+    if (contributes) view_inserts.push_back(std::move(value));
+  }
+
+  // Phase 1: patch the view copy. The begin marker is durable before the
+  // first view write, so a crash anywhere in here resolves to
+  // kNeedViewRebuild.
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogRefreshBegin(++epoch_));
+  phase_ = RecoveryPhase::kNeedViewRebuild;
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeViewPatch));
+  for (const db::Tuple& value : view_deletes) {
+    VIEWMAT_RETURN_IF_ERROR(view_->ApplyDelete(value));
+  }
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kMidViewPatch));
+  for (const db::Tuple& value : view_inserts) {
+    VIEWMAT_RETURN_IF_ERROR(view_->ApplyInsert(value));
+  }
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kAfterViewPatch));
+  // The patched-view marker asserts durability, so flush first.
+  VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogViewPatched(epoch_));
+  phase_ = RecoveryPhase::kNeedFold;
+
+  // Phase 2: fold the base and retire the differential. The first
+  // execution can fold strictly; only roll-forward needs idempotence.
+  return FoldAndReset(a_net, d_net, /*idempotent=*/false);
+}
+
+Status DeferredStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
+                                      const std::vector<db::Tuple>& d_net,
+                                      bool idempotent) {
+  storage::BufferPool* pool = UpdatedRelation()->pool();
+  storage::DiskInterface* disk = pool->disk();
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeFold));
+  static const std::vector<db::Tuple> kEmpty;
+  VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(kEmpty, d_net, idempotent));
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kMidFold));
+  VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(a_net, kEmpty, idempotent));
+  VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogFoldCommit(epoch_));
+  phase_ = RecoveryPhase::kNeedReset;
+  return FinishReset();
+}
+
+Status DeferredStrategy::FinishReset() {
+  storage::DiskInterface* disk = UpdatedRelation()->pool()->disk();
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeAdReset));
+  // Reset clears the hash file and Bloom filter and truncates the WAL
+  // (removing the epoch's markers: the refresh is no longer "in flight").
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->Reset());
+  phase_ = RecoveryPhase::kNone;
+  ++refresh_count_;
+  return Status::OK();
+}
+
+Status DeferredStrategy::RebuildViewAndFold() {
+  storage::BufferPool* pool = UpdatedRelation()->pool();
+  storage::DiskInterface* disk = pool->disk();
+  // Re-begin under a fresh epoch: the old epoch's begin marker stays in the
+  // log but is superseded as "newest begun".
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogRefreshBegin(++epoch_));
+  phase_ = RecoveryPhase::kNeedViewRebuild;
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeViewPatch));
+  // The view copy may be partially patched in an unknowable way: rebuild it
+  // from the hypothetical relation, which still holds the complete state
+  // (base untouched + all committed intents, including transactions
+  // accepted while degraded).
+  VIEWMAT_RETURN_IF_ERROR(view_->Clear());
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(hr_.RangeScanByKey(
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max(), [&](const db::Tuple& t) {
+        db::Tuple value;
+        auto mapped = Map(t, &value);
+        if (!mapped.ok()) {
+          inner = mapped.status();
+          return false;
+        }
+        if (*mapped) {
+          inner = view_->ApplyInsert(value);
+          if (!inner.ok()) return false;
+        }
+        return true;
+      }));
+  VIEWMAT_RETURN_IF_ERROR(inner);
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kAfterViewPatch));
+  VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogViewPatched(epoch_));
+  phase_ = RecoveryPhase::kNeedFold;
+  std::vector<db::Tuple> a_net;
+  std::vector<db::Tuple> d_net;
+  VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
+  // The rebuilt view already reflects these nets; the base does not yet.
+  // A partial fold from the interrupted epoch may have landed some of them,
+  // so fold idempotently.
+  return FoldAndReset(a_net, d_net, /*idempotent=*/true);
+}
+
+Status DeferredStrategy::RollForward() {
+  switch (phase_) {
+    case RecoveryPhase::kNone:
+      return Status::OK();
+    case RecoveryPhase::kNeedViewRebuild:
+      return RebuildViewAndFold();
+    case RecoveryPhase::kNeedFold: {
+      std::vector<db::Tuple> a_net;
+      std::vector<db::Tuple> d_net;
+      VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
+      return FoldAndReset(a_net, d_net, /*idempotent=*/true);
+    }
+    case RecoveryPhase::kNeedReset:
+      return FinishReset();
+  }
+  return Status::Internal("unreachable recovery phase");
+}
+
+Status DeferredStrategy::Recover() {
+  if (!crash_safe()) {
+    return Status::FailedPrecondition(
+        "deferred strategy has no WAL (AdFile::Options::enable_wal)");
+  }
+  ++recoveries_;
+  // Rebuild the AD structures from the durable log; everything in memory is
+  // distrusted after a crash.
+  hr::AdFile::RecoveryInfo info;
+  VIEWMAT_RETURN_IF_ERROR(hr_.Recover(&info));
+  // The durable log is the authority on what committed: a transaction whose
+  // commit append errored ambiguously (write and read-back both failed) is
+  // resolved here, by whether its commit record survived.
+  committed_txn_high_ = std::max(committed_txn_high_, info.last_committed_txn);
+  // Derive the interrupted phase from the markers alone. Markers survive
+  // only until the epoch-final Reset truncates the log, so any begin marker
+  // present denotes an unfinished refresh.
+  if (info.last_epoch_begun == 0) {
+    phase_ = RecoveryPhase::kNone;
+  } else if (info.fold_committed_epoch == info.last_epoch_begun) {
+    phase_ = RecoveryPhase::kNeedReset;
+  } else if (info.view_patched_epoch == info.last_epoch_begun) {
+    phase_ = RecoveryPhase::kNeedFold;
+  } else {
+    phase_ = RecoveryPhase::kNeedViewRebuild;
+  }
+  if (info.last_epoch_begun > epoch_) epoch_ = info.last_epoch_begun;
+  return RollForward();
+}
+
+Status DeferredStrategy::EnsureFresh() { return Refresh(); }
+
+Status DeferredStrategy::Refresh() {
+  if (!crash_safe()) return RefreshUnsafe();
+  // Recovery completes the interrupted epoch but does not fold intents that
+  // were never part of it (committed before the crash with no refresh in
+  // flight, or accepted after the fold committed) — they are back in the AD
+  // file after replay, so a normal refresh must still follow.
+  if (stale()) VIEWMAT_RETURN_IF_ERROR(Recover());
+  return RefreshSafe();
+}
+
+Status DeferredStrategy::QueryViaModification(
+    int64_t lo, int64_t hi, const MaterializedView::CountedVisitor& visit) {
+  const size_t vkey = view_->view_key_field();
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(hr_.RangeScanByKey(
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max(), [&](const db::Tuple& t) {
+        if (tracker_ != nullptr) tracker_->ChargeTupleCpu();
+        db::Tuple value;
+        auto mapped = Map(t, &value);
+        if (!mapped.ok()) {
+          inner = mapped.status();
+          return false;
+        }
+        if (!*mapped) return true;
+        const int64_t k = value.at(vkey).AsInt64();
+        if (k < lo || k > hi) return true;
+        return visit(value, 1);
+      }));
+  return inner;
+}
+
+Status DeferredStrategy::DegradedQuery(
+    int64_t lo, int64_t hi, const MaterializedView::CountedVisitor& visit) {
+  // Reading anything requires a trustworthy AD file; rebuilding it from the
+  // log is cheap and does not run the (failing) refresh protocol.
+  if (hr_.ad().needs_recovery()) {
+    hr::AdFile::RecoveryInfo info;
+    VIEWMAT_RETURN_IF_ERROR(hr_.Recover(&info));
+  }
+  ++degraded_queries_;
+  switch (phase_) {
+    case RecoveryPhase::kNone:
+    case RecoveryPhase::kNeedViewRebuild:
+      // The base is untouched by the interrupted epoch: query modification
+      // over base ∪ AD is exact.
+      return QueryViaModification(lo, hi, visit);
+    case RecoveryPhase::kNeedFold:
+    case RecoveryPhase::kNeedReset:
+      // The view copy is fully patched for the epoch (it reflects
+      // base ∪ AD); QM would double-count whatever a partial fold already
+      // moved into the base. Serve the copy.
+      return view_->Query(lo, hi, visit);
+  }
+  return Status::Internal("unreachable recovery phase");
+}
+
 Status DeferredStrategy::Query(int64_t lo, int64_t hi,
                                const MaterializedView::CountedVisitor& visit) {
-  VIEWMAT_RETURN_IF_ERROR(Refresh());
-  return view_->Query(lo, hi, visit);
+  if (!crash_safe()) {
+    VIEWMAT_RETURN_IF_ERROR(Refresh());
+    return view_->Query(lo, hi, visit);
+  }
+  // Bounded retry: transient faults are ridden out by re-driving recovery;
+  // a persistently failing device falls through to the degraded read.
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxRecoveryAttempts; ++attempt) {
+    st = EnsureFresh();
+    if (st.ok()) return view_->Query(lo, hi, visit);
+  }
+  return DegradedQuery(lo, hi, visit);
 }
 
 }  // namespace viewmat::view

@@ -64,6 +64,28 @@ TEST(StatusOr, ArrowOperator) {
   EXPECT_EQ(v->size(), 5u);
 }
 
+TEST(StatusOrDeathTest, ValueOnErrorAbortsWithMessageInAllBuildTypes) {
+  // This must hold in release builds too — the abort is an explicit check,
+  // not an assert().
+  StatusOr<int> v = Status::OutOfRange("too big");
+  EXPECT_DEATH((void)v.value(), "OUT_OF_RANGE: too big");
+}
+
+TEST(StatusOrDeathTest, DereferenceOnErrorAborts) {
+  StatusOr<std::string> v = Status::Internal("hash page unreadable");
+  EXPECT_DEATH((void)*v, "INTERNAL: hash page unreadable");
+  EXPECT_DEATH((void)v->size(), "INTERNAL: hash page unreadable");
+}
+
+TEST(StatusOrDeathTest, MovedValueAccessOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        StatusOr<std::unique_ptr<int>> v = Status::NotFound("gone");
+        (void)std::move(v).value();
+      },
+      "NOT_FOUND: gone");
+}
+
 Status FailsWhen(bool fail) {
   if (fail) return Status::Internal("boom");
   return Status::OK();

@@ -1,0 +1,109 @@
+#include "sim/fault_sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace viewmat::sim {
+namespace {
+
+/// The acceptance bar for the crash-safety work: across hundreds of seeded
+/// torture runs — transient read/write faults, torn writes, scripted
+/// protocol crashes — there must be zero corrupt and zero silently-stale
+/// outcomes. Loud failures (rejected transactions, errored queries) are
+/// allowed; wrong answers are not.
+
+void ExpectNoSilentDamage(const FaultSweepResult& result) {
+  EXPECT_EQ(result.total_corrupt, 0) << result.ToString();
+  EXPECT_EQ(result.total_silently_stale, 0) << result.ToString();
+  for (const FaultSweepCell& cell : result.cells) {
+    EXPECT_EQ(cell.corrupt_runs, 0) << "rate " << cell.fault_rate;
+    EXPECT_EQ(cell.silently_stale_runs, 0) << "rate " << cell.fault_rate;
+  }
+}
+
+TEST(FaultSweepTest, Model1TortureHasNoSilentDamage) {
+  FaultSweepOptions options;
+  options.model = 1;
+  options.seed = 1234;
+  options.runs_per_rate = 25;  // 4 rates x 25 = 100 runs
+  const auto result = SimulateFaultSweep(options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->total_runs, 100);
+  ExpectNoSilentDamage(*result);
+  // The faulty rates actually exercised the machinery.
+  uint64_t faults = 0, crashes = 0, recoveries = 0;
+  for (const FaultSweepCell& cell : result->cells) {
+    faults += cell.faults_injected;
+    crashes += cell.crashes;
+    recoveries += cell.recoveries;
+  }
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(recoveries, 0u);
+}
+
+TEST(FaultSweepTest, Model2TortureHasNoSilentDamage) {
+  FaultSweepOptions options;
+  options.model = 2;
+  options.seed = 5678;
+  options.runs_per_rate = 25;  // 4 rates x 25 = 100 runs
+  const auto result = SimulateFaultSweep(options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->total_runs, 100);
+  ExpectNoSilentDamage(*result);
+}
+
+TEST(FaultSweepTest, ZeroFaultRateWithoutCrashesIsClean) {
+  FaultSweepOptions options;
+  options.fault_rates = {0.0};
+  options.runs_per_rate = 3;
+  options.scripted_crashes = false;
+  const auto result = SimulateFaultSweep(options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result->cells.size(), 1u);
+  EXPECT_EQ(result->cells[0].faults_injected, 0u);
+  EXPECT_EQ(result->cells[0].crashes, 0u);
+  EXPECT_EQ(result->cells[0].rejected_txns, 0u);
+  EXPECT_EQ(result->cells[0].failed_queries, 0u);
+  ExpectNoSilentDamage(*result);
+}
+
+TEST(FaultSweepTest, SweepIsDeterministicForAGivenSeed) {
+  FaultSweepOptions options;
+  options.seed = 77;
+  options.fault_rates = {0.05};
+  options.runs_per_rate = 5;
+  const auto a = SimulateFaultSweep(options);
+  const auto b = SimulateFaultSweep(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->cells.size(), 1u);
+  ASSERT_EQ(b->cells.size(), 1u);
+  EXPECT_EQ(a->cells[0].faults_injected, b->cells[0].faults_injected);
+  EXPECT_EQ(a->cells[0].crashes, b->cells[0].crashes);
+  EXPECT_EQ(a->cells[0].recoveries, b->cells[0].recoveries);
+  EXPECT_EQ(a->cells[0].degraded_queries, b->cells[0].degraded_queries);
+  EXPECT_EQ(a->cells[0].rejected_txns, b->cells[0].rejected_txns);
+  EXPECT_EQ(a->cells[0].failed_queries, b->cells[0].failed_queries);
+}
+
+TEST(FaultSweepTest, ReportRendersOneRowPerRate) {
+  FaultSweepOptions options;
+  options.fault_rates = {0.0, 0.02};
+  options.runs_per_rate = 2;
+  const auto result = SimulateFaultSweep(options);
+  ASSERT_TRUE(result.ok());
+  const std::string text = result->ToString();
+  EXPECT_NE(text.find("rate"), std::string::npos);
+  EXPECT_NE(text.find("0.02"), std::string::npos);
+}
+
+TEST(FaultSweepTest, RejectsBadOptions) {
+  FaultSweepOptions options;
+  options.model = 3;
+  EXPECT_FALSE(SimulateFaultSweep(options).ok());
+  options.model = 1;
+  options.fault_rates = {1.5};
+  EXPECT_FALSE(SimulateFaultSweep(options).ok());
+}
+
+}  // namespace
+}  // namespace viewmat::sim

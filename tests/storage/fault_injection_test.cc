@@ -1,9 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "db/relation.h"
 #include "storage/bptree.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
+#include "storage/faulty_disk.h"
+#include "testing/view_fixture.h"
+#include "view/deferred.h"
+#include "view/hybrid.h"
+#include "view/immediate.h"
+#include "view/query_modification.h"
+#include "view/snapshot.h"
 
 namespace viewmat::storage {
 namespace {
@@ -15,10 +24,12 @@ namespace {
 
 class FaultInjectionTest : public ::testing::Test {
  protected:
-  FaultInjectionTest() : disk_(512, &tracker_), pool_(&disk_, 8) {}
+  FaultInjectionTest()
+      : inner_(512, &tracker_), disk_(&inner_), pool_(&disk_, 8) {}
 
   CostTracker tracker_;
-  SimulatedDisk disk_;
+  SimulatedDisk inner_;
+  FaultyDisk disk_;
   BufferPool pool_;
 };
 
@@ -118,6 +129,141 @@ TEST_F(FaultInjectionTest, RelationScanSurfacesMidScanFault) {
     return true;
   }).ok());
   EXPECT_EQ(total, 400u);
+}
+
+/// Every view-maintenance strategy must surface a failed block I/O as a
+/// non-OK Status — both mid-OnTransaction and mid-Query — and stay usable
+/// once the fault clears. One-shot read faults are armed after evicting the
+/// buffer pool so the next operation is guaranteed to touch the device
+/// before mutating anything.
+class StrategyFaultInjectionTest : public ::testing::Test {
+ protected:
+  /// Expected Model 1 view contents per the fixture's oracle.
+  std::map<db::Tuple, int64_t> ExpectedSp() const {
+    std::map<db::Tuple, int64_t> out;
+    for (const auto& [k, v] : db_.v_oracle_) {
+      if (k < testing::ViewTestDb::kFCut) {
+        out[db::Tuple({db::Value(k), db::Value(v)})] = 1;
+      }
+    }
+    return out;
+  }
+
+  void Evict() { ASSERT_TRUE(db_.pool_.FlushAndEvictAll().ok()); }
+
+  testing::ViewTestDb db_;
+};
+
+TEST_F(StrategyFaultInjectionTest, ImmediateSurfacesMidTransactionFault) {
+  view::ImmediateStrategy s(db_.SpDef(), &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  const db::Transaction txn = db_.UpdateTxn(3, 777.0);
+  EXPECT_FALSE(s.OnTransaction(txn).ok());
+  // The fault fired on the very first descent read: nothing was applied,
+  // so the same transaction replays cleanly.
+  ASSERT_TRUE(s.OnTransaction(txn).ok());
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, ImmediateSurfacesMidQueryFault) {
+  view::ImmediateStrategy s(db_.SpDef(), &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  EXPECT_FALSE(
+      s.Query(0, 1 << 20, [](const db::Tuple&, int64_t) { return true; })
+          .ok());
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, DeferredSurfacesMidTransactionFault) {
+  view::DeferredStrategy s(db_.SpDef(), db_.WalAdOptions(), &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  const db::Transaction txn = db_.UpdateTxn(4, 444.0);
+  EXPECT_FALSE(s.OnTransaction(txn).ok());
+  // Error implies uncommitted: the oracle must not advance.
+  db_.v_oracle_[4] = 4.0;
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, DeferredCrashSafeQueryRidesOutReadFault) {
+  view::DeferredStrategy s(db_.SpDef(), db_.WalAdOptions(), &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  ASSERT_TRUE(s.OnTransaction(db_.UpdateTxn(5, 555.0)).ok());
+  Evict();
+  // A transient fault during the read-only refresh prep aborts cleanly;
+  // the crash-safe query's bounded retry then answers exactly.
+  db_.disk_.InjectReadFault(1);
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, QmSurfacesMidTransactionFault) {
+  view::QmSelectProjectStrategy s(db_.SpDef(), &db_.tracker_);
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  const db::Transaction txn = db_.UpdateTxn(6, 666.0);
+  EXPECT_FALSE(s.OnTransaction(txn).ok());
+  ASSERT_TRUE(s.OnTransaction(txn).ok());
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, QmSurfacesMidQueryFault) {
+  view::QmSelectProjectStrategy s(db_.SpDef(), &db_.tracker_);
+  Evict();
+  db_.disk_.InjectReadFault(3);  // die a few pages into the scan
+  EXPECT_FALSE(
+      s.Query(0, 1 << 20, [](const db::Tuple&, int64_t) { return true; })
+          .ok());
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, SnapshotSurfacesMidTransactionFault) {
+  view::SnapshotStrategy s(db_.SpDef(), {}, &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  const db::Transaction txn = db_.UpdateTxn(7, 707.0);
+  EXPECT_FALSE(s.OnTransaction(txn).ok());
+  ASSERT_TRUE(s.OnTransaction(txn).ok());
+  ASSERT_TRUE(s.RefreshNow().ok());  // fold the update into the snapshot
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, SnapshotSurfacesMidQueryFault) {
+  view::SnapshotStrategy s(db_.SpDef(), {}, &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  EXPECT_FALSE(
+      s.Query(0, 1 << 20, [](const db::Tuple&, int64_t) { return true; })
+          .ok());
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, HybridSurfacesMidTransactionFault) {
+  view::HybridStrategy s(db_.SpDef(), db_.AdOptions(), &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  const db::Transaction txn = db_.UpdateTxn(8, 808.0);
+  EXPECT_FALSE(s.OnTransaction(txn).ok());
+  ASSERT_TRUE(s.OnTransaction(txn).ok());
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
+}
+
+TEST_F(StrategyFaultInjectionTest, HybridSurfacesMidQueryFault) {
+  view::HybridStrategy s(db_.SpDef(), db_.AdOptions(), &db_.tracker_);
+  ASSERT_TRUE(s.InitializeFromBase().ok());
+  Evict();
+  db_.disk_.InjectReadFault(0);
+  EXPECT_FALSE(
+      s.Query(0, 1 << 20, [](const db::Tuple&, int64_t) { return true; })
+          .ok());
+  EXPECT_EQ(db_.QueryAll(&s), ExpectedSp());
 }
 
 }  // namespace

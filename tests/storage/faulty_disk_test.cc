@@ -1,0 +1,163 @@
+#include "storage/faulty_disk.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/cost_tracker.h"
+#include "storage/disk.h"
+
+namespace viewmat::storage {
+namespace {
+
+class FaultyDiskTest : public ::testing::Test {
+ protected:
+  FaultyDiskTest() : tracker_(1.0, 30.0, 1.0), inner_(256, &tracker_),
+                     disk_(&inner_, /*seed=*/7) {}
+
+  Page MakePage(uint8_t fill) {
+    Page p(256);
+    for (uint32_t i = 0; i < 256; ++i) p.data()[i] = fill;
+    return p;
+  }
+
+  CostTracker tracker_;
+  SimulatedDisk inner_;
+  FaultyDisk disk_;
+};
+
+TEST_F(FaultyDiskTest, PassesThroughWhenHealthy) {
+  const PageId id = disk_.Allocate();
+  ASSERT_TRUE(disk_.Write(id, MakePage(0xab)).ok());
+  Page out(256);
+  ASSERT_TRUE(disk_.Read(id, &out).ok());
+  EXPECT_EQ(out.data()[17], 0xab);
+  EXPECT_EQ(disk_.faults_injected(), 0u);
+  EXPECT_TRUE(disk_.Free(id).ok());
+}
+
+TEST_F(FaultyDiskTest, OneShotReadFaultFiresOnceAfterCountdown) {
+  const PageId id = disk_.Allocate();
+  ASSERT_TRUE(disk_.Write(id, MakePage(1)).ok());
+  disk_.InjectReadFault(/*after=*/2);
+  Page out(256);
+  EXPECT_TRUE(disk_.Read(id, &out).ok());   // 1st success
+  EXPECT_TRUE(disk_.Read(id, &out).ok());   // 2nd success
+  EXPECT_FALSE(disk_.Read(id, &out).ok());  // injected
+  EXPECT_TRUE(disk_.Read(id, &out).ok());   // trigger cleared
+  EXPECT_EQ(disk_.faults_injected(), 1u);
+}
+
+TEST_F(FaultyDiskTest, OneShotWriteFaultFiresOnceAfterCountdown) {
+  const PageId id = disk_.Allocate();
+  disk_.InjectWriteFault(/*after=*/1);
+  EXPECT_TRUE(disk_.Write(id, MakePage(1)).ok());
+  EXPECT_FALSE(disk_.Write(id, MakePage(2)).ok());
+  EXPECT_TRUE(disk_.Write(id, MakePage(3)).ok());
+  EXPECT_EQ(disk_.faults_injected(), 1u);
+}
+
+TEST_F(FaultyDiskTest, FailedWriteWithoutTearingAppliesNothing) {
+  const PageId id = disk_.Allocate();
+  ASSERT_TRUE(disk_.Write(id, MakePage(0x11)).ok());
+  disk_.InjectWriteFault(/*after=*/0);
+  EXPECT_FALSE(disk_.Write(id, MakePage(0x22)).ok());
+  Page out(256);
+  ASSERT_TRUE(disk_.Read(id, &out).ok());
+  EXPECT_EQ(out.data()[0], 0x11);
+  EXPECT_EQ(out.data()[255], 0x11);
+}
+
+TEST_F(FaultyDiskTest, TornWriteAppliesStrictPrefix) {
+  const PageId id = disk_.Allocate();
+  ASSERT_TRUE(disk_.Write(id, MakePage(0x11)).ok());
+  disk_.set_torn_writes(true);
+  disk_.InjectWriteFault(/*after=*/0);
+  EXPECT_FALSE(disk_.Write(id, MakePage(0x22)).ok());
+  Page out(256);
+  ASSERT_TRUE(disk_.Read(id, &out).ok());
+  // A strict prefix of the new bytes landed: first byte new, last byte old.
+  EXPECT_EQ(out.data()[0], 0x22);
+  EXPECT_EQ(out.data()[255], 0x11);
+}
+
+TEST_F(FaultyDiskTest, ProbabilisticFaultsAreSeededAndBounded) {
+  const PageId id = disk_.Allocate();
+  ASSERT_TRUE(disk_.Write(id, MakePage(1)).ok());
+  disk_.set_read_fault_rate(0.5);
+  disk_.set_max_faults(3);
+  Page out(256);
+  uint64_t failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!disk_.Read(id, &out).ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3u);  // budget caps injection
+  EXPECT_EQ(disk_.faults_injected(), 3u);
+
+  // Same seed, same script => same outcome (deterministic).
+  SimulatedDisk inner2(256, &tracker_);
+  FaultyDisk disk2(&inner2, /*seed=*/7);
+  const PageId id2 = disk2.Allocate();
+  ASSERT_TRUE(disk2.Write(id2, MakePage(1)).ok());
+  disk2.set_read_fault_rate(0.5);
+  disk2.set_max_faults(3);
+  uint64_t failures2 = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!disk2.Read(id2, &out).ok()) ++failures2;
+  }
+  EXPECT_EQ(failures2, failures);
+}
+
+TEST_F(FaultyDiskTest, ScriptedCrashFailsEverythingUntilRestart) {
+  const PageId id = disk_.Allocate();
+  ASSERT_TRUE(disk_.Write(id, MakePage(1)).ok());
+  disk_.ScriptCrash(CrashPoint::kBeforeFold);
+  EXPECT_TRUE(disk_.AtCrashPoint(CrashPoint::kBeforeViewPatch).ok());
+  EXPECT_FALSE(disk_.AtCrashPoint(CrashPoint::kBeforeFold).ok());
+  EXPECT_TRUE(disk_.crashed());
+  EXPECT_EQ(disk_.crash_point(), CrashPoint::kBeforeFold);
+
+  Page out(256);
+  EXPECT_FALSE(disk_.Read(id, &out).ok());
+  EXPECT_FALSE(disk_.Write(id, MakePage(2)).ok());
+  EXPECT_FALSE(disk_.Free(id).ok());
+  EXPECT_FALSE(disk_.AtCrashPoint(CrashPoint::kMidFold).ok());
+
+  disk_.Restart();
+  EXPECT_FALSE(disk_.crashed());
+  ASSERT_TRUE(disk_.Read(id, &out).ok());
+  EXPECT_EQ(out.data()[0], 1);
+  // The scripted point is consumed: announcing it again is harmless.
+  EXPECT_TRUE(disk_.AtCrashPoint(CrashPoint::kBeforeFold).ok());
+  EXPECT_EQ(disk_.crashes(), 1u);
+}
+
+TEST_F(FaultyDiskTest, ScriptedCrashHonorsOccurrenceCount) {
+  disk_.ScriptCrash(CrashPoint::kMidViewPatch, /*occurrence=*/3);
+  EXPECT_TRUE(disk_.AtCrashPoint(CrashPoint::kMidViewPatch).ok());
+  EXPECT_TRUE(disk_.AtCrashPoint(CrashPoint::kMidViewPatch).ok());
+  EXPECT_FALSE(disk_.AtCrashPoint(CrashPoint::kMidViewPatch).ok());
+  EXPECT_TRUE(disk_.crashed());
+}
+
+TEST_F(FaultyDiskTest, ClearFaultsDisarmsEverythingButKeepsCrashedState) {
+  disk_.set_read_fault_rate(1.0);
+  disk_.ScriptCrash(CrashPoint::kBeforeAdReset);
+  EXPECT_FALSE(disk_.AtCrashPoint(CrashPoint::kBeforeAdReset).ok());
+  disk_.ClearFaults();
+  EXPECT_TRUE(disk_.crashed()) << "ClearFaults must not un-crash the device";
+  disk_.Restart();
+  const PageId id = disk_.Allocate();
+  Page out(256);
+  ASSERT_TRUE(disk_.Write(id, MakePage(9)).ok());
+  EXPECT_TRUE(disk_.Read(id, &out).ok());
+}
+
+TEST_F(FaultyDiskTest, SharesTrackerAndPageAccountingWithInner) {
+  EXPECT_EQ(disk_.tracker(), inner_.tracker());
+  EXPECT_EQ(disk_.page_size(), inner_.page_size());
+  const PageId id = disk_.Allocate();
+  EXPECT_EQ(disk_.live_pages(), inner_.live_pages());
+  EXPECT_TRUE(disk_.Free(id).ok());
+}
+
+}  // namespace
+}  // namespace viewmat::storage

@@ -12,6 +12,7 @@
 #include "hr/ad_file.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
+#include "storage/faulty_disk.h"
 #include "view/strategy.h"
 #include "view/view_def.h"
 
@@ -31,7 +32,8 @@ class ViewTestDb {
 
   ViewTestDb()
       : tracker_(1.0, 30.0, 1.0),
-        disk_(512, &tracker_),
+        inner_(512, &tracker_),
+        disk_(&inner_),
         pool_(&disk_, 128),
         catalog_(&pool_) {
     db::Schema base_schema({db::Field::Int64("k1"), db::Field::Int64("k2"),
@@ -96,6 +98,13 @@ class ViewTestDb {
     return options;
   }
 
+  /// AD options with the write-ahead log enabled (crash-safe deferred).
+  hr::AdFile::Options WalAdOptions() const {
+    hr::AdFile::Options options = AdOptions();
+    options.enable_wal = true;
+    return options;
+  }
+
   /// One transaction setting v of `key` to `new_v`.
   db::Transaction UpdateTxn(int64_t key, double new_v) {
     db::Transaction txn;
@@ -121,7 +130,8 @@ class ViewTestDb {
   }
 
   storage::CostTracker tracker_;
-  storage::SimulatedDisk disk_;
+  storage::SimulatedDisk inner_;
+  storage::FaultyDisk disk_;  ///< fault-free until a test arms it
   storage::BufferPool pool_;
   db::Catalog catalog_;
   db::Relation* base_ = nullptr;
