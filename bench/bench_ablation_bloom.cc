@@ -7,14 +7,17 @@
 #include <cstdio>
 
 #include "common/random.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 #include "storage/bloom_filter.h"
 
 using namespace viewmat;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_ablation_bloom", cli.quick);
   constexpr int kAdKeys = 50;  // 2u at the paper's defaults
-  constexpr int kProbes = 200000;
+  const int kProbes = cli.quick ? 20000 : 200000;
   sim::SeriesTable table;
   table.title =
       "Bloom screen ablation (§2.2.2) — false drops vs filter size m, "
@@ -47,5 +50,9 @@ int main() {
   std::printf(
       "\n~10 bits/key already pushes false drops below 1%%, supporting the "
       "paper's 'count only one I/O' simplification for HR reads.\n");
-  return 0;
+  report.AddTable(table);
+  report.AddNote("reading",
+                 "~10 bits/key pushes false drops below 1%, supporting the "
+                 "paper's count-only-one-I/O simplification for HR reads");
+  return sim::FinishBenchMain(cli, report);
 }

@@ -7,13 +7,16 @@
 
 #include "costmodel/model1.h"
 #include "costmodel/regions.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 
 using namespace viewmat;
 using costmodel::Params;
 using costmodel::Strategy;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_ablation_c3_sensitivity", cli.quick);
   sim::SeriesTable table;
   table.title =
       "C3 sensitivity (§3.3/Figure 4) — Model 1 totals at P=.5, f=.1 and "
@@ -43,5 +46,9 @@ int main() {
       "\ndeferred is flat in C3 while immediate grows linearly; once C3 "
       "crosses ~4 deferred claims part of the plane (cf. EXPERIMENTS.md on "
       "the paper's C3=2 threshold).\n");
-  return 0;
+  report.AddTable(table);
+  report.AddNote("reading",
+                 "deferred is flat in C3, immediate grows linearly; deferred "
+                 "claims part of the plane once C3 crosses ~4");
+  return sim::FinishBenchMain(cli, report);
 }

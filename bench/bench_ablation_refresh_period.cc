@@ -9,12 +9,15 @@
 
 #include "costmodel/model1.h"
 #include "costmodel/yao.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 
 using namespace viewmat;
 using costmodel::Params;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_ablation_refresh_period", cli.quick);
   // High update rate so the batching window is wide: P = .9 -> k/q = 9.
   const Params p = Params().WithUpdateProbability(0.9);
   const double txns_per_query = p.k / p.q;
@@ -38,5 +41,9 @@ int main() {
       "\nmonotone decrease in j confirms §4: 'waiting as long as possible "
       "between refreshes uses the least system resources' (the triangle "
       "inequality for y).\n");
-  return 0;
+  report.AddTable(table);
+  report.AddNote("reading",
+                 "patch cost decreases monotonically in j; waiting as long "
+                 "as possible between refreshes uses the least resources");
+  return sim::FinishBenchMain(cli, report);
 }

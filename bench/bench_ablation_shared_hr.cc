@@ -9,12 +9,15 @@
 
 #include "common/random.h"
 #include "db/catalog.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 #include "view/view_group.h"
 
 using namespace viewmat;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_ablation_shared_hr", cli.quick);
   sim::SeriesTable table;
   table.title =
       "Shared-HR ablation (§4) — AD-file reads per refresh wave vs number "
@@ -83,5 +86,9 @@ int main() {
                 ad_pages, v_count);
   }
   std::printf("\n%s", table.ToString().c_str());
-  return 0;
+  report.AddTable(table);
+  report.AddNote("reading",
+                 "the shared design reads the AD pages once per refresh "
+                 "wave; per-view refreshes would read them once per member");
+  return sim::FinishBenchMain(cli, report);
 }

@@ -7,12 +7,15 @@
 #include <cstdio>
 
 #include "costmodel/model1.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 
 using namespace viewmat;
 using costmodel::Params;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_ablation_snapshot", cli.quick);
   const Params p;  // defaults: P = .5, k/q = 1 txn per query
   // Full recomputation = clustered scan of the whole selection + rebuild
   // of the stored copy (write f*b/2 pages).
@@ -40,5 +43,9 @@ int main() {
       "amortizes the full recompute — at the price of staleness the "
       "incremental strategies never incur. This is why the paper treats "
       "snapshots as a different tool, not a fourth contender.\n");
-  return 0;
+  report.AddTable(table);
+  report.AddNote("reading",
+                 "snapshots undercut deferred only once the period amortizes "
+                 "the full recompute, at the price of staleness");
+  return sim::FinishBenchMain(cli, report);
 }

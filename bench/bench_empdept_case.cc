@@ -6,12 +6,15 @@
 
 #include "costmodel/crossover.h"
 #include "costmodel/model2.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 
 using namespace viewmat;
 using costmodel::Params;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_empdept_case", cli.quick);
   Params base;
   base.f = 1.0;
   base.l = 1.0;
@@ -29,6 +32,7 @@ int main() {
                      costmodel::TotalLoopJoin(p)});
   }
   std::printf("%s", table.ToString().c_str());
+  report.AddTable(table);
 
   auto cross_imm = costmodel::EqualCostP(
       [](const Params& at) { return costmodel::TotalImmediate2(at); },
@@ -38,9 +42,15 @@ int main() {
       [](const Params& at) { return costmodel::TotalDeferred2(at); },
       [](const Params& at) { return costmodel::TotalLoopJoin(at); }, base,
       0.0, 0.5);
+  char note[128];
+  std::snprintf(note, sizeof(note),
+                "QM overtakes immediate at P=%.3f and deferred at P=%.3f "
+                "(paper: for all P >= .08)",
+                cross_imm.value_or(-1), cross_def.value_or(-1));
   std::printf(
       "\nquery modification overtakes immediate at P = %.3f and deferred at "
       "P = %.3f (paper: 'for all values of P >= .08').\n",
       cross_imm.value_or(-1), cross_def.value_or(-1));
-  return 0;
+  report.AddNote("crossovers", note);
+  return sim::FinishBenchMain(cli, report);
 }

@@ -7,17 +7,24 @@
 // exact and the converged view equals a from-scratch recompute).
 
 #include <cstdio>
+#include <string>
 
+#include "sim/bench_report.h"
 #include "sim/fault_sweep.h"
 
 using namespace viewmat;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_fault_sweep", cli.quick);
   for (const int model : {1, 2}) {
     sim::FaultSweepOptions options;
     options.model = model;
-    options.runs_per_rate = 25;
-    options.fault_rates = {0.0, 0.01, 0.03, 0.08, 0.15};
+    options.runs_per_rate = cli.quick ? 4 : 25;
+    options.fault_rates = cli.quick
+                              ? std::vector<double>{0.0, 0.03, 0.15}
+                              : std::vector<double>{0.0, 0.01, 0.03, 0.08,
+                                                    0.15};
     auto result = sim::SimulateFaultSweep(options);
     if (!result.ok()) {
       std::fprintf(stderr, "model %d sweep failed: %s\n", model,
@@ -27,6 +34,13 @@ int main() {
     std::printf(
         "Crash-safety torture sweep — Model %d, %d seeded runs per rate\n%s\n",
         model, options.runs_per_rate, result->ToString().c_str());
+    const std::string key = "model" + std::to_string(model);
+    report.AddNote(key + ".table", result->ToString());
+    char totals[128];
+    std::snprintf(totals, sizeof(totals),
+                  "runs=%d corrupt=%d silently_stale=%d", result->total_runs,
+                  result->total_corrupt, result->total_silently_stale);
+    report.AddNote(key + ".totals", totals);
     if (result->total_corrupt != 0 || result->total_silently_stale != 0) {
       std::fprintf(stderr, "FAILED: %d corrupt, %d silently-stale runs\n",
                    result->total_corrupt, result->total_silently_stale);
@@ -36,5 +50,8 @@ int main() {
   std::printf(
       "\ninvariant held: every acknowledged answer exact, every run "
       "converged to the from-scratch recompute.\n");
-  return 0;
+  report.AddNote("invariant",
+                 "every acknowledged answer exact; every run converged to "
+                 "the from-scratch recompute");
+  return sim::FinishBenchMain(cli, report);
 }

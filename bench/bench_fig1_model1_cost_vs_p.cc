@@ -5,12 +5,15 @@
 #include <cstdio>
 
 #include "costmodel/model1.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 
 using namespace viewmat;
 using costmodel::Params;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_fig1_model1_cost_vs_p", cli.quick);
   sim::SeriesTable table;
   table.title =
       "Figure 1 — Model 1: avg cost (ms) per view query vs P "
@@ -34,5 +37,10 @@ int main() {
       "deferred and immediate track each other closely; unclustered and\n"
       "sequential are far worse. Matches: deferred/immediate within ~25%% "
       "everywhere, clustered lowest for all P above ~0.1.\n");
-  return 0;
+  report.AddTable(table);
+  report.AddNote("reading",
+                 "clustered QM equal or superior throughout; "
+                 "deferred/immediate within ~25% everywhere; unclustered and "
+                 "sequential far worse");
+  return sim::FinishBenchMain(cli, report);
 }

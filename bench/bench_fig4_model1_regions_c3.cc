@@ -10,7 +10,9 @@
 using namespace viewmat;
 using namespace viewmat::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_fig4_model1_regions_c3", cli.quick);
   for (const double c3 : {1.0, 2.0, 4.0, 8.0}) {
     costmodel::Params p;
     p.C3 = c3;
@@ -21,17 +23,24 @@ int main() {
                   "Figure 4 family — Model 1 winner regions, C3 = %.0f, "
                   "f_v = .1",
                   c3);
-    PrintGrid(title, grid);
+    char key[16];
+    std::snprintf(key, sizeof(key), "c3=%.0f", c3);
+    ReportGrid(&report, key, title, grid);
   }
   // The pointwise mechanism: deferred-vs-immediate gap closes linearly in
   // C3 at every (f, P).
-  std::printf("deferred minus immediate (ms) at f=.957, P=.283:\n");
+  sim::SeriesTable gap;
+  gap.title = "deferred minus immediate (ms) at f=.957, P=.283";
+  gap.x_label = "C3";
+  gap.series_names = {"def-minus-imm"};
   for (const double c3 : {1.0, 2.0, 3.0, 4.0, 6.0}) {
     costmodel::Params p = costmodel::Params().WithUpdateProbability(0.283);
     p.f = 0.957;
     p.C3 = c3;
-    std::printf("  C3=%.0f: %+.1f\n", c3,
-                costmodel::TotalDeferred1(p) - costmodel::TotalImmediate1(p));
+    gap.AddRow(c3,
+               {costmodel::TotalDeferred1(p) - costmodel::TotalImmediate1(p)});
   }
-  return 0;
+  std::printf("%s", gap.ToString().c_str());
+  report.AddTable(gap);
+  return sim::FinishBenchMain(cli, report);
 }

@@ -5,12 +5,15 @@
 
 #include "costmodel/crossover.h"
 #include "costmodel/model2.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 
 using namespace viewmat;
 using costmodel::Params;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_fig5_model2_cost_vs_p", cli.quick);
   sim::SeriesTable table;
   table.title =
       "Figure 5 — Model 2: avg cost (ms) per view query vs P "
@@ -26,6 +29,7 @@ int main() {
                      costmodel::TotalLoopJoin(p)});
   }
   std::printf("%s", table.ToString().c_str());
+  report.AddTable(table);
   auto cross = costmodel::EqualCostP(
       [](const Params& at) { return costmodel::TotalImmediate2(at); },
       [](const Params& at) { return costmodel::TotalLoopJoin(at); }, base);
@@ -35,6 +39,9 @@ int main() {
         "(paper: maintenance overhead overwhelms the clustering advantage "
         "as P grows)\n",
         *cross);
+    char note[96];
+    std::snprintf(note, sizeof(note), "%.3f", *cross);
+    report.AddNote("immediate_vs_loopjoin_crossover_P", note);
   }
-  return 0;
+  return sim::FinishBenchMain(cli, report);
 }

@@ -6,11 +6,14 @@
 using namespace viewmat;
 using namespace viewmat::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_fig6_model2_regions", cli.quick);
   const costmodel::Params base;
   const auto grid = costmodel::ComputeRegions(
       Model2CostOrInf, Model2Candidates(), base, FAxis(), PAxis());
-  PrintGrid("Figure 6 — Model 2 winner regions, f (log) vs P, f_v = .1",
-            grid);
-  return 0;
+  ReportGrid(&report, "fig6",
+             "Figure 6 — Model 2 winner regions, f (log) vs P, f_v = .1",
+             grid);
+  return sim::FinishBenchMain(cli, report);
 }

@@ -5,12 +5,15 @@
 #include <cstdio>
 
 #include "costmodel/model3.h"
+#include "sim/bench_report.h"
 #include "sim/report.h"
 
 using namespace viewmat;
 using costmodel::Params;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_fig8_model3_cost_vs_l", cli.quick);
   sim::SeriesTable table;
   table.title =
       "Figure 8 — Model 3: avg cost (ms) of an aggregate query vs l "
@@ -26,8 +29,17 @@ int main() {
                      costmodel::TotalRecompute3(p)});
   }
   std::printf("%s", table.ToString().c_str());
+  report.AddTable(table);
   Params small;
   small.l = 25;
+  char note[160];
+  std::snprintf(note, sizeof(note),
+                "maintenance cost as %% of recomputation at l=25: %.1f%% "
+                "(immediate), %.1f%% (deferred)",
+                100.0 * costmodel::TotalImmediate3(small) /
+                    costmodel::TotalRecompute3(small),
+                100.0 * costmodel::TotalDeferred3(small) /
+                    costmodel::TotalRecompute3(small));
   std::printf(
       "\npaper's reading: for small l (< 100) maintaining the aggregate "
       "costs only a small percentage of recomputation — here %.1f%% "
@@ -36,5 +48,6 @@ int main() {
           costmodel::TotalRecompute3(small),
       100.0 * costmodel::TotalDeferred3(small) /
           costmodel::TotalRecompute3(small));
-  return 0;
+  report.AddNote("reading", note);
+  return sim::FinishBenchMain(cli, report);
 }

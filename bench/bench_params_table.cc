@@ -4,13 +4,23 @@
 #include <cstdio>
 
 #include "costmodel/params.h"
+#include "sim/bench_report.h"
 
-int main() {
-  const viewmat::costmodel::Params p;
+using namespace viewmat;
+
+int main(int argc, char** argv) {
+  const sim::BenchCli cli = sim::BenchCli::Parse(argc, argv);
+  sim::BenchReport report("bench_params_table", cli.quick);
+  const costmodel::Params p;
   std::printf("=== Paper §3.1: standard parameter settings ===\n%s\n",
               p.ToString().c_str());
-  std::printf("\nderived defaults check: b=%.0f pages, T=%.0f tuples/page, "
-              "u=%.0f tuples between queries, P=%.2f\n",
-              p.b(), p.T(), p.u(), p.P());
-  return 0;
+  char derived[128];
+  std::snprintf(derived, sizeof(derived),
+                "b=%.0f pages, T=%.0f tuples/page, "
+                "u=%.0f tuples between queries, P=%.2f",
+                p.b(), p.T(), p.u(), p.P());
+  std::printf("\nderived defaults check: %s\n", derived);
+  report.AddNote("params", p.ToString());
+  report.AddNote("derived", derived);
+  return sim::FinishBenchMain(cli, report);
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command repo check: plain build + full test suite (including the
+# bench-smoke JSON-schema tests), then an address+undefined sanitizer
+# build (VIEWMAT_SANITIZE) running the same suite plus the crash-safety
+# torture label.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   plain build only (skip the sanitizer build and torture label)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 2)
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== plain build =="
+cmake -S . -B build >/dev/null
+cmake --build build -j "$jobs"
+echo "== plain tests (tier 1 + bench-smoke) =="
+ctest --test-dir build --output-on-failure -LE torture
+
+if [[ "$quick" == 1 ]]; then
+  echo "check.sh --quick: OK"
+  exit 0
+fi
+
+echo "== sanitized build (address;undefined) =="
+cmake -S . -B build-asan -DVIEWMAT_SANITIZE="address;undefined" >/dev/null
+cmake --build build-asan -j "$jobs"
+echo "== sanitized tests =="
+ctest --test-dir build-asan --output-on-failure -LE torture
+echo "== sanitized torture label =="
+ctest --test-dir build-asan --output-on-failure -L torture
+
+echo "check.sh: OK"

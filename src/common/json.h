@@ -1,0 +1,356 @@
+#ifndef VIEWMAT_COMMON_JSON_H_
+#define VIEWMAT_COMMON_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace viewmat::common {
+
+/// Minimal dependency-free streaming JSON writer. Handles comma placement
+/// and string escaping; the caller is responsible for well-formed nesting
+/// (every BeginX matched by EndX, every object value preceded by a Key).
+/// Output is deterministic — the bench reports diff cleanly across runs.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back({Ctx::kTop, false}); }
+
+  void BeginObject() {
+    BeforeValue();
+    out_ += '{';
+    stack_.push_back({Ctx::kObject, false});
+  }
+  void EndObject() {
+    stack_.pop_back();
+    out_ += '}';
+  }
+  void BeginArray() {
+    BeforeValue();
+    out_ += '[';
+    stack_.push_back({Ctx::kArray, false});
+  }
+  void EndArray() {
+    stack_.pop_back();
+    out_ += ']';
+  }
+
+  void Key(std::string_view k) {
+    if (stack_.back().has_items) out_ += ',';
+    stack_.back().has_items = true;
+    AppendEscaped(k);
+    out_ += ':';
+    key_pending_ = true;
+  }
+
+  void String(std::string_view v) {
+    BeforeValue();
+    AppendEscaped(v);
+  }
+  void Bool(bool v) {
+    BeforeValue();
+    out_ += v ? "true" : "false";
+  }
+  void Null() {
+    BeforeValue();
+    out_ += "null";
+  }
+  void Int(int64_t v) {
+    BeforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+  }
+  void Uint(uint64_t v) {
+    BeforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void Double(double v) {
+    BeforeValue();
+    if (!std::isfinite(v)) {  // JSON has no NaN/Inf
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    // Integral values print exactly; everything else uses %.12g, which
+    // round-trips every quantity the cost model produces and keeps the
+    // reports readable and byte-stable.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+      std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.12g", v);
+    }
+    out_ += buf;
+  }
+
+  /// Appends `json` verbatim as the next value. The caller guarantees it
+  /// is a well-formed JSON value (e.g. the output of another writer).
+  void RawValue(std::string_view json) {
+    BeforeValue();
+    out_ += json;
+  }
+
+  // Common key/value shorthands.
+  void KV(std::string_view k, std::string_view v) { Key(k); String(v); }
+  void KV(std::string_view k, const char* v) { Key(k); String(v); }
+  void KV(std::string_view k, double v) { Key(k); Double(v); }
+  void KV(std::string_view k, int64_t v) { Key(k); Int(v); }
+  void KV(std::string_view k, uint64_t v) { Key(k); Uint(v); }
+  void KV(std::string_view k, int v) { Key(k); Int(v); }
+  void KV(std::string_view k, bool v) { Key(k); Bool(v); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Ctx : uint8_t { kTop, kObject, kArray };
+  struct Level {
+    Ctx ctx;
+    bool has_items;
+  };
+
+  void BeforeValue() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;  // comma already handled by Key()
+    }
+    if (stack_.back().ctx == Ctx::kArray && stack_.back().has_items) {
+      out_ += ',';
+    }
+    stack_.back().has_items = true;
+  }
+
+  void AppendEscaped(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON document node. Object member order is preserved so tests and
+/// the schema checker can report stable diagnostics.
+struct JsonValue {
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Returns the member value or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace json_internal {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos) + ": " + what);
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Eat('"')) return Err("expected string");
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Err("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return Err("bad \\u escape");
+            }
+            // The writer only emits \u for control characters; decode the
+            // BMP code point as UTF-8.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Err("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 64) return Err("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Err("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->type = JsonValue::Type::kObject;
+      SkipWs();
+      if (Eat('}')) return Status::OK();
+      while (true) {
+        std::string key;
+        VIEWMAT_RETURN_IF_ERROR(ParseString(&key));
+        if (!Eat(':')) return Err("expected ':'");
+        JsonValue v;
+        VIEWMAT_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+        out->members.emplace_back(std::move(key), std::move(v));
+        if (Eat(',')) {
+          SkipWs();
+          continue;
+        }
+        if (Eat('}')) return Status::OK();
+        return Err("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->type = JsonValue::Type::kArray;
+      SkipWs();
+      if (Eat(']')) return Status::OK();
+      while (true) {
+        JsonValue v;
+        VIEWMAT_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+        out->items.push_back(std::move(v));
+        if (Eat(',')) continue;
+        if (Eat(']')) return Status::OK();
+        return Err("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      pos += 4;
+      return Status::OK();
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      pos += 5;
+      return Status::OK();
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out->type = JsonValue::Type::kNull;
+      pos += 4;
+      return Status::OK();
+    }
+    // Number.
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return Err("unexpected character");
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                              nullptr);
+    return Status::OK();
+  }
+};
+
+}  // namespace json_internal
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+inline StatusOr<JsonValue> ParseJson(std::string_view text) {
+  json_internal::Parser parser{text};
+  JsonValue root;
+  VIEWMAT_RETURN_IF_ERROR(parser.ParseValue(&root, 0));
+  parser.SkipWs();
+  if (parser.pos != text.size()) {
+    return parser.Err("trailing characters after document");
+  }
+  return root;
+}
+
+}  // namespace viewmat::common
+
+#endif  // VIEWMAT_COMMON_JSON_H_

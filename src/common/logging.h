@@ -28,9 +28,15 @@ namespace viewmat {
   } while (0)
 
 /// Debug-only check, compiled out in NDEBUG builds. Use on hot paths.
+/// The NDEBUG form still *parses* the condition (inside an unevaluated,
+/// dead branch), so a DCHECK referencing a renamed member breaks the
+/// release build instead of rotting silently; the optimizer removes it.
 #ifdef NDEBUG
-#define VIEWMAT_DCHECK(cond) \
-  do {                       \
+#define VIEWMAT_DCHECK(cond)     \
+  do {                           \
+    if (false) {                 \
+      (void)(cond);              \
+    }                            \
   } while (0)
 #else
 #define VIEWMAT_DCHECK(cond) VIEWMAT_CHECK(cond)

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::hr {
 
@@ -158,6 +159,8 @@ Status AdFile::Recover(RecoveryInfo* info) {
   RecoveryInfo local;
   RecoveryInfo* out = info != nullptr ? info : &local;
   *out = RecoveryInfo();
+  storage::CostTracker* tracker = pool_->disk()->tracker();
+  obs::ScopedSpan recover_span(storage::TracerOf(tracker), "ad-recover");
 
   // Pass 1: read the durable history. Intents buffer until their commit
   // record; a fold-commit marker means everything committed so far was
@@ -169,6 +172,7 @@ Status AdFile::Recover(RecoveryInfo* info) {
   std::vector<PendingIntent> committed;
   std::vector<PendingIntent> uncommitted;
   bool torn = false;
+  obs::ScopedSpan replay_span(storage::TracerOf(tracker), "log-replay");
   VIEWMAT_RETURN_IF_ERROR(log_->Scan(
       [&](uint8_t type, const uint8_t* payload, uint16_t len) {
         switch (static_cast<WalRecord>(type)) {
@@ -215,6 +219,7 @@ Status AdFile::Recover(RecoveryInfo* info) {
       &torn));
   out->torn_tail = torn;
   out->discarded_intents += uncommitted.size();
+  replay_span.End();
 
   // Pass 2: rebuild the hash file and Bloom filter from the committed
   // history, with the same netting semantics the original calls used. From
@@ -222,8 +227,16 @@ Status AdFile::Recover(RecoveryInfo* info) {
   // are not trustworthy — a failure partway must leave the flag set so no
   // reader serves the half-rebuilt state.
   needs_recovery_ = true;
+  obs::ScopedSpan rebuild_span(storage::TracerOf(tracker), "bloom-rebuild");
+  {
+    // The hash replay below re-adds surviving keys; clearing both here
+    // makes the rebuild a fresh start (Bloom upkeep is free of I/O, so the
+    // kBloom component only ever shows cost if a future change adds some).
+    const storage::ScopedComponent bloom_tag(tracker,
+                                             storage::Component::kBloom);
+    bloom_.Clear();
+  }
   VIEWMAT_RETURN_IF_ERROR(hash_->Clear());
-  bloom_.Clear();
   for (const PendingIntent& p : committed) {
     if (p.type == WalRecord::kIntentInsert) {
       VIEWMAT_RETURN_IF_ERROR(ApplyInsert(p.tuple));

@@ -77,6 +77,8 @@ void AdLog::DurableEnd(const Page& page, uint32_t* end, size_t* count) const {
 }
 
 Status AdLog::ResyncTail() {
+  const storage::ScopedComponent tag(disk_->tracker(),
+                                     storage::Component::kAdLog);
   // Walk the durable chain from the head — not from the in-memory tail,
   // which may be stale in either direction (a link write that landed
   // despite an error extends the chain; a truncate that landed despite an
@@ -137,6 +139,8 @@ Status AdLog::ResyncTail() {
 }
 
 Status AdLog::Append(uint8_t type, const uint8_t* payload, uint16_t len) {
+  const storage::ScopedComponent tag(disk_->tracker(),
+                                     storage::Component::kAdLog);
   VIEWMAT_CHECK(len <= max_payload());
   if (tail_dirty_) VIEWMAT_RETURN_IF_ERROR(ResyncTail());
   const uint32_t need = kRecordHeader + len;
@@ -224,6 +228,8 @@ Status AdLog::Append(uint8_t type, const uint8_t* payload, uint16_t len) {
 }
 
 Status AdLog::Scan(const Visitor& visit, bool* torn_tail) const {
+  const storage::ScopedComponent tag(disk_->tracker(),
+                                     storage::Component::kAdLog);
   if (torn_tail != nullptr) *torn_tail = false;
   const uint32_t page_size = disk_->page_size();
   Page page(page_size);
@@ -287,6 +293,8 @@ Status AdLog::Scan(const Visitor& visit, bool* torn_tail) const {
 }
 
 Status AdLog::Truncate() {
+  const storage::ScopedComponent tag(disk_->tracker(),
+                                     storage::Component::kAdLog);
   // Empty head first, then free the remainder: a crash in between leaves a
   // logically empty log (plus leaked pages), never partial history.
   Page empty(disk_->page_size());

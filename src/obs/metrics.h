@@ -1,0 +1,105 @@
+#ifndef VIEWMAT_OBS_METRICS_H_
+#define VIEWMAT_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace viewmat::common {
+class JsonWriter;
+}
+
+namespace viewmat::obs {
+
+/// Metric labels: ordered key=value pairs. Order is part of identity, so
+/// instrumentation sites should list labels in one canonical order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Pointer-stable once created: call-sites cache the
+/// pointer and increment without re-hashing the name.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds of the
+/// finite buckets; an implicit +inf bucket catches the rest (so counts has
+/// bounds.size() + 1 entries).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void Observe(double v) {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    sum_ += v;
+    ++count_;
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  double sum() const { return sum_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  double sum_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// Owns named, labeled counters and histograms. Get* registers on first
+/// use and returns the same instance for the same (name, labels) after
+/// that. Iteration order (and therefore JSON/text output) is sorted by
+/// full name, so reports are deterministic.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, const Labels& labels = {});
+  /// `bounds` applies on first registration only; later calls with the
+  /// same (name, labels) return the existing histogram unchanged.
+  Histogram* GetHistogram(std::string_view name, const Labels& labels,
+                          std::vector<double> bounds);
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+  /// {"counters":[{"name","labels",{...},"value"}...],
+  ///  "histograms":[{"name","labels",{...},"bounds","counts","sum","count"}]}
+  void WriteJson(common::JsonWriter* w) const;
+  /// One metric per line: name{k=v,...} value — for text reports.
+  std::string ToString() const;
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Histogram> histogram;
+  };
+  static std::string FullKey(std::string_view name, const Labels& labels);
+
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, HistogramEntry> histograms_;
+};
+
+}  // namespace viewmat::obs
+
+#endif  // VIEWMAT_OBS_METRICS_H_

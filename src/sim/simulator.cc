@@ -91,31 +91,93 @@ view::AggregateDef MakeAggDef(Scenario* scenario, db::Relation* base) {
   return def;
 }
 
+/// Per-operation observability for one strategy run: op counters and
+/// model-ms histograms labeled by strategy name, plus the run's trace
+/// track. All members null when the corresponding sink is off.
+struct RunObservers {
+  RunObservers(const SimOptions& options, Instance* inst,
+               const std::string& run_name) {
+    if (options.tracer != nullptr) {
+      inst->tracker.set_tracer(options.tracer);
+      options.tracer->NewTrack(run_name);
+    }
+    if (options.metrics != nullptr) {
+      const obs::Labels labels = {{"strategy", run_name}};
+      // Bucket bounds in model ms: one disk I/O is C2 = 30, so the buckets
+      // resolve "a few I/Os" through "a full scan".
+      const std::vector<double> bounds = {30,   60,   120,   300,  600,
+                                          1200, 3000, 15000, 60000};
+      updates_total = options.metrics->GetCounter("sim_updates_total", labels);
+      queries_total = options.metrics->GetCounter("sim_queries_total", labels);
+      update_ms = options.metrics->GetHistogram("sim_update_ms", labels, bounds);
+      query_ms = options.metrics->GetHistogram("sim_query_ms", labels, bounds);
+    }
+  }
+
+  void OnUpdate(double ms) {
+    if (updates_total != nullptr) {
+      updates_total->Increment();
+      update_ms->Observe(ms);
+    }
+  }
+  void OnQuery(double ms) {
+    if (queries_total != nullptr) {
+      queries_total->Increment();
+      query_ms->Observe(ms);
+    }
+  }
+
+  obs::Counter* updates_total = nullptr;
+  obs::Counter* queries_total = nullptr;
+  obs::Histogram* update_ms = nullptr;
+  obs::Histogram* query_ms = nullptr;
+};
+
+/// Queries/updates actually driven through a strategy.
+struct DriveStats {
+  size_t queries = 0;
+  size_t updates = 0;
+};
+
 /// Drives the op sequence through a tuple-view strategy; returns ms/query.
 Status DriveTupleStrategy(const SimOptions& options, Scenario* scenario,
                           Instance* inst, db::Relation* updated_rel,
-                          view::ViewStrategy* strategy, double* ms_per_query) {
+                          view::ViewStrategy* strategy,
+                          const std::string& run_name, double* ms_per_query,
+                          DriveStats* stats = nullptr) {
   // Loading/initialization happens outside the measured window: persist it
   // and start the run cold.
   VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAndEvictAll());
   inst->tracker.Reset();
+  RunObservers observe(options, inst, run_name);
   size_t queries = 0;
+  size_t updates = 0;
   for (const Scenario::OpKind op : scenario->OpSequence()) {
+    const double before_ms = inst->tracker.TotalMs();
     if (op == Scenario::OpKind::kUpdate) {
       const db::Transaction txn = scenario->NextUpdateTransaction(updated_rel);
       VIEWMAT_RETURN_IF_ERROR(strategy->OnTransaction(txn));
+      ++updates;
+      observe.OnUpdate(inst->tracker.TotalMs() - before_ms);
     } else {
       const Scenario::QueryRange range = scenario->NextQueryRange();
       VIEWMAT_RETURN_IF_ERROR(strategy->Query(
           range.lo, range.hi,
           [](const db::Tuple&, int64_t) { return true; }));
       ++queries;
+      observe.OnQuery(inst->tracker.TotalMs() - before_ms);
     }
     if (options.cold_cache_between_ops) {
       VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAndEvictAll());
     }
   }
   VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAll());
+  if (stats != nullptr) {
+    stats->queries = queries;
+    stats->updates = updates;
+  }
+  // The instance (and its clock) dies with the run; detach the tracer.
+  if (options.tracer != nullptr) options.tracer->SetClock(nullptr);
   *ms_per_query =
       inst->tracker.TotalMs() / static_cast<double>(std::max<size_t>(queries, 1));
   return Status::OK();
@@ -155,24 +217,34 @@ double AnalyticalFor(int model, costmodel::Strategy s, const Params& p) {
 
 std::string SimResult::ToString() const {
   std::string out;
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "P=%.3f f=%.3f f_v=%.3f N=%.0f l=%.0f  "
                 "(baseline %.1f ms/query)\n",
                 params.P(), params.f, params.f_v, params.N, params.l,
                 baseline_ms_per_query);
   out += buf;
-  std::snprintf(buf, sizeof(buf), "  %-26s %12s %12s %12s %9s %9s\n",
-                "strategy", "measured", "adjusted", "analytical", "reads",
-                "writes");
+  std::snprintf(buf, sizeof(buf),
+                "model=%d seed=%llu pool_pages=%zu cold_cache=%s\n", model,
+                static_cast<unsigned long long>(seed), buffer_pool_pages,
+                cold_cache_between_ops ? "on" : "off");
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  %-26s %12s %12s %12s %9s %9s %9s %9s %9s\n", "strategy",
+                "measured", "adjusted", "analytical", "reads", "writes",
+                "screens", "cpu", "adops");
   out += buf;
   for (const StrategyRun& run : runs) {
-    std::snprintf(buf, sizeof(buf),
-                  "  %-26s %12.1f %12.1f %12.1f %9llu %9llu\n",
-                  run.name.c_str(), run.measured_ms_per_query,
-                  run.adjusted_ms_per_query, run.analytical_ms_per_query,
-                  static_cast<unsigned long long>(run.counters.disk_reads),
-                  static_cast<unsigned long long>(run.counters.disk_writes));
+    std::snprintf(
+        buf, sizeof(buf),
+        "  %-26s %12.1f %12.1f %12.1f %9llu %9llu %9llu %9llu %9llu\n",
+        run.name.c_str(), run.measured_ms_per_query,
+        run.adjusted_ms_per_query, run.analytical_ms_per_query,
+        static_cast<unsigned long long>(run.counters.disk_reads),
+        static_cast<unsigned long long>(run.counters.disk_writes),
+        static_cast<unsigned long long>(run.counters.screen_tests),
+        static_cast<unsigned long long>(run.counters.tuple_cpu_ops),
+        static_cast<unsigned long long>(run.counters.ad_set_ops));
     out += buf;
   }
   return out;
@@ -186,6 +258,10 @@ StatusOr<SimResult> SimulateModel1(const Params& params,
                                 : AutoPoolPages(params);
   SimResult result;
   result.params = params;
+  result.model = 1;
+  result.seed = options.seed;
+  result.buffer_pool_pages = pool_pages;
+  result.cold_cache_between_ops = options.cold_cache_between_ops;
 
   // --- Baseline ----------------------------------------------------------
   {
@@ -195,9 +271,9 @@ StatusOr<SimResult> SimulateModel1(const Params& params,
         db::Relation * base,
         scenario.LoadBase(&inst.catalog, "R", db::AccessMethod::kClusteredBTree));
     NoViewStrategy baseline;
-    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
-                                               &inst, base, &baseline,
-                                               &result.baseline_ms_per_query));
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(
+        options, &scenario, &inst, base, &baseline, "baseline",
+        &result.baseline_ms_per_query));
   }
 
   struct Contender {
@@ -255,10 +331,14 @@ StatusOr<SimResult> SimulateModel1(const Params& params,
 
     StrategyRun run;
     run.name = costmodel::StrategyName(contender.model_strategy);
-    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
-                                               &inst, base, strategy.get(),
-                                               &run.measured_ms_per_query));
+    DriveStats stats;
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(
+        options, &scenario, &inst, base, strategy.get(), run.name,
+        &run.measured_ms_per_query, &stats));
     run.counters = inst.tracker.counters();
+    run.attributed = inst.tracker.attributed();
+    run.queries = stats.queries;
+    run.updates = stats.updates;
     run.adjusted_ms_per_query =
         run.measured_ms_per_query - result.baseline_ms_per_query;
     run.analytical_ms_per_query =
@@ -276,6 +356,10 @@ StatusOr<SimResult> SimulateModel2(const Params& params,
                                 : AutoPoolPages(params);
   SimResult result;
   result.params = params;
+  result.model = 2;
+  result.seed = options.seed;
+  result.buffer_pool_pages = pool_pages;
+  result.cold_cache_between_ops = options.cold_cache_between_ops;
 
   {
     Scenario scenario(params, options.seed);
@@ -288,9 +372,9 @@ StatusOr<SimResult> SimulateModel2(const Params& params,
                              scenario.LoadR2(&inst.catalog, "R2"));
     (void)r2;
     NoViewStrategy baseline;
-    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
-                                               &inst, r1, &baseline,
-                                               &result.baseline_ms_per_query));
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(
+        options, &scenario, &inst, r1, &baseline, "baseline",
+        &result.baseline_ms_per_query));
   }
 
   const std::vector<costmodel::Strategy> contenders = {
@@ -325,10 +409,14 @@ StatusOr<SimResult> SimulateModel2(const Params& params,
 
     StrategyRun run;
     run.name = costmodel::StrategyName(which);
-    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
-                                               &inst, r1, strategy.get(),
-                                               &run.measured_ms_per_query));
+    DriveStats stats;
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(
+        options, &scenario, &inst, r1, strategy.get(), run.name,
+        &run.measured_ms_per_query, &stats));
     run.counters = inst.tracker.counters();
+    run.attributed = inst.tracker.attributed();
+    run.queries = stats.queries;
+    run.updates = stats.updates;
     run.adjusted_ms_per_query =
         run.measured_ms_per_query - result.baseline_ms_per_query;
     run.analytical_ms_per_query = AnalyticalFor(2, which, params);
@@ -345,6 +433,10 @@ StatusOr<SimResult> SimulateModel3(const Params& params,
                                 : AutoPoolPages(params);
   SimResult result;
   result.params = params;
+  result.model = 3;
+  result.seed = options.seed;
+  result.buffer_pool_pages = pool_pages;
+  result.cold_cache_between_ops = options.cold_cache_between_ops;
 
   {
     Scenario scenario(params, options.seed);
@@ -354,9 +446,9 @@ StatusOr<SimResult> SimulateModel3(const Params& params,
         scenario.LoadBase(&inst.catalog, "R",
                           db::AccessMethod::kClusteredBTree));
     NoViewStrategy baseline;
-    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(options, &scenario,
-                                               &inst, base, &baseline,
-                                               &result.baseline_ms_per_query));
+    VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(
+        options, &scenario, &inst, base, &baseline, "baseline",
+        &result.baseline_ms_per_query));
   }
 
   const std::vector<costmodel::Strategy> contenders = {
@@ -390,27 +482,35 @@ StatusOr<SimResult> SimulateModel3(const Params& params,
     VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAndEvictAll());
     inst.tracker.Reset();
 
+    StrategyRun run;
+    run.name = costmodel::StrategyName(which);
+    RunObservers observe(options, &inst, run.name);
     size_t queries = 0;
     for (const Scenario::OpKind op : scenario.OpSequence()) {
+      const double before_ms = inst.tracker.TotalMs();
       if (op == Scenario::OpKind::kUpdate) {
         const db::Transaction txn = scenario.NextUpdateTransaction(base);
         VIEWMAT_RETURN_IF_ERROR(strategy->OnTransaction(txn));
+        ++run.updates;
+        observe.OnUpdate(inst.tracker.TotalMs() - before_ms);
       } else {
         db::Value value;
         VIEWMAT_RETURN_IF_ERROR(strategy->QueryValue(&value));
         ++queries;
+        observe.OnQuery(inst.tracker.TotalMs() - before_ms);
       }
       if (options.cold_cache_between_ops) {
         VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAndEvictAll());
       }
     }
     VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAll());
+    if (options.tracer != nullptr) options.tracer->SetClock(nullptr);
 
-    StrategyRun run;
-    run.name = costmodel::StrategyName(which);
     run.measured_ms_per_query =
         inst.tracker.TotalMs() / static_cast<double>(std::max<size_t>(queries, 1));
     run.counters = inst.tracker.counters();
+    run.attributed = inst.tracker.attributed();
+    run.queries = queries;
     run.adjusted_ms_per_query =
         run.measured_ms_per_query - result.baseline_ms_per_query;
     run.analytical_ms_per_query = AnalyticalFor(3, which, params);

@@ -6,6 +6,8 @@
 
 #include "common/status.h"
 #include "costmodel/params.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/cost_tracker.h"
 
 namespace viewmat::sim {
@@ -21,12 +23,24 @@ struct SimOptions {
   /// formulas charge. Caching still works *within* an operation (e.g. R2
   /// pages stay resident during one join).
   bool cold_cache_between_ops = true;
+  /// Optional span tracer (not owned; null = tracing off). Each strategy
+  /// run gets its own track, with model-ms timestamps restarting at zero,
+  /// so runs render as parallel tracks in Perfetto.
+  obs::Tracer* tracer = nullptr;
+  /// Optional metrics registry (not owned; null = off). The driver records
+  /// per-operation counts and model-ms histograms labeled by strategy.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of driving the workload through one strategy.
 struct StrategyRun {
   std::string name;
   storage::CostCounters counters;        ///< measured operation counts
+  /// The same counters attributed by (component, phase); cells sum to
+  /// `counters` exactly.
+  storage::AttributedCounters attributed;
+  size_t queries = 0;                    ///< queries served in the run
+  size_t updates = 0;                    ///< update transactions applied
   double measured_ms_per_query = 0;      ///< tracker ms / q
   double adjusted_ms_per_query = 0;      ///< measured − no-view baseline
   double analytical_ms_per_query = 0;    ///< the paper's TOTAL_* prediction
@@ -37,6 +51,10 @@ struct StrategyRun {
 /// database instances.
 struct SimResult {
   costmodel::Params params;
+  int model = 0;                    ///< 1, 2, or 3
+  uint64_t seed = 0;                ///< RNG seed the workload was built from
+  size_t buffer_pool_pages = 0;     ///< resolved frame count (after auto)
+  bool cold_cache_between_ops = true;
   double baseline_ms_per_query = 0;  ///< base updates only, no view work
   std::vector<StrategyRun> runs;
 

@@ -235,6 +235,7 @@ Status BPTree::InsertIntoParents(std::vector<PathEntry>* path, int64_t sep,
 }
 
 Status BPTree::Insert(int64_t key, const uint8_t* payload) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   std::vector<PathEntry> path;
   VIEWMAT_ASSIGN_OR_RETURN(const PageId leaf_id, DescendToLeaf(key, &path));
   VIEWMAT_ASSIGN_OR_RETURN(PageGuard leaf, pool_->Fetch(leaf_id));
@@ -260,6 +261,7 @@ Status BPTree::Insert(int64_t key, const uint8_t* payload) {
 }
 
 Status BPTree::BulkLoad(const BulkSource& source, double fill_factor) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   if (entry_count_ != 0) {
     return Status::FailedPrecondition("bulk load requires an empty tree");
   }
@@ -358,6 +360,7 @@ Status BPTree::BulkLoad(const BulkSource& source, double fill_factor) {
 }
 
 Status BPTree::Compact(double fill_factor) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   // Drain into memory (offline reorg), release every page, rebuild.
   std::vector<std::pair<int64_t, std::vector<uint8_t>>> entries;
   entries.reserve(entry_count_);
@@ -409,6 +412,7 @@ Status BPTree::Compact(double fill_factor) {
 }
 
 Status BPTree::Delete(int64_t key, const Matcher& match) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   VIEWMAT_ASSIGN_OR_RETURN(const PageId leaf_id, DescendToLeaf(key, nullptr));
   PageId cur = leaf_id;
   while (cur != kInvalidPageId) {
@@ -434,6 +438,7 @@ Status BPTree::Delete(int64_t key, const Matcher& match) {
 }
 
 Status BPTree::Find(int64_t key, uint8_t* out) const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   VIEWMAT_ASSIGN_OR_RETURN(const PageId leaf_id, DescendToLeaf(key, nullptr));
   PageId cur = leaf_id;
   while (cur != kInvalidPageId) {
@@ -455,6 +460,7 @@ Status BPTree::Find(int64_t key, uint8_t* out) const {
 
 Status BPTree::UpdatePayload(int64_t key, const Matcher& match,
                              const uint8_t* new_payload) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   VIEWMAT_ASSIGN_OR_RETURN(const PageId leaf_id, DescendToLeaf(key, nullptr));
   PageId cur = leaf_id;
   while (cur != kInvalidPageId) {
@@ -477,6 +483,7 @@ Status BPTree::UpdatePayload(int64_t key, const Matcher& match,
 }
 
 Status BPTree::RangeScan(int64_t lo, int64_t hi, const Visitor& visit) const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   if (lo > hi) return Status::OK();
   VIEWMAT_ASSIGN_OR_RETURN(const PageId leaf_id, DescendToLeaf(lo, nullptr));
   PageId cur = leaf_id;
@@ -556,6 +563,7 @@ Status BPTree::CheckNode(PageId id, uint32_t depth, std::optional<int64_t> lo,
 }
 
 Status BPTree::CheckInvariants() const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kBptree);
   uint32_t leaf_depth = 0;
   size_t entries = 0;
   size_t leaves = 0;

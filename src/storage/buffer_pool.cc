@@ -130,6 +130,7 @@ void BufferPool::Unpin(size_t frame, PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  const ScopedComponent tag(disk_->tracker(), Component::kBufferPool);
   for (Frame& fr : frames_) {
     if (fr.in_use && fr.dirty) {
       VIEWMAT_RETURN_IF_ERROR(disk_->Write(fr.id, *fr.page));
@@ -140,6 +141,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::FlushAndEvictAll() {
+  const ScopedComponent tag(disk_->tracker(), Component::kBufferPool);
   VIEWMAT_RETURN_IF_ERROR(FlushAll());
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& fr = frames_[i];

@@ -39,6 +39,7 @@ StatusOr<PageId> HashIndex::EnsurePrimary(uint32_t bucket) {
 }
 
 Status HashIndex::Insert(int64_t key, const uint8_t* payload) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
   const uint32_t bucket = BucketFor(key);
   VIEWMAT_ASSIGN_OR_RETURN(const PageId primary, EnsurePrimary(bucket));
   PageId cur = primary;
@@ -76,6 +77,7 @@ Status HashIndex::Insert(int64_t key, const uint8_t* payload) {
 }
 
 Status HashIndex::Find(int64_t key, uint8_t* out) const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
   Status result = Status::NotFound("key absent");
   VIEWMAT_RETURN_IF_ERROR(FindAll(key, [&](int64_t, const uint8_t* payload) {
     std::memcpy(out, payload, payload_size_);
@@ -86,6 +88,7 @@ Status HashIndex::Find(int64_t key, uint8_t* out) const {
 }
 
 Status HashIndex::FindAll(int64_t key, const Visitor& visit) const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
   PageId cur = buckets_[BucketFor(key)];
   while (cur != kInvalidPageId) {
     VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cur));
@@ -102,6 +105,7 @@ Status HashIndex::FindAll(int64_t key, const Visitor& visit) const {
 }
 
 Status HashIndex::Delete(int64_t key, const Matcher& match) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
   const uint32_t bucket = BucketFor(key);
   PageId cur = buckets_[bucket];
   PageId prev = kInvalidPageId;
@@ -142,6 +146,7 @@ Status HashIndex::Delete(int64_t key, const Matcher& match) {
 
 Status HashIndex::UpdatePayload(int64_t key, const Matcher& match,
                                 const uint8_t* new_payload) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
   PageId cur = buckets_[BucketFor(key)];
   while (cur != kInvalidPageId) {
     VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cur));
@@ -160,6 +165,7 @@ Status HashIndex::UpdatePayload(int64_t key, const Matcher& match,
 }
 
 Status HashIndex::ScanAll(const Visitor& visit) const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
   for (PageId primary : buckets_) {
     PageId cur = primary;
     while (cur != kInvalidPageId) {
@@ -178,6 +184,7 @@ Status HashIndex::ScanAll(const Visitor& visit) const {
 }
 
 Status HashIndex::Clear() {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
   for (PageId& primary : buckets_) {
     PageId cur = primary;
     while (cur != kInvalidPageId) {

@@ -37,6 +37,7 @@ void HeapFile::SetBit(Page* pg, uint32_t bitmap_off, uint16_t slot, bool on) {
 }
 
 StatusOr<Rid> HeapFile::Insert(const uint8_t* record) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHeap);
   while (!pages_with_space_.empty()) {
     const PageId pid = pages_with_space_.back();
     VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(pid));
@@ -72,6 +73,7 @@ StatusOr<Rid> HeapFile::Insert(const uint8_t* record) {
 }
 
 Status HeapFile::Get(Rid rid, uint8_t* out) const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHeap);
   VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
   const Page& pg = guard.page();
   if (rid.slot >= slots_per_page_ || !TestBit(pg, BitmapOffset(), rid.slot)) {
@@ -82,6 +84,7 @@ Status HeapFile::Get(Rid rid, uint8_t* out) const {
 }
 
 Status HeapFile::Update(Rid rid, const uint8_t* record) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHeap);
   VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
   Page& pg = guard.page();
   if (rid.slot >= slots_per_page_ || !TestBit(pg, BitmapOffset(), rid.slot)) {
@@ -93,6 +96,7 @@ Status HeapFile::Update(Rid rid, const uint8_t* record) {
 }
 
 Status HeapFile::Delete(Rid rid) {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHeap);
   VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
   Page& pg = guard.page();
   if (rid.slot >= slots_per_page_ || !TestBit(pg, BitmapOffset(), rid.slot)) {
@@ -110,6 +114,7 @@ Status HeapFile::Delete(Rid rid) {
 
 Status HeapFile::Scan(
     const std::function<bool(Rid, const uint8_t*)>& visit) const {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHeap);
   std::vector<uint8_t> buf(record_size_);
   for (PageId pid : pages_) {
     VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(pid));
@@ -124,6 +129,7 @@ Status HeapFile::Scan(
 }
 
 Status HeapFile::Destroy() {
+  const ScopedComponent tag(pool_->disk()->tracker(), Component::kHeap);
   for (PageId pid : pages_) {
     VIEWMAT_RETURN_IF_ERROR(pool_->DeletePage(pid));
   }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -198,12 +199,16 @@ Status ImmediateAggregateStrategy::InitializeFromBase() {
 }
 
 Status ImmediateAggregateStrategy::Recompute() {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "agg-recompute");
   ++recompute_count_;
   VIEWMAT_RETURN_IF_ERROR(ComputeAggregateFromBase(def_, tracker_, &state_));
   return stored_.Write(state_);
 }
 
 Status ImmediateAggregateStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
   const db::NetChange& net = txn.ChangesFor(def_.base);
   if (net.empty()) return Status::OK();
@@ -216,6 +221,8 @@ Status ImmediateAggregateStrategy::OnTransaction(const db::Transaction& txn) {
 }
 
 Status ImmediateAggregateStrategy::QueryValue(db::Value* out) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   AggregateState disk_state(def_.op);
   VIEWMAT_RETURN_IF_ERROR(stored_.Read(&disk_state));  // C_query3 = C2
   VIEWMAT_ASSIGN_OR_RETURN(*out, disk_state.Current());
@@ -240,6 +247,8 @@ Status DeferredAggregateStrategy::InitializeFromBase() {
 }
 
 Status DeferredAggregateStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   const db::NetChange& net = txn.ChangesFor(def_.base);
   if (net.empty()) return Status::OK();
   // I/O #1 of the HR update procedure: read the modified tuples.
@@ -255,6 +264,8 @@ Status DeferredAggregateStrategy::OnTransaction(const db::Transaction& txn) {
 }
 
 Status DeferredAggregateStrategy::QueryValue(db::Value* out) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   VIEWMAT_RETURN_IF_ERROR(stored_.Read(&state_));  // C_query3 = C2
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
@@ -293,10 +304,14 @@ RecomputeAggregateStrategy::RecomputeAggregateStrategy(
 }
 
 Status RecomputeAggregateStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   return txn.ApplyToBase();
 }
 
 Status RecomputeAggregateStrategy::QueryValue(db::Value* out) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   AggregateState state(def_.op);
   VIEWMAT_RETURN_IF_ERROR(ComputeAggregateFromBase(def_, tracker_, &state));
   VIEWMAT_ASSIGN_OR_RETURN(*out, state.Current());

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -95,6 +96,8 @@ Status DeferredStrategy::InitializeFromBase() {
 }
 
 Status DeferredStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   const db::NetChange& net = txn.ChangesFor(UpdatedRelation());
   if (net.empty()) return Status::OK();
   if (crash_safe() &&
@@ -138,6 +141,8 @@ Status DeferredStrategy::OnTransaction(const db::Transaction& txn) {
 
 Status DeferredStrategy::RefreshUnsafe() {
   if (hr_.ad().entry_count() == 0) return Status::OK();
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh");
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
   // One pass over the AD file (C_ADread), fold into the base relation, and
@@ -163,6 +168,8 @@ Status DeferredStrategy::RefreshUnsafe() {
 
 Status DeferredStrategy::RefreshSafe() {
   if (hr_.ad().entry_count() == 0) return Status::OK();
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh");
   storage::BufferPool* pool = UpdatedRelation()->pool();
   storage::DiskInterface* disk = pool->disk();
 
@@ -170,6 +177,7 @@ Status DeferredStrategy::RefreshSafe() {
   // here is a clean abort — nothing durable has changed yet.
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
+  obs::ScopedSpan prepare_span(storage::TracerOf(tracker_), "prepare-deltas");
   VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
   std::vector<db::Tuple> view_inserts;
   std::vector<db::Tuple> view_deletes;
@@ -184,11 +192,13 @@ Status DeferredStrategy::RefreshSafe() {
     if (contributes) view_inserts.push_back(std::move(value));
   }
 
+  prepare_span.End();
   // Phase 1: patch the view copy. The begin marker is durable before the
   // first view write, so a crash anywhere in here resolves to
   // kNeedViewRebuild.
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogRefreshBegin(++epoch_));
   phase_ = RecoveryPhase::kNeedViewRebuild;
+  obs::ScopedSpan patch_span(storage::TracerOf(tracker_), "view-patch");
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeViewPatch));
   for (const db::Tuple& value : view_deletes) {
     VIEWMAT_RETURN_IF_ERROR(view_->ApplyDelete(value));
@@ -201,6 +211,7 @@ Status DeferredStrategy::RefreshSafe() {
   // The patched-view marker asserts durability, so flush first.
   VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogViewPatched(epoch_));
+  patch_span.End();
   phase_ = RecoveryPhase::kNeedFold;
 
   // Phase 2: fold the base and retire the differential. The first
@@ -213,6 +224,7 @@ Status DeferredStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
                                       bool idempotent) {
   storage::BufferPool* pool = UpdatedRelation()->pool();
   storage::DiskInterface* disk = pool->disk();
+  obs::ScopedSpan fold_span(storage::TracerOf(tracker_), "fold");
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeFold));
   static const std::vector<db::Tuple> kEmpty;
   VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(kEmpty, d_net, idempotent));
@@ -220,11 +232,13 @@ Status DeferredStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
   VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(a_net, kEmpty, idempotent));
   VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogFoldCommit(epoch_));
+  fold_span.End();
   phase_ = RecoveryPhase::kNeedReset;
   return FinishReset();
 }
 
 Status DeferredStrategy::FinishReset() {
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "ad-reset");
   storage::DiskInterface* disk = UpdatedRelation()->pool()->disk();
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeAdReset));
   // Reset clears the hash file and Bloom filter and truncates the WAL
@@ -301,6 +315,9 @@ Status DeferredStrategy::Recover() {
     return Status::FailedPrecondition(
         "deferred strategy has no WAL (AdFile::Options::enable_wal)");
   }
+  const storage::ScopedPhase phase_tag(tracker_,
+                                       storage::Phase::kRefreshRecovery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "recover");
   ++recoveries_;
   // Rebuild the AD structures from the durable log; everything in memory is
   // distrusted after a crash.
@@ -387,6 +404,8 @@ Status DeferredStrategy::DegradedQuery(
 
 Status DeferredStrategy::Query(int64_t lo, int64_t hi,
                                const MaterializedView::CountedVisitor& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   if (!crash_safe()) {
     VIEWMAT_RETURN_IF_ERROR(Refresh());
     return view_->Query(lo, hi, visit);

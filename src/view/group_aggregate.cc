@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -171,6 +172,8 @@ Status ImmediateGroupAggregateStrategy::RecomputeGroup(int64_t group) {
 
 Status ImmediateGroupAggregateStrategy::OnTransaction(
     const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
   const db::NetChange& net = txn.ChangesFor(def_.base);
   auto value_of = [&](const db::Tuple& t) {
@@ -197,6 +200,8 @@ Status ImmediateGroupAggregateStrategy::OnTransaction(
 
 Status ImmediateGroupAggregateStrategy::QueryGroup(int64_t group,
                                                    db::Value* out) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   AggregateState state(def_.op);
   VIEWMAT_RETURN_IF_ERROR(stored_.Get(group, &state));
   VIEWMAT_ASSIGN_OR_RETURN(*out, state.Current());
@@ -205,6 +210,8 @@ Status ImmediateGroupAggregateStrategy::QueryGroup(int64_t group,
 
 Status ImmediateGroupAggregateStrategy::QueryAll(
     const std::function<bool(int64_t, const db::Value&)>& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   Status inner = Status::OK();
   VIEWMAT_RETURN_IF_ERROR(
       stored_.Scan([&](int64_t group, const AggregateState& state) {
@@ -247,6 +254,8 @@ Status DeferredGroupAggregateStrategy::InitializeFromBase() {
 
 Status DeferredGroupAggregateStrategy::OnTransaction(
     const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   const db::NetChange& net = txn.ChangesFor(def_.base);
   if (net.empty()) return Status::OK();
   for (const db::Tuple& t : net.deletes()) {
@@ -276,6 +285,8 @@ Status DeferredGroupAggregateStrategy::RecomputeGroup(int64_t group) {
 
 Status DeferredGroupAggregateStrategy::Refresh() {
   if (hr_.ad().entry_count() == 0) return Status::OK();
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh");
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
   VIEWMAT_RETURN_IF_ERROR(hr_.Fold(&a_net, &d_net));
@@ -309,6 +320,8 @@ Status DeferredGroupAggregateStrategy::Refresh() {
 
 Status DeferredGroupAggregateStrategy::QueryGroup(int64_t group,
                                                   db::Value* out) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   VIEWMAT_RETURN_IF_ERROR(Refresh());
   AggregateState state(def_.op);
   VIEWMAT_RETURN_IF_ERROR(stored_.Get(group, &state));
@@ -318,6 +331,8 @@ Status DeferredGroupAggregateStrategy::QueryGroup(int64_t group,
 
 Status DeferredGroupAggregateStrategy::QueryAll(
     const std::function<bool(int64_t, const db::Value&)>& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   VIEWMAT_RETURN_IF_ERROR(Refresh());
   Status inner = Status::OK();
   VIEWMAT_RETURN_IF_ERROR(
@@ -340,6 +355,8 @@ RecomputeGroupAggregateStrategy::RecomputeGroupAggregateStrategy(
 
 Status RecomputeGroupAggregateStrategy::OnTransaction(
     const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   return txn.ApplyToBase();
 }
 
@@ -361,6 +378,8 @@ Status RecomputeGroupAggregateStrategy::ComputeAll(
 
 Status RecomputeGroupAggregateStrategy::QueryGroup(int64_t group,
                                                    db::Value* out) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   std::map<int64_t, AggregateState> all;
   VIEWMAT_RETURN_IF_ERROR(ComputeAll(&all));
   auto it = all.find(group);
@@ -371,6 +390,8 @@ Status RecomputeGroupAggregateStrategy::QueryGroup(int64_t group,
 
 Status RecomputeGroupAggregateStrategy::QueryAll(
     const std::function<bool(int64_t, const db::Value&)>& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   std::map<int64_t, AggregateState> all;
   VIEWMAT_RETURN_IF_ERROR(ComputeAll(&all));
   for (const auto& [group, state] : all) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -36,6 +37,8 @@ Status HybridStrategy::InitializeFromBase() {
 }
 
 Status HybridStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   const db::NetChange& net = txn.ChangesFor(def_.base);
   if (net.empty()) return Status::OK();
   for (const db::Tuple& t : net.deletes()) {
@@ -108,6 +111,8 @@ HybridStrategy::Estimate HybridStrategy::EstimateQuery(int64_t lo,
 
 Status HybridStrategy::Refresh() {
   if (hr_.ad().entry_count() == 0) return Status::OK();
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh");
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
   VIEWMAT_RETURN_IF_ERROR(hr_.Fold(&a_net, &d_net));
@@ -127,6 +132,8 @@ Status HybridStrategy::Refresh() {
 
 Status HybridStrategy::Query(int64_t lo, int64_t hi,
                              const MaterializedView::CountedVisitor& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   // Space backstop (§4): an overfull differential forces a refresh.
   if (hr_.ad().entry_count() > max_pending_) {
     VIEWMAT_RETURN_IF_ERROR(Refresh());

@@ -1,6 +1,7 @@
 #include "view/immediate.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -83,6 +84,8 @@ Status ImmediateStrategy::InitializeFromBase() {
 }
 
 Status ImmediateStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   // The transaction commits against the base relations first.
   VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
 
@@ -111,6 +114,8 @@ Status ImmediateStrategy::OnTransaction(const db::Transaction& txn) {
 
 Status ImmediateStrategy::Query(int64_t lo, int64_t hi,
                                 const MaterializedView::CountedVisitor& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   // The copy is always current: a query is a plain clustered view scan.
   return view_->Query(lo, hi, visit);
 }

@@ -1,6 +1,7 @@
 #include "view/query_modification.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -17,12 +18,16 @@ QmSelectProjectStrategy::QmSelectProjectStrategy(
 }
 
 Status QmSelectProjectStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   // No materialized copy: updates flow straight to the base relations.
   return txn.ApplyToBase();
 }
 
 Status QmSelectProjectStrategy::Query(
     int64_t lo, int64_t hi, const MaterializedView::CountedVisitor& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   // Modified query: σ_{X ∧ key∈[lo,hi]}(R), projected. Each value is
   // emitted with count 1; projection duplicates appear as repeated values.
   auto emit = [&](const db::Tuple& base_tuple) {
@@ -60,11 +65,15 @@ QmJoinStrategy::QmJoinStrategy(JoinDef def, storage::CostTracker* tracker)
 }
 
 Status QmJoinStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   return txn.ApplyToBase();
 }
 
 Status QmJoinStrategy::Query(int64_t lo, int64_t hi,
                              const MaterializedView::CountedVisitor& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   // Nested loops: outer = clustered scan of R1 restricted to the queried
   // key range; inner = hash probe into R2 per surviving outer tuple.
   return def_.r1->RangeScanByKey(lo, hi, [&](const db::Tuple& r1_tuple) {

@@ -1,6 +1,7 @@
 #include "view/recompute_on_change.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -22,6 +23,8 @@ Status RecomputeOnChangeStrategy::InitializeFromBase() {
 
 Status RecomputeOnChangeStrategy::Recompute() {
   if (!dirty_) return Status::OK();
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "recompute");
   VIEWMAT_RETURN_IF_ERROR(view_->Clear());
   Status inner = Status::OK();
   VIEWMAT_RETURN_IF_ERROR(def_.base->Scan([&](const db::Tuple& t) {
@@ -40,6 +43,8 @@ Status RecomputeOnChangeStrategy::Recompute() {
 }
 
 Status RecomputeOnChangeStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
   const db::NetChange& net = txn.ChangesFor(def_.base);
   if (net.empty()) return Status::OK();
@@ -65,6 +70,8 @@ Status RecomputeOnChangeStrategy::OnTransaction(const db::Transaction& txn) {
 
 Status RecomputeOnChangeStrategy::Query(
     int64_t lo, int64_t hi, const MaterializedView::CountedVisitor& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   VIEWMAT_RETURN_IF_ERROR(Recompute());
   return view_->Query(lo, hi, visit);
 }

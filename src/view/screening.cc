@@ -37,7 +37,10 @@ bool TLockScreen::Passes(const db::Tuple& t) {
     return false;
   }
   ++stage1_hits_;
-  // Stage 2: substitute into the view predicate (cost C1).
+  // Stage 2: substitute into the view predicate (cost C1). The screen
+  // charge is attributed to the screen phase regardless of which strategy
+  // entry point triggered it.
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kScreen);
   if (tracker_ != nullptr) tracker_->ChargeScreen();
   const bool pass = predicate_->Evaluate(t);
   if (pass) ++stage2_passes_;

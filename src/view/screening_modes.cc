@@ -134,6 +134,7 @@ bool UpdateScreen::Passes(const db::Tuple& t) {
   // kSubstituteAll and kRiu (non-ignorable commands) substitute every
   // tuple; rule indexing substitutes only interval hits.
   ++substitutions_;
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kScreen);
   if (tracker_ != nullptr) tracker_->ChargeScreen();
   return predicate_->Evaluate(t);
 }

@@ -1,6 +1,7 @@
 #include "view/snapshot.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace viewmat::view {
 
@@ -19,6 +20,8 @@ Status SnapshotStrategy::InitializeFromBase() {
 }
 
 Status SnapshotStrategy::RefreshNow() {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh");
   VIEWMAT_RETURN_IF_ERROR(view_->Clear());
   Status inner = Status::OK();
   VIEWMAT_RETURN_IF_ERROR(def_.base->Scan([&](const db::Tuple& t) {
@@ -38,6 +41,8 @@ Status SnapshotStrategy::RefreshNow() {
 }
 
 Status SnapshotStrategy::OnTransaction(const db::Transaction& txn) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   // No screening, no differential, no view work: the defining property of
   // snapshots. The base commits and the snapshot goes stale.
   VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
@@ -47,6 +52,8 @@ Status SnapshotStrategy::OnTransaction(const db::Transaction& txn) {
 
 Status SnapshotStrategy::Query(int64_t lo, int64_t hi,
                                const MaterializedView::CountedVisitor& visit) {
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   if (queries_since_refresh_ >= options_.refresh_every_queries) {
     VIEWMAT_RETURN_IF_ERROR(RefreshNow());
   }

@@ -1,0 +1,119 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace viewmat::common {
+namespace {
+
+TEST(JsonWriter, NestedStructureAndCommaPlacement) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("a", 1);
+  w.Key("b");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.BeginObject();
+  w.KV("c", "x");
+  w.EndObject();
+  w.EndArray();
+  w.KV("d", true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[1,2,{"c":"x"}],"d":true})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("k", "line\nquote\"back\\slash\ttab");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":\"line\\nquote\\\"back\\\\slash\\ttab\"}");
+}
+
+TEST(JsonWriter, DoublesPrintIntegralValuesExactly) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(30.0);
+  w.Double(0.125);
+  w.Double(std::nan(""));  // JSON has no NaN
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[30,0.125,null]");
+}
+
+TEST(JsonWriter, RawValueEmbedsVerbatim) {
+  JsonWriter inner;
+  inner.BeginObject();
+  inner.KV("x", 1);
+  inner.EndObject();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("trace");
+  w.RawValue(inner.str());
+  w.KV("after", 2);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"trace":{"x":1},"after":2})");
+}
+
+TEST(ParseJson, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "bench");
+  w.KV("n", 42);
+  w.KV("x", 1.5);
+  w.KV("flag", false);
+  w.Key("rows");
+  w.BeginArray();
+  w.Double(1);
+  w.Double(2.5);
+  w.EndArray();
+  w.EndObject();
+
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->Find("name")->string_value, "bench");
+  EXPECT_EQ(parsed->Find("n")->number, 42);
+  EXPECT_EQ(parsed->Find("x")->number, 1.5);
+  EXPECT_FALSE(parsed->Find("flag")->bool_value);
+  ASSERT_TRUE(parsed->Find("rows")->is_array());
+  EXPECT_EQ(parsed->Find("rows")->items.size(), 2u);
+  EXPECT_EQ(parsed->Find("rows")->items[1].number, 2.5);
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(ParseJson, PreservesMemberOrder) {
+  auto parsed = ParseJson(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->members.size(), 3u);
+  EXPECT_EQ(parsed->members[0].first, "z");
+  EXPECT_EQ(parsed->members[1].first, "a");
+  EXPECT_EQ(parsed->members[2].first, "m");
+}
+
+TEST(ParseJson, HandlesEscapesAndWhitespace) {
+  auto parsed = ParseJson(" { \"k\" : \"a\\n\\t\\\"b\\u0041\" } ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("k")->string_value, "a\n\t\"bA");
+}
+
+TEST(ParseJson, ParsesScientificNumbers) {
+  auto parsed = ParseJson("[-1.5e3,2E-2,0]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->items[0].number, -1500.0);
+  EXPECT_EQ(parsed->items[1].number, 0.02);
+  EXPECT_EQ(parsed->items[2].number, 0.0);
+}
+
+TEST(ParseJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("[1,2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+}  // namespace
+}  // namespace viewmat::common
