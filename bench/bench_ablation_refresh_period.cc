@@ -45,5 +45,5 @@ int main(int argc, char** argv) {
   report.AddNote("reading",
                  "patch cost decreases monotonically in j; waiting as long "
                  "as possible between refreshes uses the least resources");
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

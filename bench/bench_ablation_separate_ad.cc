@@ -70,5 +70,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(c.disk_reads),
                 static_cast<unsigned long long>(c.disk_writes), kUpdates);
   report.AddNote("measured_combined_ad_path", measured);
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

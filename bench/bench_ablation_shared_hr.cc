@@ -6,7 +6,10 @@
 // read amortization against V independent refresh waves.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "db/catalog.h"
 #include "sim/bench_report.h"
@@ -25,7 +28,17 @@ int main(int argc, char** argv) {
   table.x_label = "views";
   table.series_names = {"shared-ad-reads", "per-view-ad-reads(est)"};
 
-  for (const int v_count : {1, 2, 4, 8}) {
+  // Each view count gets its own engine stack; the per-iteration progress
+  // line is captured into the task's result and printed in index order so
+  // stdout stays deterministic at any --jobs value.
+  const std::vector<int> v_counts = {1, 2, 4, 8};
+  struct PointResult {
+    std::vector<double> row;
+    std::string line;
+  };
+  const auto points = common::ParallelMap(
+      cli.effective_jobs(), v_counts.size(), [&](size_t idx) {
+    const int v_count = v_counts[idx];
     storage::CostTracker tracker(1.0, 30.0, 1.0);
     storage::SimulatedDisk disk(4000, &tracker);
     storage::BufferPool pool(&disk, 128);
@@ -77,18 +90,26 @@ int main(int argc, char** argv) {
     const auto delta = tracker.counters() - before;
     // The shared design reads the AD pages once; per-view refreshes would
     // read them once per member.
-    table.AddRow(v_count,
-                 {static_cast<double>(ad_pages),
-                  static_cast<double>(ad_pages) * v_count});
-    std::printf("  [views=%d: refresh wave did %llu reads total, "
-                "~%zu of them AD pages read once instead of %d times]\n",
-                v_count, static_cast<unsigned long long>(delta.disk_reads),
-                ad_pages, v_count);
+    PointResult result;
+    result.row = {static_cast<double>(ad_pages),
+                  static_cast<double>(ad_pages) * v_count};
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  [views=%d: refresh wave did %llu reads total, "
+                  "~%zu of them AD pages read once instead of %d times]\n",
+                  v_count, static_cast<unsigned long long>(delta.disk_reads),
+                  ad_pages, v_count);
+    result.line = line;
+    return result;
+  });
+  for (size_t i = 0; i < points.size(); ++i) {
+    table.AddRow(v_counts[i], points[i].row);
+    std::printf("%s", points[i].line.c_str());
   }
   std::printf("\n%s", table.ToString().c_str());
   report.AddTable(table);
   report.AddNote("reading",
                  "the shared design reads the AD pages once per refresh "
                  "wave; per-view refreshes would read them once per member");
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
   report.AddNote("reading",
                  "snapshots undercut deferred only once the period amortizes "
                  "the full recompute, at the price of staleness");
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -66,10 +66,12 @@ int main(int argc, char** argv) {
     Params pe = pa;
     pe.use_exact_yao = true;
     const double sa = costmodel::ComputeRegions(cost_fn, candidates, pa,
-                                                f_axis, p_axis)
+                                                f_axis, p_axis,
+                                                cli.effective_jobs())
                           .WinShare(Strategy::kDeferred);
     const double se = costmodel::ComputeRegions(cost_fn, candidates, pe,
-                                                f_axis, p_axis)
+                                                f_axis, p_axis,
+                                                cli.effective_jobs())
                           .WinShare(Strategy::kDeferred);
     shares.AddRow(c3, {100.0 * sa, 100.0 * se});
   }
@@ -83,5 +85,5 @@ int main(int argc, char** argv) {
                  "totals shift by well under 5%, but the C3 threshold at "
                  "which a deferred region first appears depends on the "
                  "Yao variant");
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -52,5 +52,5 @@ int main(int argc, char** argv) {
       "P = %.3f (paper: 'for all values of P >= .08').\n",
       cross_imm.value_or(-1), cross_def.value_or(-1));
   report.AddNote("crossovers", note);
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

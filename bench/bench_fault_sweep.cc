@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   for (const int model : {1, 2}) {
     sim::FaultSweepOptions options;
     options.model = model;
+    options.jobs = cli.effective_jobs();
     options.runs_per_rate = cli.quick ? 4 : 25;
     options.fault_rates = cli.quick
                               ? std::vector<double>{0.0, 0.03, 0.15}
@@ -53,5 +54,5 @@ int main(int argc, char** argv) {
   report.AddNote("invariant",
                  "every acknowledged answer exact; every run converged to "
                  "the from-scratch recompute");
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

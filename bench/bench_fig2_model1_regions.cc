@@ -11,7 +11,8 @@ int main(int argc, char** argv) {
   sim::BenchReport report("bench_fig2_model1_regions", cli.quick);
   const costmodel::Params base;  // f_v = .1, C3 = 1
   const costmodel::RegionGrid grid = costmodel::ComputeRegions(
-      Model1CostOrInf, Model1Candidates(), base, FAxis(), PAxis());
+      Model1CostOrInf, Model1Candidates(), base, FAxis(),
+      PAxis(), cli.effective_jobs());
   ReportGrid(&report, "fig2",
              "Figure 2 — Model 1 winner regions, f (log) vs P, f_v = .1",
              grid);
@@ -22,5 +23,5 @@ int main(int argc, char** argv) {
   report.AddNote("reading",
                  "immediate wins a low-P band, clustered the rest; deferred "
                  "never wins at C3 = 1");
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

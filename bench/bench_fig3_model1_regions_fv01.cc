@@ -14,9 +14,11 @@ int main(int argc, char** argv) {
   costmodel::Params fv01;
   fv01.f_v = 0.01;
   const auto grid10 = costmodel::ComputeRegions(
-      Model1CostOrInf, Model1Candidates(), fv10, FAxis(), PAxis());
+      Model1CostOrInf, Model1Candidates(), fv10, FAxis(),
+      PAxis(), cli.effective_jobs());
   const auto grid01 = costmodel::ComputeRegions(
-      Model1CostOrInf, Model1Candidates(), fv01, FAxis(), PAxis());
+      Model1CostOrInf, Model1Candidates(), fv01, FAxis(),
+      PAxis(), cli.effective_jobs());
   ReportGrid(&report, "fig3",
              "Figure 3 — Model 1 winner regions, f vs P, f_v = .01", grid01);
   char note[160];
@@ -28,5 +30,5 @@ int main(int argc, char** argv) {
       "%s (paper: 'clustered performs best over an even larger area')\n",
       note);
   report.AddNote("clustered_win_share_shift", note);
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
     costmodel::Params p;
     p.C3 = c3;
     const auto grid = costmodel::ComputeRegions(
-        Model1CostOrInf, Model1Candidates(), p, FAxis(), PAxis());
+        Model1CostOrInf, Model1Candidates(), p, FAxis(),
+        PAxis(), cli.effective_jobs());
     char title[96];
     std::snprintf(title, sizeof(title),
                   "Figure 4 family — Model 1 winner regions, C3 = %.0f, "
@@ -42,5 +43,5 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", gap.ToString().c_str());
   report.AddTable(gap);
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -2,7 +2,9 @@
 // deferred, immediate and nested-loops query modification.
 
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel.h"
 #include "costmodel/crossover.h"
 #include "costmodel/model2.h"
 #include "sim/bench_report.h"
@@ -21,12 +23,15 @@ int main(int argc, char** argv) {
   table.x_label = "P";
   table.series_names = {"deferred", "immediate", "loopjoin"};
   const Params base;
-  for (int i = 1; i <= 19; ++i) {
-    const double P = i * 0.05;
-    const Params p = base.WithUpdateProbability(P);
-    table.AddRow(P, {costmodel::TotalDeferred2(p),
-                     costmodel::TotalImmediate2(p),
-                     costmodel::TotalLoopJoin(p)});
+  const auto rows = common::ParallelMap(
+      cli.effective_jobs(), 19, [&](size_t i) {
+        const Params p = base.WithUpdateProbability((i + 1) * 0.05);
+        return std::vector<double>{costmodel::TotalDeferred2(p),
+                                   costmodel::TotalImmediate2(p),
+                                   costmodel::TotalLoopJoin(p)};
+      });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table.AddRow((i + 1) * 0.05, rows[i]);
   }
   std::printf("%s", table.ToString().c_str());
   report.AddTable(table);
@@ -43,5 +48,5 @@ int main(int argc, char** argv) {
     std::snprintf(note, sizeof(note), "%.3f", *cross);
     report.AddNote("immediate_vs_loopjoin_crossover_P", note);
   }
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -13,9 +13,11 @@ int main(int argc, char** argv) {
   costmodel::Params fv01;
   fv01.f_v = 0.01;
   const auto grid10 = costmodel::ComputeRegions(
-      Model2CostOrInf, Model2Candidates(), fv10, FAxis(), PAxis());
+      Model2CostOrInf, Model2Candidates(), fv10, FAxis(),
+      PAxis(), cli.effective_jobs());
   const auto grid01 = costmodel::ComputeRegions(
-      Model2CostOrInf, Model2Candidates(), fv01, FAxis(), PAxis());
+      Model2CostOrInf, Model2Candidates(), fv01, FAxis(),
+      PAxis(), cli.effective_jobs());
   ReportGrid(&report, "fig7",
              "Figure 7 — Model 2 winner regions, f vs P, f_v = .01", grid01);
   char note[128];
@@ -28,5 +30,5 @@ int main(int argc, char** argv) {
       "grows')\n",
       note);
   report.AddNote("loopjoin_win_share_shift", note);
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

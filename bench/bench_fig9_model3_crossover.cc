@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/parallel.h"
 #include "costmodel/crossover.h"
 #include "sim/bench_report.h"
 #include "sim/report.h"
@@ -23,17 +24,21 @@ int main(int argc, char** argv) {
   table.x_label = "l";
   table.series_names = {"f=0.01", "f=0.05", "f=0.1", "f=0.5", "f=1"};
   const double fs[] = {0.01, 0.05, 0.1, 0.5, 1.0};
-  for (const double l : {1.0,   2.0,   5.0,    10.0,   25.0,  50.0, 100.0,
-                         250.0, 500.0, 1000.0, 2500.0, 5000.0}) {
-    std::vector<double> row;
-    for (const double f : fs) {
-      Params p;
-      p.f = f;
-      auto cross = costmodel::Model3EqualCostP(p, l);
-      row.push_back(cross.value_or(1.0));
-    }
-    table.AddRow(l, row);
-  }
+  const std::vector<double> ls = {1.0,   2.0,   5.0,    10.0,   25.0,  50.0,
+                                  100.0, 250.0, 500.0,  1000.0, 2500.0,
+                                  5000.0};
+  const auto rows = common::ParallelMap(
+      cli.effective_jobs(), ls.size(), [&](size_t i) {
+        std::vector<double> row;
+        for (const double f : fs) {
+          Params p;
+          p.f = f;
+          auto cross = costmodel::Model3EqualCostP(p, ls[i]);
+          row.push_back(cross.value_or(1.0));
+        }
+        return row;
+      });
+  for (size_t i = 0; i < rows.size(); ++i) table.AddRow(ls[i], rows[i]);
   std::printf("%s", table.ToString().c_str());
   std::printf(
       "\npaper's reading: curves sit very high (maintenance nearly always "
@@ -43,5 +48,5 @@ int main(int argc, char** argv) {
   report.AddNote("reading",
                  "equal-cost curves sit very high and rise with f; "
                  "materializing aggregates nearly always wins");
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -22,5 +22,5 @@ int main(int argc, char** argv) {
   std::printf("\nderived defaults check: %s\n", derived);
   report.AddNote("params", p.ToString());
   report.AddNote("derived", derived);
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

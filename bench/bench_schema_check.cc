@@ -1,16 +1,24 @@
-// Validator for the schema_version-1 bench reports every bench binary
+// Validator for the schema_version-2 bench reports every bench binary
 // emits under --json. Checks structure (required keys, table row widths,
-// counter fields) and the observability invariant: each strategy run's
-// component × phase attribution cells must sum to its flat counters
-// exactly.
+// counter fields, the execution block) and the observability invariant:
+// each strategy run's component × phase attribution cells must sum to its
+// flat counters exactly.
 //
 // Usage:
 //   bench_schema_check <report.json> [...]       validate existing files
 //   bench_schema_check --run <bench> <out.json>  run `<bench> --quick
 //                                                --json <out.json>`, then
 //                                                validate the output
+//   bench_schema_check --determinism <bench> <out1.json> <out2.json>
+//                                                run the bench at --jobs 1
+//                                                and --jobs 8 and require
+//                                                byte-identical reports
+//                                                (minus the execution
+//                                                block, the only part
+//                                                allowed to differ)
 //
-// Exit code 0 = every report valid. Used by the bench-smoke ctest label.
+// Exit code 0 = every report valid. Used by the bench-smoke and
+// determinism ctest labels.
 
 #include <cstdint>
 #include <cstdio>
@@ -173,11 +181,28 @@ void CheckSimResult(const JsonValue& result, const std::string& where) {
 void CheckReport(const JsonValue& root, const std::string& file) {
   const JsonValue* version =
       Require(root, file, "schema_version", JsonValue::Type::kNumber);
-  if (version != nullptr && version->number != 1) {
-    Fail(file + ".schema_version", "expected 1");
+  if (version != nullptr && version->number != 2) {
+    Fail(file + ".schema_version", "expected 2");
   }
   Require(root, file, "bench", JsonValue::Type::kString);
   Require(root, file, "quick", JsonValue::Type::kBool);
+  const JsonValue* execution =
+      Require(root, file, "execution", JsonValue::Type::kObject);
+  if (execution != nullptr) {
+    const std::string exec_where = file + ".execution";
+    const JsonValue* jobs =
+        Require(*execution, exec_where, "jobs", JsonValue::Type::kNumber);
+    if (jobs != nullptr && jobs->number < 1) {
+      Fail(exec_where + ".jobs", "must be >= 1");
+    }
+    Require(*execution, exec_where, "hardware_threads",
+            JsonValue::Type::kNumber);
+    const JsonValue* wall = Require(*execution, exec_where, "wall_seconds",
+                                    JsonValue::Type::kNumber);
+    if (wall != nullptr && wall->number < 0) {
+      Fail(exec_where + ".wall_seconds", "must be >= 0");
+    }
+  }
   const JsonValue* build =
       Require(root, file, "build", JsonValue::Type::kObject);
   if (build != nullptr) {
@@ -236,7 +261,71 @@ int CheckFile(const std::string& path) {
   const int before = g_errors;
   CheckReport(*parsed, path);
   if (g_errors != before) return 1;
-  std::printf("%s: OK (schema_version 1)\n", path.c_str());
+  std::printf("%s: OK (schema_version 2)\n", path.c_str());
+  return 0;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Removes the `"execution":{...}` member (and the comma binding it to its
+/// neighbor) from a serialized report. Textual surgery is safe here: the
+/// writer emits the block as one flat object with no nested braces or
+/// embedded strings.
+std::string StripExecutionBlock(std::string text) {
+  const std::string key = "\"execution\":{";
+  const size_t begin = text.find(key);
+  if (begin == std::string::npos) return text;
+  const size_t close = text.find('}', begin + key.size());
+  if (close == std::string::npos) return text;
+  size_t end = close + 1;
+  size_t start = begin;
+  if (start > 0 && text[start - 1] == ',') {
+    --start;  // ",\"execution\":{...}"
+  } else if (end < text.size() && text[end] == ',') {
+    ++end;  // "\"execution\":{...},"
+  }
+  return text.erase(start, end - start);
+}
+
+int CheckDeterminism(const std::string& bench, const std::string& out1,
+                     const std::string& out2) {
+  const struct {
+    const char* jobs;
+    const std::string* path;
+  } runs[] = {{"1", &out1}, {"8", &out2}};
+  for (const auto& run : runs) {
+    const std::string command = bench + " --quick --jobs " + run.jobs +
+                                " --json " + *run.path;
+    std::printf("$ %s\n", command.c_str());
+    const int rc = std::system(command.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "bench exited with status %d\n", rc);
+      return 1;
+    }
+  }
+  if (CheckFile(out1) != 0 || CheckFile(out2) != 0) return 1;
+  const std::string a = StripExecutionBlock(ReadFileOrDie(out1));
+  const std::string b = StripExecutionBlock(ReadFileOrDie(out2));
+  if (a != b) {
+    std::fprintf(stderr,
+                 "DETERMINISM FAILURE: %s differs between --jobs 1 and "
+                 "--jobs 8 outside the execution block\n",
+                 bench.c_str());
+    size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+    std::fprintf(stderr, "first divergence at byte %zu\n", i);
+    return 1;
+  }
+  std::printf("%s: byte-identical at --jobs 1 and --jobs 8\n", bench.c_str());
   return 0;
 }
 
@@ -259,10 +348,21 @@ int main(int argc, char** argv) {
     }
     return CheckFile(argv[3]);
   }
+  if (argc >= 2 && std::string(argv[1]) == "--determinism") {
+    if (argc < 5) {
+      std::fprintf(stderr,
+                   "usage: bench_schema_check --determinism <bench> "
+                   "<out1.json> <out2.json>\n");
+      return 2;
+    }
+    return CheckDeterminism(argv[2], argv[3], argv[4]);
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: bench_schema_check <report.json> [...]\n"
-                 "       bench_schema_check --run <bench> <out.json>\n");
+                 "       bench_schema_check --run <bench> <out.json>\n"
+                 "       bench_schema_check --determinism <bench> "
+                 "<out1.json> <out2.json>\n");
     return 2;
   }
   int rc = 0;

@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
                  "descents and buffer-pool effects the model abstracts away");
   report.set_metrics(&metrics);
   report.set_tracer(&tracer);
-  return sim::FinishBenchMain(cli, report);
+  return sim::FinishBenchMain(cli, &report);
 }

@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
                   null_span_ns - approx_ns, approx_ns);
     report.AddNote("null_span_overhead", overhead);
     std::printf("disabled-tracer span overhead: %s\n", overhead);
-    return sim::FinishBenchMain(cli, report);
+    return sim::FinishBenchMain(cli, &report);
   }
 
   // Strip the flags BenchCli consumed; google-benchmark rejects unknown

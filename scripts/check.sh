@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # One-command repo check: plain build + full test suite (including the
-# bench-smoke JSON-schema tests), then an address+undefined sanitizer
-# build (VIEWMAT_SANITIZE) running the same suite plus the crash-safety
-# torture label.
+# bench-smoke JSON-schema and determinism tests), then an address+undefined
+# sanitizer build (VIEWMAT_SANITIZE) running the same suite plus the
+# crash-safety torture label, then a thread-sanitized build running the
+# concurrency suites (tsan label).
 #
 # Usage: scripts/check.sh [--quick]
-#   --quick   plain build only (skip the sanitizer build and torture label)
+#   --quick   plain build only (skip the sanitizer builds and torture label)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,5 +32,11 @@ echo "== sanitized tests =="
 ctest --test-dir build-asan --output-on-failure -LE torture
 echo "== sanitized torture label =="
 ctest --test-dir build-asan --output-on-failure -L torture
+
+echo "== thread-sanitized build =="
+cmake -S . -B build-tsan -DVIEWMAT_SANITIZE="thread" >/dev/null
+cmake --build build-tsan -j "$jobs"
+echo "== thread-sanitized concurrency suites (tsan label) =="
+ctest --test-dir build-tsan --output-on-failure -L tsan
 
 echo "check.sh: OK"

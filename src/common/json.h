@@ -1,6 +1,7 @@
 #ifndef VIEWMAT_COMMON_JSON_H_
 #define VIEWMAT_COMMON_JSON_H_
 
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -80,15 +81,20 @@ class JsonWriter {
       return;
     }
     char buf[40];
-    // Integral values print exactly; everything else uses %.12g, which
-    // round-trips every quantity the cost model produces and keeps the
-    // reports readable and byte-stable.
+    // Integral values print exactly; everything else uses general format
+    // with 12 significant digits, which round-trips every quantity the
+    // cost model produces and keeps the reports readable and byte-stable.
+    // std::to_chars (not printf) because formatting must ignore the
+    // process locale: a comma-decimal locale would otherwise emit "1,5"
+    // and corrupt the document.
+    std::to_chars_result r{};
     if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
-      std::snprintf(buf, sizeof(buf), "%.0f", v);
+      r = std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 0);
     } else {
-      std::snprintf(buf, sizeof(buf), "%.12g", v);
+      r = std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general,
+                        12);
     }
-    out_ += buf;
+    out_.append(buf, r.ptr);
   }
 
   /// Appends `json` verbatim as the next value. The caller guarantees it
@@ -207,6 +213,21 @@ struct Parser {
                                    std::to_string(pos) + ": " + what);
   }
 
+  Status ParseHex4(unsigned* out) {
+    if (pos + 4 > text.size()) return Err("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text[pos++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= h - '0';
+      else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+      else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+      else return Err("bad \\u escape");
+    }
+    *out = code;
+    return Status::OK();
+  }
+
   Status ParseString(std::string* out) {
     if (!Eat('"')) return Err("expected string");
     out->clear();
@@ -226,27 +247,45 @@ struct Parser {
           case 'b': *out += '\b'; break;
           case 'f': *out += '\f'; break;
           case 'u': {
-            if (pos + 4 > text.size()) return Err("truncated \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text[pos++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= h - '0';
-              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
-              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
-              else return Err("bad \\u escape");
+            VIEWMAT_RETURN_IF_ERROR(ParseHex4(&code));
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Err("lone low surrogate");
             }
-            // The writer only emits \u for control characters; decode the
-            // BMP code point as UTF-8.
-            if (code < 0x80) {
-              *out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              *out += static_cast<char>(0xC0 | (code >> 6));
-              *out += static_cast<char>(0x80 | (code & 0x3F));
+            uint32_t cp = code;
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: only valid as the first half of a
+              // \uD8xx\uDCxx pair encoding a supplementary-plane
+              // character. Anything else is malformed input, not a code
+              // point to pass through.
+              if (pos + 2 > text.size() || text[pos] != '\\' ||
+                  text[pos + 1] != 'u') {
+                return Err("lone high surrogate");
+              }
+              pos += 2;
+              unsigned low = 0;
+              VIEWMAT_RETURN_IF_ERROR(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Err("invalid surrogate pair");
+              }
+              cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            // Encode the code point as UTF-8 (the writer only emits \u
+            // for control characters, but parsed input may use any).
+            if (cp < 0x80) {
+              *out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              *out += static_cast<char>(0xC0 | (cp >> 6));
+              *out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else if (cp < 0x10000) {
+              *out += static_cast<char>(0xE0 | (cp >> 12));
+              *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (cp & 0x3F));
             } else {
-              *out += static_cast<char>(0xE0 | (code >> 12));
-              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              *out += static_cast<char>(0x80 | (code & 0x3F));
+              *out += static_cast<char>(0xF0 | (cp >> 18));
+              *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+              *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (cp & 0x3F));
             }
             break;
           }
@@ -331,8 +370,15 @@ struct Parser {
     }
     if (pos == start) return Err("unexpected character");
     out->type = JsonValue::Type::kNumber;
-    out->number = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
-                              nullptr);
+    // std::from_chars is locale-independent, unlike strtod: under a
+    // comma-decimal locale strtod would stop at the '.' and silently
+    // truncate "1.5" to 1. from_chars rejects a leading '+' that the
+    // lenient scan above allows, so skip it explicitly.
+    std::string_view num = text.substr(start, pos - start);
+    if (!num.empty() && num.front() == '+') num.remove_prefix(1);
+    const std::from_chars_result r =
+        std::from_chars(num.data(), num.data() + num.size(), out->number);
+    if (r.ec != std::errc()) return Err("bad number");
     return Status::OK();
   }
 };

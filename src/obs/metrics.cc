@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 
 #include "common/json.h"
 
@@ -20,12 +22,23 @@ std::string MetricsRegistry::FullKey(std::string_view name,
   return key;
 }
 
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      const Labels& labels) {
   const std::string key = FullKey(name, labels);
-  auto it = counters_.find(key);
-  if (it == counters_.end()) {
-    it = counters_
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counters.find(key);
+  if (it == shard.counters.end()) {
+    it = shard.counters
              .emplace(key, CounterEntry{std::string(name), labels,
                                         std::make_unique<Counter>()})
              .first;
@@ -37,9 +50,11 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          const Labels& labels,
                                          std::vector<double> bounds) {
   const std::string key = FullKey(name, labels);
-  auto it = histograms_.find(key);
-  if (it == histograms_.end()) {
-    it = histograms_
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.histograms.find(key);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms
              .emplace(key,
                       HistogramEntry{std::string(name), labels,
                                      std::make_unique<Histogram>(
@@ -47,6 +62,52 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
              .first;
   }
   return it->second.histogram.get();
+}
+
+size_t MetricsRegistry::counter_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.counters.size();
+  }
+  return n;
+}
+
+size_t MetricsRegistry::histogram_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.histograms.size();
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, const MetricsRegistry::CounterEntry*>>
+MetricsRegistry::SortedCounters() const {
+  std::vector<std::pair<std::string, const CounterEntry*>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.counters) {
+      out.emplace_back(key, &entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::pair<std::string, const MetricsRegistry::HistogramEntry*>>
+MetricsRegistry::SortedHistograms() const {
+  std::vector<std::pair<std::string, const HistogramEntry*>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.histograms) {
+      out.emplace_back(key, &entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 namespace {
@@ -64,21 +125,21 @@ void MetricsRegistry::WriteJson(common::JsonWriter* w) const {
   w->BeginObject();
   w->Key("counters");
   w->BeginArray();
-  for (const auto& [key, entry] : counters_) {
+  for (const auto& [key, entry] : SortedCounters()) {
     w->BeginObject();
-    w->KV("name", entry.name);
-    WriteLabels(w, entry.labels);
-    w->KV("value", entry.counter->value());
+    w->KV("name", entry->name);
+    WriteLabels(w, entry->labels);
+    w->KV("value", entry->counter->value());
     w->EndObject();
   }
   w->EndArray();
   w->Key("histograms");
   w->BeginArray();
-  for (const auto& [key, entry] : histograms_) {
-    const Histogram& h = *entry.histogram;
+  for (const auto& [key, entry] : SortedHistograms()) {
+    const Histogram& h = *entry->histogram;
     w->BeginObject();
-    w->KV("name", entry.name);
-    WriteLabels(w, entry.labels);
+    w->KV("name", entry->name);
+    WriteLabels(w, entry->labels);
     w->Key("bounds");
     w->BeginArray();
     for (const double b : h.bounds()) w->Double(b);
@@ -113,17 +174,17 @@ std::string MetricsRegistry::ToString() const {
       out += '}';
     }
   };
-  for (const auto& [key, entry] : counters_) {
-    append_labeled(entry.name, entry.labels);
+  for (const auto& [key, entry] : SortedCounters()) {
+    append_labeled(entry->name, entry->labels);
     std::snprintf(buf, sizeof(buf), " %llu\n",
-                  static_cast<unsigned long long>(entry.counter->value()));
+                  static_cast<unsigned long long>(entry->counter->value()));
     out += buf;
   }
-  for (const auto& [key, entry] : histograms_) {
-    append_labeled(entry.name, entry.labels);
+  for (const auto& [key, entry] : SortedHistograms()) {
+    append_labeled(entry->name, entry->labels);
     std::snprintf(buf, sizeof(buf), " count=%llu sum=%.3f\n",
-                  static_cast<unsigned long long>(entry.histogram->count()),
-                  entry.histogram->sum());
+                  static_cast<unsigned long long>(entry->histogram->count()),
+                  entry->histogram->sum());
     out += buf;
   }
   return out;

@@ -1,9 +1,11 @@
 #ifndef VIEWMAT_OBS_METRICS_H_
 #define VIEWMAT_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -20,19 +22,25 @@ namespace viewmat::obs {
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonic counter. Pointer-stable once created: call-sites cache the
-/// pointer and increment without re-hashing the name.
+/// pointer and increment without re-hashing the name. Increments are
+/// lock-free atomics, so counters can be bumped from any number of sweep
+/// workers concurrently.
 class Counter {
  public:
-  void Increment(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Fixed-bucket histogram. `bounds` are inclusive upper bounds of the
 /// finite buckets; an implicit +inf bucket catches the rest (so counts has
-/// bounds.size() + 1 entries).
+/// bounds.size() + 1 entries). Observe() is serialized by a per-histogram
+/// mutex (a bucket update touches three fields atomically-together);
+/// snapshot accessors copy under the same mutex.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds)
@@ -41,18 +49,31 @@ class Histogram {
   void Observe(double v) {
     size_t i = 0;
     while (i < bounds_.size() && v > bounds_[i]) ++i;
+    std::lock_guard<std::mutex> lock(mu_);
     ++counts_[i];
     sum_ += v;
     ++count_;
   }
 
+  /// Bounds are immutable after construction — safe to read without a lock.
   const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<uint64_t>& counts() const { return counts_; }
-  double sum() const { return sum_; }
-  uint64_t count() const { return count_; }
+  /// Snapshot copies, consistent under the histogram's mutex.
+  std::vector<uint64_t> counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
 
  private:
   std::vector<double> bounds_;
+  mutable std::mutex mu_;
   std::vector<uint64_t> counts_;
   double sum_ = 0;
   uint64_t count_ = 0;
@@ -62,6 +83,15 @@ class Histogram {
 /// use and returns the same instance for the same (name, labels) after
 /// that. Iteration order (and therefore JSON/text output) is sorted by
 /// full name, so reports are deterministic.
+///
+/// Thread safety: registration is sharded — the full key hashes to one of
+/// kShards shards, each with its own mutex and map, so concurrent sweep
+/// workers registering disjoint metrics rarely contend. Returned pointers
+/// are stable for the registry's lifetime and may be used from any thread
+/// (Counter is atomic, Histogram locks internally). Snapshots (WriteJson,
+/// ToString, counter_count) merge the shards under their locks — safe to
+/// call while workers are still recording, though mid-run snapshots see a
+/// momentary value, not a barrier.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -74,8 +104,8 @@ class MetricsRegistry {
   Histogram* GetHistogram(std::string_view name, const Labels& labels,
                           std::vector<double> bounds);
 
-  size_t counter_count() const { return counters_.size(); }
-  size_t histogram_count() const { return histograms_.size(); }
+  size_t counter_count() const;
+  size_t histogram_count() const;
 
   /// {"counters":[{"name","labels",{...},"value"}...],
   ///  "histograms":[{"name","labels",{...},"bounds","counts","sum","count"}]}
@@ -84,6 +114,8 @@ class MetricsRegistry {
   std::string ToString() const;
 
  private:
+  static constexpr size_t kShards = 8;
+
   struct CounterEntry {
     std::string name;
     Labels labels;
@@ -94,10 +126,24 @@ class MetricsRegistry {
     Labels labels;
     std::unique_ptr<Histogram> histogram;
   };
-  static std::string FullKey(std::string_view name, const Labels& labels);
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, CounterEntry> counters;
+    std::map<std::string, HistogramEntry> histograms;
+  };
 
-  std::map<std::string, CounterEntry> counters_;
-  std::map<std::string, HistogramEntry> histograms_;
+  static std::string FullKey(std::string_view name, const Labels& labels);
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  /// Merge-on-snapshot: collect (key, entry*) pairs from every shard under
+  /// its lock, sorted by full key across all shards.
+  std::vector<std::pair<std::string, const CounterEntry*>> SortedCounters()
+      const;
+  std::vector<std::pair<std::string, const HistogramEntry*>> SortedHistograms()
+      const;
+
+  Shard shards_[kShards];
 };
 
 }  // namespace viewmat::obs

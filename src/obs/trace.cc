@@ -7,52 +7,99 @@
 
 namespace viewmat::obs {
 
+Tracer::ThreadState* Tracer::State() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<ThreadState>& slot = states_[self];
+  if (slot == nullptr) slot = std::make_unique<ThreadState>();
+  return slot.get();
+}
+
+void Tracer::Flush(ThreadState* state) {
+  if (state->buffer.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t offset = static_cast<uint32_t>(spans_.size());
+  for (Span& span : state->buffer) {
+    if (span.parent != 0) span.parent += offset;
+    spans_.push_back(std::move(span));
+  }
+  state->buffer.clear();
+}
+
+void Tracer::CloseOpenSpans(ThreadState* state) {
+  const double now = Now();
+  while (!state->open.empty()) {
+    const uint32_t top = state->open.back();
+    state->open.pop_back();
+    Span& span = state->buffer[top - 1];
+    if (span.end_ms < 0) span.end_ms = now;
+  }
+  Flush(state);
+}
+
 uint32_t Tracer::NewTrack(std::string name) {
-  // A new track implicitly closes the previous track's open spans — the
-  // simulator switches tracks only between runs, when all spans are closed,
-  // but a defensive close keeps the trace well-formed regardless.
-  while (!open_stack_.empty()) EndSpan(open_stack_.back());
+  ThreadState* state = State();
+  // A new track implicitly closes the thread's open spans — the simulator
+  // switches tracks only between runs, when all spans are closed, but a
+  // defensive close keeps the trace well-formed regardless.
+  CloseOpenSpans(state);
+  std::lock_guard<std::mutex> lock(mu_);
   track_names_.push_back(std::move(name));
-  track_ = static_cast<uint32_t>(track_names_.size());
-  return track_;
+  state->track = static_cast<uint32_t>(track_names_.size());
+  return state->track;
 }
 
 uint32_t Tracer::BeginSpan(std::string name) {
+  ThreadState* state = State();
   Span span;
   span.name = std::move(name);
-  span.parent = open_stack_.empty() ? 0 : open_stack_.back();
-  span.track = track_;
+  span.parent = state->open.empty() ? 0 : state->open.back();
+  span.track = state->track;
   span.begin_ms = Now();
-  spans_.push_back(std::move(span));
-  const uint32_t handle = static_cast<uint32_t>(spans_.size());
-  open_stack_.push_back(handle);
+  state->buffer.push_back(std::move(span));
+  const uint32_t handle = static_cast<uint32_t>(state->buffer.size());
+  state->open.push_back(handle);
   return handle;
 }
 
 void Tracer::EndSpan(uint32_t handle) {
-  if (handle == 0 || handle > spans_.size()) return;
-  Span& span = spans_[handle - 1];
+  ThreadState* state = State();
+  if (handle == 0 || handle > state->buffer.size()) return;
+  Span& span = state->buffer[handle - 1];
   if (span.end_ms >= 0) return;  // already closed (defensively)
   span.end_ms = Now();
   // Close any nested spans left open (exception-free code should never
   // leave any, but the trace must stay a tree).
-  while (!open_stack_.empty()) {
-    const uint32_t top = open_stack_.back();
-    open_stack_.pop_back();
+  while (!state->open.empty()) {
+    const uint32_t top = state->open.back();
+    state->open.pop_back();
     if (top == handle) break;
-    Span& inner = spans_[top - 1];
+    Span& inner = state->buffer[top - 1];
     if (inner.end_ms < 0) inner.end_ms = span.end_ms;
   }
+  // Root closed: the tree is complete, publish it.
+  if (state->open.empty()) Flush(state);
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
-  open_stack_.clear();
   track_names_.clear();
-  track_ = 0;
+  states_.clear();
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
 }
 
 std::string Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   common::JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents");
@@ -89,9 +136,11 @@ std::string Tracer::ToChromeTraceJson() const {
 }
 
 std::string Tracer::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char buf[160];
-  // Children of each span, in begin order (spans_ is already begin-ordered).
+  // Children of each span, in serialization order (begin order per tree,
+  // trees in root-completion order).
   std::vector<std::vector<uint32_t>> children(spans_.size() + 1);
   for (uint32_t h = 1; h <= spans_.size(); ++h) {
     children[spans_[h - 1].parent].push_back(h);

@@ -1,9 +1,13 @@
 #include "sim/bench_report.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/json.h"
+#include "common/parallel.h"
 
 #ifndef VIEWMAT_GIT_DESCRIBE
 #define VIEWMAT_GIT_DESCRIBE "unknown"
@@ -174,21 +178,40 @@ BenchCli BenchCli::Parse(int argc, char** argv) {
       cli.quick = true;
     } else if (arg == "--json" && i + 1 < argc) {
       cli.json_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      cli.jobs = parsed > 0 ? static_cast<size_t>(parsed) : 0;
     }
   }
   return cli;
 }
 
+size_t BenchCli::effective_jobs() const {
+  return jobs > 0 ? jobs : common::DefaultJobs();
+}
+
 std::string BenchReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
-  w.KV("schema_version", 1);
+  w.KV("schema_version", 2);
   w.KV("bench", bench_name_);
   w.Key("build");
   w.BeginObject();
   w.KV("git_describe", VIEWMAT_GIT_DESCRIBE);
   w.EndObject();
   w.KV("quick", quick_);
+  // How the run executed — the only block allowed to differ between runs
+  // at different --jobs settings (the determinism check strips it).
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  w.Key("execution");
+  w.BeginObject();
+  w.KV("jobs", static_cast<uint64_t>(jobs_));
+  w.KV("hardware_threads",
+       static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  w.KV("wall_seconds", wall_seconds);
+  w.EndObject();
   w.Key("notes");
   w.BeginObject();
   for (const auto& [k, v] : notes_) w.KV(k, v);
@@ -229,14 +252,15 @@ Status BenchReport::WriteTo(const std::string& path) const {
   return Status::OK();
 }
 
-Status FinishBench(const BenchCli& cli, const BenchReport& report) {
+Status FinishBench(const BenchCli& cli, BenchReport* report) {
+  report->set_jobs(cli.effective_jobs());
   if (!cli.want_json()) return Status::OK();
-  VIEWMAT_RETURN_IF_ERROR(report.WriteTo(cli.json_path));
+  VIEWMAT_RETURN_IF_ERROR(report->WriteTo(cli.json_path));
   std::printf("wrote JSON report: %s\n", cli.json_path.c_str());
   return Status::OK();
 }
 
-int FinishBenchMain(const BenchCli& cli, const BenchReport& report) {
+int FinishBenchMain(const BenchCli& cli, BenchReport* report) {
   const Status status = FinishBench(cli, report);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());

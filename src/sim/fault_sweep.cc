@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "db/catalog.h"
 #include "hr/ad_file.h"
@@ -417,25 +418,54 @@ StatusOr<FaultSweepResult> SimulateFaultSweep(const FaultSweepOptions& options) 
       options.shrink_params ? TortureParams(options.params) : options.params;
   VIEWMAT_RETURN_IF_ERROR(params.Validate());
 
-  FaultSweepResult result;
-  for (size_t rate_idx = 0; rate_idx < options.fault_rates.size();
-       ++rate_idx) {
-    const double rate = options.fault_rates[rate_idx];
+  for (const double rate : options.fault_rates) {
     if (rate < 0 || rate >= 1) {
       return Status::InvalidArgument("fault rates must be in [0, 1)");
     }
+  }
+
+  // One task per (rate, run): every run is fully self-contained (its own
+  // disk, pool, strategy, and oracle) with a seed derived from the task
+  // index, so the tasks can execute in any order on any worker. Results
+  // merge in index order below, making the sweep bit-identical at any
+  // job count — including errors, where the lowest-index failure wins.
+  struct RunResult {
+    Status status = Status::OK();
+    FaultSweepCell delta;
+    RunOutcome outcome;
+  };
+  const size_t runs_per_rate = static_cast<size_t>(options.runs_per_rate);
+  const size_t total_tasks = options.fault_rates.size() * runs_per_rate;
+  std::vector<RunResult> run_results =
+      common::ParallelMap(options.jobs, total_tasks, [&](size_t idx) {
+        const size_t rate_idx = idx / runs_per_rate;
+        const int run = static_cast<int>(idx % runs_per_rate);
+        RunResult r;
+        r.status = RunOne(options, params, options.fault_rates[rate_idx],
+                          RunSeed(options.seed, rate_idx, run), &r.delta,
+                          &r.outcome);
+        return r;
+      });
+  for (const RunResult& r : run_results) {
+    VIEWMAT_RETURN_IF_ERROR(r.status);
+  }
+
+  FaultSweepResult result;
+  for (size_t rate_idx = 0; rate_idx < options.fault_rates.size();
+       ++rate_idx) {
     FaultSweepCell cell;
-    cell.fault_rate = rate;
-    for (int run = 0; run < options.runs_per_rate; ++run) {
-      RunOutcome outcome;
-      VIEWMAT_RETURN_IF_ERROR(RunOne(options, params, rate,
-                                     RunSeed(options.seed, rate_idx, run),
-                                     &cell, &outcome));
+    cell.fault_rate = options.fault_rates[rate_idx];
+    for (size_t run = 0; run < runs_per_rate; ++run) {
+      const RunResult& r = run_results[rate_idx * runs_per_rate + run];
       ++cell.runs;
-      cell.rejected_txns += outcome.rejected_txns;
-      cell.failed_queries += outcome.failed_queries;
-      if (outcome.silently_stale) ++cell.silently_stale_runs;
-      if (outcome.corrupt) ++cell.corrupt_runs;
+      cell.faults_injected += r.delta.faults_injected;
+      cell.crashes += r.delta.crashes;
+      cell.recoveries += r.delta.recoveries;
+      cell.degraded_queries += r.delta.degraded_queries;
+      cell.rejected_txns += r.outcome.rejected_txns;
+      cell.failed_queries += r.outcome.failed_queries;
+      if (r.outcome.silently_stale) ++cell.silently_stale_runs;
+      if (r.outcome.corrupt) ++cell.corrupt_runs;
     }
     result.total_runs += cell.runs;
     result.total_silently_stale += cell.silently_stale_runs;

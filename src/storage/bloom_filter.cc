@@ -17,9 +17,16 @@ BloomFilter BloomFilter::ForExpectedKeys(size_t expected_keys,
   VIEWMAT_CHECK(fp_rate > 0.0 && fp_rate < 1.0);
   const double n = static_cast<double>(std::max<size_t>(expected_keys, 1));
   const double ln2 = std::log(2.0);
-  const double m = -n * std::log(fp_rate) / (ln2 * ln2);
+  const double m_ideal = -n * std::log(fp_rate) / (ln2 * ln2);
+  // The constructor clamps the table to at least 64 bits; the hash count
+  // must be chosen for the table actually built, not the ideal one, or
+  // tiny filters end up with far too few hashes and miss the requested
+  // false-positive rate (k = m/n * ln2 is only optimal for the real m).
+  const size_t bits =
+      std::max<size_t>(static_cast<size_t>(std::ceil(m_ideal)), 64);
+  const double m = static_cast<double>(bits);
   const int k = std::max(1, static_cast<int>(std::lround(m / n * ln2)));
-  return BloomFilter(static_cast<size_t>(std::ceil(m)), k);
+  return BloomFilter(bits, k);
 }
 
 uint64_t BloomFilter::Mix(uint64_t x, uint64_t salt) {

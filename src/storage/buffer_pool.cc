@@ -63,7 +63,19 @@ StatusOr<size_t> BufferPool::AcquireFrame() {
   Frame& fr = frames_[victim];
   VIEWMAT_DCHECK(fr.in_use && fr.pin_count == 0);
   if (fr.dirty) {
-    VIEWMAT_RETURN_IF_ERROR(disk_->Write(fr.id, *fr.page));
+    Status flushed = disk_->Write(fr.id, *fr.page);
+    if (!flushed.ok()) {
+      // Re-link the victim before surfacing the error: it was already
+      // popped from the LRU list, and returning with it unlinked leaves
+      // the frame unreachable (in_use, unpinned, on neither list) — the
+      // pool then shrinks by one frame per failed flush until every
+      // Fetch fails with "all buffer frames are pinned" despite zero
+      // pins. The page is still intact and cached, so it goes back to
+      // its old spot at the cold end of the list.
+      lru_.push_front(victim);
+      fr.lru_pos = lru_.begin();
+      return flushed;
+    }
   }
   table_.erase(fr.id);
   fr.in_use = false;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
+#include <string>
 
 namespace viewmat::common {
 namespace {
@@ -113,6 +115,48 @@ TEST(ParseJson, RejectsMalformedDocuments) {
   EXPECT_FALSE(ParseJson("\"unterminated").ok());
   EXPECT_FALSE(ParseJson("{} trailing").ok());
   EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(ParseJson, DecodesSurrogatePairsAndRejectsLoneSurrogates) {
+  // U+1F600 written as a \u escape pair must decode to 4-byte UTF-8.
+  auto pair = ParseJson(R"(["\uD83D\uDE00"])");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->items[0].string_value, "\xF0\x9F\x98\x80");
+
+  EXPECT_FALSE(ParseJson(R"(["\uD800"])").ok());        // lone high
+  EXPECT_FALSE(ParseJson(R"(["\uDC00"])").ok());        // lone low
+  EXPECT_FALSE(ParseJson(R"(["\uD800x"])").ok());       // high, unpaired
+  EXPECT_FALSE(ParseJson(R"(["\uD800A"])").ok());  // high + non-low
+}
+
+/// Numbers must serialize and parse the same way in every locale. The old
+/// snprintf/strtod paths picked up LC_NUMERIC: under a comma-decimal
+/// locale the writer emitted "0,125" (invalid JSON) and the parser
+/// stopped at the '.'. std::to_chars/from_chars are locale-independent.
+TEST(JsonLocale, RoundTripSurvivesCommaDecimalLocale) {
+  const char* const kLocales[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"};
+  const char* previous = nullptr;
+  for (const char* name : kLocales) {
+    previous = std::setlocale(LC_NUMERIC, name);
+    if (previous != nullptr) break;
+  }
+  if (previous == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(0.125);
+  w.Double(30.0);
+  w.Double(1234.5678);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[0.125,30,1234.5678]");
+
+  auto parsed = ParseJson("[0.125,1.5e3]");
+  std::setlocale(LC_NUMERIC, "C");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->items[0].number, 0.125);
+  EXPECT_EQ(parsed->items[1].number, 1500.0);
 }
 
 }  // namespace

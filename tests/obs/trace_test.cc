@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/json.h"
 
 namespace viewmat::obs {
@@ -67,12 +71,31 @@ TEST(Tracer, NewTrackClosesOpenSpans) {
   tracer.NewTrack("a");
   tracer.BeginSpan("left_open");
   clock.Advance(3.0);
-  tracer.NewTrack("b");
+  tracer.NewTrack("b");  // closes and flushes the open span
+  ASSERT_EQ(tracer.span_count(), 1u);
   EXPECT_DOUBLE_EQ(tracer.spans()[0].end_ms, 3.0);
   // Spans after the switch land on the new track with no stale parent.
+  // Handles are thread-local, so inspect the span once its tree flushes.
   const uint32_t h = tracer.BeginSpan("fresh");
-  EXPECT_EQ(tracer.spans()[h - 1].track, 2u);
-  EXPECT_EQ(tracer.spans()[h - 1].parent, 0u);
+  tracer.EndSpan(h);
+  ASSERT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.spans().back().track, 2u);
+  EXPECT_EQ(tracer.spans().back().parent, 0u);
+}
+
+TEST(Tracer, OpenSpansAreInvisibleUntilTheirRootCloses) {
+  FakeClock clock;
+  Tracer tracer(&clock);
+  tracer.NewTrack("t");
+  const uint32_t outer = tracer.BeginSpan("outer");
+  const uint32_t inner = tracer.BeginSpan("inner");
+  EXPECT_EQ(tracer.span_count(), 0u);  // tree still open: nothing published
+  tracer.EndSpan(inner);
+  EXPECT_EQ(tracer.span_count(), 0u);
+  tracer.EndSpan(outer);  // root closed: the whole tree appears at once
+  ASSERT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "outer");
+  EXPECT_EQ(tracer.spans()[1].parent, 1u);
 }
 
 TEST(Tracer, ScopedSpanWithNullTracerIsANoOp) {
@@ -127,6 +150,49 @@ TEST(Tracer, ClearResetsEverything) {
   tracer.Clear();
   EXPECT_EQ(tracer.span_count(), 0u);
   EXPECT_EQ(tracer.ToString(), "");
+}
+
+/// Many threads record complete trees concurrently (no clock — times stay
+/// zero, which keeps the shared FakeClock out of the race surface). Every
+/// tree must land intact: contiguous, parents pointing inside the same
+/// tree, on the recording thread's own track.
+TEST(Tracer, ConcurrentThreadsFlushIntactTrees) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kTreesPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      const uint32_t track =
+          tracer.NewTrack("worker" + std::to_string(t));
+      for (int tree = 0; tree < kTreesPerThread; ++tree) {
+        const uint32_t root = tracer.BeginSpan("root");
+        const uint32_t mid = tracer.BeginSpan("mid");
+        const uint32_t leaf = tracer.BeginSpan("leaf");
+        tracer.EndSpan(leaf);
+        tracer.EndSpan(mid);
+        // Reads while others record must be safe (and see whole trees).
+        EXPECT_EQ(tracer.span_count() % 3, 0u);
+        tracer.EndSpan(root);
+      }
+      (void)track;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(),
+            static_cast<size_t>(kThreads * kTreesPerThread * 3));
+  for (size_t i = 0; i < spans.size(); i += 3) {
+    EXPECT_EQ(spans[i].name, "root");
+    EXPECT_EQ(spans[i].parent, 0u);
+    EXPECT_EQ(spans[i + 1].name, "mid");
+    EXPECT_EQ(spans[i + 1].parent, static_cast<uint32_t>(i + 1));
+    EXPECT_EQ(spans[i + 2].name, "leaf");
+    EXPECT_EQ(spans[i + 2].parent, static_cast<uint32_t>(i + 2));
+    EXPECT_EQ(spans[i + 1].track, spans[i].track);
+    EXPECT_EQ(spans[i + 2].track, spans[i].track);
+  }
 }
 
 }  // namespace

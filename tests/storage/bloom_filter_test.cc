@@ -44,6 +44,32 @@ TEST(BloomFilter, SizingHitsTargetRate) {
   EXPECT_LE(filter.hashes(), 8);
 }
 
+/// Regression: k must be derived from the *actual* (ceiled, clamped) m,
+/// not the ideal real-valued one. The drift showed at small n, where the
+/// 64-bit floor makes the real filter much larger than the ideal sizing:
+/// the old code kept the ideal k, leaving the extra bits unused.
+TEST(BloomFilter, ForExpectedKeysDerivesHashCountFromActualSize) {
+  // n=4, p=0.1: ideal m is ~19.2 bits, clamped to 64. k from the clamped
+  // size is round(64/4 * ln 2) = 11; the ideal-m k would have been 3.
+  const BloomFilter small = BloomFilter::ForExpectedKeys(4, 0.1);
+  EXPECT_EQ(small.bits(), 64u);
+  EXPECT_EQ(small.hashes(), 11);
+}
+
+TEST(BloomFilter, SizedFilterAnalyticalRateMatchesRequest) {
+  // At exactly the sized load, the analytical rate must sit at (or below)
+  // the requested rate — integer rounding of k costs at most a sliver.
+  for (const double target : {0.1, 0.01, 0.001}) {
+    for (const size_t n : {size_t{4}, size_t{50}, size_t{1000}}) {
+      BloomFilter filter = BloomFilter::ForExpectedKeys(n, target);
+      Random rng(7);
+      for (size_t i = 0; i < n; ++i) filter.Add(rng.Next());
+      EXPECT_LE(filter.ExpectedFpRate(), target * 1.05)
+          << "n=" << n << " target=" << target;
+    }
+  }
+}
+
 TEST(BloomFilter, MeasuredFpRateNearAnalytical) {
   BloomFilter filter = BloomFilter::ForExpectedKeys(500, 0.02);
   Random rng(3);

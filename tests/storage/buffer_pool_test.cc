@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/faulty_disk.h"
+
 namespace viewmat::storage {
 namespace {
 
@@ -145,6 +147,39 @@ TEST_F(BufferPoolTest, FlushAllWritesDirtyOnce) {
   tracker_.Reset();
   ASSERT_TRUE(pool_.FlushAll().ok());  // already clean
   EXPECT_EQ(tracker_.counters().disk_writes, 0u);
+}
+
+/// Regression: a failed dirty-eviction write-back used to orphan the
+/// popped LRU victim — the frame stayed in_use but left every list, so
+/// each failed flush permanently shrank the pool. Four failures against a
+/// four-frame pool wedged it at kResourceExhausted with zero pins held.
+TEST(BufferPoolFaultTest, FailedDirtyEvictionDoesNotLeakFrames) {
+  CostTracker tracker;
+  SimulatedDisk base(256, &tracker);
+  FaultyDisk disk(&base, 1);
+  BufferPool pool(&disk, 4);
+  // Dirty every frame, all unpinned.
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guard->page().WriteAt<uint64_t>(0, i);
+    guard->MarkDirty();
+  }
+  // Every NewPage now needs a dirty eviction; fail its write-back each
+  // time — more times than the pool has frames.
+  for (int i = 0; i < 8; ++i) {
+    disk.InjectWriteFault(0);
+    auto guard = pool.NewPage();
+    ASSERT_FALSE(guard.ok());
+    EXPECT_EQ(guard.status().code(), StatusCode::kInternal);
+  }
+  disk.ClearFaults();
+  // With the device healthy again, the pool must still be able to turn
+  // over its full capacity: no frame was lost to the failed flushes.
+  for (int i = 0; i < 4; ++i) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok()) << "leaked a frame after failed eviction " << i;
+  }
 }
 
 TEST_F(BufferPoolTest, MoveSemanticsTransferPin) {
