@@ -2,7 +2,9 @@
 # One-command repo check: plain build + full test suite (including the
 # bench-smoke JSON-schema and determinism tests), then an address+undefined
 # sanitizer build (VIEWMAT_SANITIZE) running the same suite plus the
-# crash-safety torture label, then a thread-sanitized build running the
+# crash-safety torture and recovery labels (the torture label includes the
+# exhaustive crash-point sweep: one crashed run per disk operation for every
+# maintenance strategy), then a thread-sanitized build running the
 # concurrency suites (tsan label).
 #
 # Usage: scripts/check.sh [--quick]
@@ -30,7 +32,9 @@ cmake -S . -B build-asan -DVIEWMAT_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "$jobs"
 echo "== sanitized tests =="
 ctest --test-dir build-asan --output-on-failure -LE torture
-echo "== sanitized torture label =="
+echo "== sanitized recovery label (WAL + RecoveryManager + per-strategy) =="
+ctest --test-dir build-asan --output-on-failure -L recovery
+echo "== sanitized torture label (exhaustive crash-point sweep) =="
 ctest --test-dir build-asan --output-on-failure -L torture
 
 echo "== thread-sanitized build =="

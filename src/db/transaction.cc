@@ -1,6 +1,7 @@
 #include "db/transaction.h"
 
 #include <algorithm>
+#include <string>
 
 namespace viewmat::db {
 
@@ -50,13 +51,36 @@ size_t Transaction::tuples_written() const {
   return n;
 }
 
+namespace {
+
+// Wraps a failed base write with enough context to see how far the
+// transaction got: a crash-recovery operator (or the recovery oracle)
+// reading the status knows exactly which relation and tuple the partial
+// application stopped at, and how many writes landed before it.
+Status PartialApplyError(const Status& cause, const char* op,
+                         const Relation& rel, const Tuple& t,
+                         size_t applied) {
+  return Status(cause.code(),
+                std::string("ApplyToBase stopped at ") + op + " of " +
+                    t.ToString() + " into relation '" + rel.name() + "' (" +
+                    std::to_string(applied) +
+                    " writes applied before the failure): " + cause.message());
+}
+
+}  // namespace
+
 Status Transaction::ApplyToBase() const {
+  size_t applied = 0;
   for (const auto& [rel, nc] : changes_) {
     for (const Tuple& t : nc.deletes()) {
-      VIEWMAT_RETURN_IF_ERROR(rel->DeleteExact(t));
+      Status st = rel->DeleteExact(t);
+      if (!st.ok()) return PartialApplyError(st, "delete", *rel, t, applied);
+      ++applied;
     }
     for (const Tuple& t : nc.inserts()) {
-      VIEWMAT_RETURN_IF_ERROR(rel->Insert(t));
+      Status st = rel->Insert(t);
+      if (!st.ok()) return PartialApplyError(st, "insert", *rel, t, applied);
+      ++applied;
     }
   }
   return Status::OK();

@@ -34,7 +34,7 @@ AdFile::AdFile(storage::BufferPool* pool, db::Schema schema, size_t key_field,
   hash_ = std::make_unique<storage::HashIndex>(
       pool_, 1 + schema_.record_size(), options.hash_buckets);
   if (options_.enable_wal) {
-    log_ = std::make_unique<AdLog>(pool_->disk());
+    log_ = std::make_unique<AdLog>(pool_->disk(), options_.lsn_allocator);
     VIEWMAT_CHECK_MSG(schema_.record_size() <= log_->max_payload(),
                       "AD tuple too large for one WAL record");
   }

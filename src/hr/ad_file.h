@@ -61,6 +61,10 @@ class AdFile {
     /// paper-reproduction cost measurements are unchanged; the crash-safe
     /// deferred strategy turns it on.
     bool enable_wal = false;
+    /// When set, the AD log draws its LSNs from this shared allocator so
+    /// its records join the unified LSN space of the system's redo WAL
+    /// (storage/wal.h). Null keeps a private sequence.
+    storage::LsnAllocator* lsn_allocator = nullptr;
   };
 
   /// What Recover() learned from the log. Epochs are 0 when the marker is

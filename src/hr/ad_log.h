@@ -1,108 +1,34 @@
 #ifndef VIEWMAT_HR_AD_LOG_H_
 #define VIEWMAT_HR_AD_LOG_H_
 
-#include <cstdint>
-#include <functional>
-#include <vector>
-
-#include "common/status.h"
-#include "storage/disk.h"
+#include "storage/wal.h"
 
 namespace viewmat::hr {
 
-/// The AD file's write-ahead log: an append-only chain of checksummed
-/// records written straight to the disk (no buffer pool — a WAL append must
-/// be durable when it returns). Intent records land here *before* the hash
-/// file is touched, so after any crash the hash file and Bloom filter are
-/// rebuildable from the log alone.
-///
-/// Torn-write safety: each record carries a length and an FNV-1a checksum.
-/// Records validate themselves — the scanner never trusts the page's `used`
-/// header, which travels in the same (tearable) block write as the record
-/// bytes. A write torn anywhere leaves every previously-acknowledged record
-/// intact (their bytes are rewritten identically) and makes the torn tail
-/// record fail its checksum.
-///
-/// Acknowledgment is truthful both ways: when a write reports failure, the
-/// tail is read back to learn what the device durably holds. A record that
-/// landed in full despite the error is adopted and acknowledged (OK); a
-/// record that did not land is scrubbed from the in-memory image so a later
-/// append rewrites clean bytes over any torn region — it can never
-/// retroactively become durable. Only when the read-back itself fails is
-/// the outcome unknown; the log then resynchronizes from the device before
-/// the next append, so the durable history stays append-only either way.
-///
-/// Page layout:   [u32 used][PageId next][records...]
-/// Record layout: [u8 type][u16 len][u32 checksum][payload]
-class AdLog {
+/// The AD file's write-ahead log. Since the unified-WAL refactor this is a
+/// thin configuration of storage::WriteAheadLog: write-through appends (an
+/// AD intent must be durable when Append returns), cost attribution under
+/// Component::kAdLog, and — when the caller supplies a shared LsnAllocator
+/// — LSNs drawn from the same space as the system's redo WAL, so AD-log
+/// records and transaction-log records sit in one total order. All
+/// mechanics (checksummed records, torn-tail detection, read-back adoption
+/// of ambiguous writes, resync-from-device) live in the base class; see
+/// storage/wal.h.
+class AdLog : public storage::WriteAheadLog {
  public:
-  /// type, payload, payload length; return false to stop the scan.
-  using Visitor = std::function<bool(uint8_t, const uint8_t*, uint16_t)>;
-
-  explicit AdLog(storage::DiskInterface* disk);
-  ~AdLog();
-
-  AdLog(const AdLog&) = delete;
-  AdLog& operator=(const AdLog&) = delete;
-
-  /// Appends one record and writes the tail page through to disk. The
-  /// record is durable (will be seen by Scan after a crash) iff this
-  /// returns OK — except when the device fails both the write and the
-  /// read-back probe, in which case the record's fate is unknown until the
-  /// next successful Scan; callers treat such a transaction as unresolved
-  /// and consult the recovered log.
-  Status Append(uint8_t type, const uint8_t* payload, uint16_t len);
-
-  /// Replays every durable record in append order. Stops early (OK) at a
-  /// torn tail, reporting it through `torn_tail` when non-null.
-  Status Scan(const Visitor& visit, bool* torn_tail = nullptr) const;
-
-  /// Logically empties the log: writes a fresh empty head page first, then
-  /// frees the remainder of the old chain. A crash in between leaves an
-  /// empty log plus leaked pages — never a partially-truncated history.
-  Status Truncate();
-
-  /// Records acknowledged since construction or the last Truncate.
-  /// In-memory bookkeeping (informational; Scan is the durable source of
-  /// truth).
-  size_t record_count() const { return record_count_; }
-  size_t page_count() const { return chain_.size(); }
-
-  /// Largest payload a record can carry on this disk's page size.
-  uint16_t max_payload() const;
+  explicit AdLog(storage::DiskInterface* disk,
+                 storage::LsnAllocator* lsns = nullptr)
+      : WriteAheadLog(disk, MakeOptions(lsns)) {}
 
  private:
-  static constexpr uint32_t kUsedOff = 0;
-  static constexpr uint32_t kNextOff = 4;
-  static constexpr uint32_t kHeaderSize = 8;
-  static constexpr uint32_t kRecordHeader = 7;  // u8 type + u16 len + u32 sum
-
-  static uint32_t Checksum(uint8_t type, const uint8_t* payload, uint16_t len);
-
-  /// Writes an empty page header into `page`.
-  void InitHeader(storage::Page* page) const;
-
-  /// Serializes one record into `page` at `off`.
-  void PutRecord(storage::Page* page, uint32_t off, uint8_t type,
-                 const uint8_t* payload, uint16_t len) const;
-
-  /// Walks `page`'s records by checksum, returning the offset one past the
-  /// last valid record and how many were valid.
-  void DurableEnd(const storage::Page& page, uint32_t* end,
-                  size_t* count) const;
-
-  /// Re-reads the durable tail (following any link an ambiguous failure may
-  /// have landed) and adopts it as the in-memory tail image.
-  Status ResyncTail();
-
-  storage::DiskInterface* disk_;
-  std::vector<storage::PageId> chain_;  ///< head first; tail is open
-  storage::Page tail_;                  ///< in-memory copy of the tail page
-  uint32_t tail_used_ = kHeaderSize;
-  size_t record_count_ = 0;
-  /// True when a failed write could not be read back: the in-memory tail
-  /// may disagree with the device and must resync before the next append.
-  bool tail_dirty_ = false;
+  static storage::WriteAheadLog::Options MakeOptions(
+      storage::LsnAllocator* lsns) {
+    storage::WriteAheadLog::Options options;
+    options.auto_sync = true;
+    options.lsn_allocator = lsns;
+    options.component = storage::Component::kAdLog;
+    return options;
+  }
 };
 
 }  // namespace viewmat::hr

@@ -1,7 +1,6 @@
 #include "sim/fault_sweep.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -10,13 +9,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/random.h"
-#include "db/catalog.h"
-#include "hr/ad_file.h"
-#include "storage/buffer_pool.h"
-#include "storage/disk.h"
 #include "storage/faulty_disk.h"
-#include "view/deferred.h"
-#include "view/view_def.h"
 #include "workload/workload.h"
 
 namespace viewmat::sim {
@@ -27,10 +20,8 @@ using costmodel::Params;
 using storage::CrashPoint;
 using workload::Scenario;
 
-/// A counted multiset of view values, the common currency of every check.
-using ViewMultiset = std::map<db::Tuple, int64_t>;
-
-/// The crash points a run may script, in announcement order.
+/// The protocol crash points an AD-journaled run may script, in
+/// announcement order.
 constexpr CrashPoint kScriptablePoints[] = {
     CrashPoint::kBeforeWalAppend, CrashPoint::kAfterWalAppend,
     CrashPoint::kBeforeViewPatch, CrashPoint::kMidViewPatch,
@@ -38,160 +29,6 @@ constexpr CrashPoint kScriptablePoints[] = {
     CrashPoint::kMidFold,         CrashPoint::kBeforeAdReset,
     CrashPoint::kMidAdReset,
 };
-
-Params TortureParams(const Params& base) {
-  Params p = base;
-  p.N = 96;
-  p.S = 64;
-  p.B = 512;
-  p.n = 16;
-  p.k = 24;
-  p.l = 4;
-  p.q = 8;
-  p.f = 0.5;
-  p.f_v = 0.5;
-  p.f_R2 = 0.25;
-  return p;
-}
-
-hr::AdFile::Options TortureAdOptions(const Params& params) {
-  hr::AdFile::Options options;
-  const double expected = std::max(2.0 * params.u(), 64.0);
-  options.expected_keys = static_cast<size_t>(expected);
-  options.hash_buckets = static_cast<uint32_t>(
-      std::max(2.0, 2.0 * params.u() / params.T() + 1.0));
-  options.enable_wal = true;
-  return options;
-}
-
-/// Everything one torture run owns. The FaultyDisk wraps the simulated
-/// device so every layer above — buffer pool, B+-trees, AD log — sees the
-/// injected failures through the production interface.
-struct TortureInstance {
-  TortureInstance(const Params& params, uint64_t seed)
-      : tracker(params.C1, params.C2, params.C3),
-        inner(static_cast<uint32_t>(params.B), &tracker),
-        disk(&inner, seed),
-        pool(&disk, 128),
-        catalog(&pool) {}
-
-  storage::CostTracker tracker;
-  storage::SimulatedDisk inner;
-  storage::FaultyDisk disk;
-  storage::BufferPool pool;
-  db::Catalog catalog;
-};
-
-/// The harness's own shadow of the updated relation. Scenario's oracle
-/// mutates when a transaction is *generated*; the torture run must only
-/// advance its oracle when the strategy *acknowledged* the transaction, so
-/// it keeps its own copy of the one mutable column.
-struct ShadowOracle {
-  int64_t n = 0;
-  int64_t f_cut = 0;  ///< keys < f_cut satisfy the view predicate
-  std::vector<int64_t> k2;  ///< immutable join column
-  std::vector<double> v;    ///< the updated payload
-  std::vector<double> w_by_r2_key;
-
-  db::Tuple BaseTuple(int64_t key) const {
-    return db::Tuple({db::Value(key), db::Value(k2[key]), db::Value(v[key]),
-                      db::Value(std::string("x"))});
-  }
-};
-
-ShadowOracle MakeShadow(const Scenario& scenario) {
-  ShadowOracle shadow;
-  shadow.n = scenario.n();
-  shadow.f_cut = scenario.ViewTupleCount();
-  shadow.k2.resize(shadow.n);
-  shadow.v.resize(shadow.n);
-  for (int64_t key = 0; key < shadow.n; ++key) {
-    const db::Tuple t = scenario.BaseTuple(key);
-    shadow.k2[key] = t.at(Scenario::kFieldK2).AsInt64();
-    shadow.v[key] = t.at(Scenario::kFieldV).AsDouble();
-  }
-  shadow.w_by_r2_key.resize(scenario.r2_count());
-  for (int64_t key = 0; key < scenario.r2_count(); ++key) {
-    shadow.w_by_r2_key[key] = scenario.R2Tuple(key).at(1).AsDouble();
-  }
-  return shadow;
-}
-
-/// The view value the shadow predicts for a base key, or nullopt-equivalent
-/// (returns false) when the key is outside the view.
-bool ShadowViewTuple(const ShadowOracle& shadow, int model, int64_t key,
-                     db::Tuple* out) {
-  if (key < 0 || key >= shadow.f_cut) return false;
-  if (model == 1) {
-    // Projection (k1, v) of the select-project definition.
-    *out = db::Tuple({db::Value(key), db::Value(shadow.v[key])});
-    return true;
-  }
-  // Join projection (k1, v) ++ (r2key, w).
-  const int64_t r2key = shadow.k2[key];
-  *out = db::Tuple({db::Value(key), db::Value(shadow.v[key]),
-                    db::Value(r2key), db::Value(shadow.w_by_r2_key[r2key])});
-  return true;
-}
-
-ViewMultiset ExpectedRange(const ShadowOracle& shadow, int model, int64_t lo,
-                           int64_t hi) {
-  ViewMultiset expected;
-  const int64_t from = std::max<int64_t>(lo, 0);
-  const int64_t to = std::min<int64_t>(hi, shadow.f_cut - 1);
-  for (int64_t key = from; key <= to; ++key) {
-    db::Tuple value;
-    if (ShadowViewTuple(shadow, model, key, &value)) expected[value] += 1;
-  }
-  return expected;
-}
-
-view::SelectProjectDef MakeSpDef(Scenario* scenario, db::Relation* base) {
-  view::SelectProjectDef def;
-  def.base = base;
-  def.predicate = scenario->ViewPredicate();
-  def.projection = {Scenario::kFieldK1, Scenario::kFieldV};
-  def.view_key_field = 0;
-  return def;
-}
-
-view::JoinDef MakeJoinDef(Scenario* scenario, db::Relation* r1,
-                          db::Relation* r2) {
-  view::JoinDef def;
-  def.r1 = r1;
-  def.r2 = r2;
-  def.cf = scenario->ViewPredicate();
-  def.r1_join_field = Scenario::kFieldK2;
-  def.r1_projection = {Scenario::kFieldK1, Scenario::kFieldV};
-  def.r2_projection = {0, 1};
-  def.view_key_field = 0;
-  return def;
-}
-
-/// From-scratch recompute of the view over the (folded) base relation,
-/// bypassing the strategy entirely — the independent half of the golden
-/// invariant.
-Status RecomputeFromBase(int model, const view::SelectProjectDef& sp,
-                         const view::JoinDef& join, db::Relation* rel,
-                         ViewMultiset* out) {
-  out->clear();
-  Status inner = Status::OK();
-  VIEWMAT_RETURN_IF_ERROR(rel->Scan([&](const db::Tuple& t) {
-    db::Tuple value;
-    if (model == 1) {
-      if (sp.MapTuple(t, &value)) (*out)[value] += 1;
-      return true;
-    }
-    auto mapped = join.MapTuple(t, &value, nullptr);
-    if (!mapped.ok()) {
-      inner = mapped.status();
-      return false;
-    }
-    if (*mapped) (*out)[value] += 1;
-    return true;
-  }));
-  return inner;
-}
 
 uint64_t RunSeed(uint64_t base, size_t rate_idx, int run_idx) {
   uint64_t x = base ^ (0x9e3779b97f4a7c15ull * (rate_idx + 1));
@@ -211,45 +48,35 @@ Status RunOne(const FaultSweepOptions& options, const Params& params,
               double fault_rate, uint64_t run_seed, FaultSweepCell* cell,
               RunOutcome* outcome) {
   Random rng(run_seed);
-  TortureInstance inst(params, run_seed);
-  Scenario scenario(params, run_seed);
 
-  // Load the database and build the strategy with a healthy device.
-  VIEWMAT_ASSIGN_OR_RETURN(
-      db::Relation * rel,
-      scenario.LoadBase(&inst.catalog, "R", db::AccessMethod::kClusteredBTree));
-  db::Relation* r2 = nullptr;
-  if (options.model == 2) {
-    VIEWMAT_ASSIGN_OR_RETURN(r2, scenario.LoadR2(&inst.catalog, "R2"));
-  }
-  const view::SelectProjectDef sp_def =
-      options.model == 1 ? MakeSpDef(&scenario, rel) : view::SelectProjectDef();
-  const view::JoinDef join_def = options.model == 2
-                                     ? MakeJoinDef(&scenario, rel, r2)
-                                     : view::JoinDef();
-  std::unique_ptr<view::DeferredStrategy> strategy;
-  if (options.model == 1) {
-    strategy = std::make_unique<view::DeferredStrategy>(
-        sp_def, TortureAdOptions(params), &inst.tracker);
-  } else {
-    strategy = std::make_unique<view::DeferredStrategy>(
-        join_def, TortureAdOptions(params), &inst.tracker);
-  }
-  VIEWMAT_RETURN_IF_ERROR(strategy->InitializeFromBase());
-  VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAll());
+  StrategyDriver::Options dopt;
+  dopt.kind = options.strategy;
+  dopt.model = options.model;
+  dopt.params = params;
+  dopt.seed = run_seed;
+  VIEWMAT_ASSIGN_OR_RETURN(std::unique_ptr<StrategyDriver> driver,
+                           StrategyDriver::Create(dopt));
+  storage::FaultyDisk& disk = *driver->disk();
+  ShadowOracle shadow = MakeShadow(*driver->scenario());
 
-  ShadowOracle shadow = MakeShadow(scenario);
-
-  // Arm the failure model.
-  inst.disk.set_read_fault_rate(fault_rate);
-  inst.disk.set_write_fault_rate(fault_rate);
-  inst.disk.set_torn_writes(true);
-  inst.disk.set_max_faults(options.fault_budget);
+  // Arm the failure model (the driver loaded everything healthy).
+  disk.set_read_fault_rate(fault_rate);
+  disk.set_write_fault_rate(fault_rate);
+  disk.set_torn_writes(true);
+  disk.set_max_faults(options.fault_budget);
   if (options.scripted_crashes) {
-    const size_t which = static_cast<size_t>(
-        rng.Uniform(sizeof(kScriptablePoints) / sizeof(kScriptablePoints[0])));
-    inst.disk.ScriptCrash(kScriptablePoints[which],
-                          /*occurrence=*/1 + rng.Uniform(2));
+    const bool journaled = options.strategy == StrategyKind::kDeferred ||
+                           options.strategy == StrategyKind::kHybrid;
+    // Journaled strategies alternate between protocol-point crashes and
+    // raw disk-op crashes; the RM-committing ones only announce disk ops.
+    if (journaled && rng.Uniform(2) == 0) {
+      const size_t which = static_cast<size_t>(rng.Uniform(
+          sizeof(kScriptablePoints) / sizeof(kScriptablePoints[0])));
+      disk.ScriptCrash(kScriptablePoints[which],
+                       /*occurrence=*/1 + rng.Uniform(2));
+    } else {
+      disk.ScriptCrashAtOp(1 + rng.Uniform(256));
+    }
   }
 
   const int64_t l = static_cast<int64_t>(params.l);
@@ -257,7 +84,7 @@ Status RunOne(const FaultSweepOptions& options, const Params& params,
     const bool is_query =
         options.query_every > 0 && (op % options.query_every) ==
                                        (options.query_every - 1);
-    if (inst.disk.crashed()) inst.disk.Restart();
+    if (disk.crashed()) disk.Restart();
     if (!is_query) {
       // One update transaction: l victims, each getting a fresh v. The
       // shadow advances only if the transaction durably committed. An
@@ -277,26 +104,30 @@ Status RunOne(const FaultSweepOptions& options, const Params& params,
         old_t.at(Scenario::kFieldV) = db::Value(old_v);
         db::Tuple new_t = old_t;
         new_t.at(Scenario::kFieldV) = db::Value(new_v);
-        txn.Update(rel, old_t, new_t);
+        txn.Update(driver->base(), old_t, new_t);
         staged[key] = new_v;
       }
-      const uint64_t seq_before = strategy->txn_seq();
-      const Status st = strategy->OnTransaction(txn);
+      const uint64_t seq_before = driver->txn_seq();
+      const Status st = driver->OnTransaction(txn);
       bool committed = st.ok();
       if (!st.ok()) {
-        if (strategy->txn_seq() == seq_before) {
+        if (driver->txn_seq() == seq_before) {
           // Rejected before a transaction id was even issued: no commit
-          // record can exist.
+          // record can exist. Best-effort recovery keeps the system live
+          // (an RM-committing strategy refuses work after a failed apply
+          // until Recover() completes the interrupted transaction).
           ++outcome->rejected_txns;
+          if (disk.crashed()) disk.Restart();
+          (void)driver->Recover();
         } else {
           // Ambiguous: recover until the log can be read (the fault budget
           // guarantees eventual success) and let the durable commit record
           // decide.
-          const uint64_t id = strategy->txn_seq();
+          const uint64_t id = driver->txn_seq();
           bool resolved = false;
           for (int attempt = 0; attempt < 1000; ++attempt) {
-            if (inst.disk.crashed()) inst.disk.Restart();
-            if (strategy->Recover().ok()) {
+            if (disk.crashed()) disk.Restart();
+            if (driver->Recover().ok()) {
               resolved = true;
               break;
             }
@@ -305,7 +136,7 @@ Status RunOne(const FaultSweepOptions& options, const Params& params,
             outcome->corrupt = true;  // healthy-budget recovery must succeed
             break;
           }
-          committed = strategy->committed_txn_high_water() >= id;
+          committed = driver->committed_txn_high_water() >= id;
           if (!committed) ++outcome->rejected_txns;
         }
       }
@@ -318,7 +149,7 @@ Status RunOne(const FaultSweepOptions& options, const Params& params,
           lo + static_cast<int64_t>(rng.Uniform(std::max<int64_t>(
                    1, shadow.n / 2)));
       ViewMultiset got;
-      const Status st = strategy->Query(
+      const Status st = driver->Query(
           lo, hi, [&](const db::Tuple& value, int64_t count) {
             got[value] += count;
             return true;
@@ -334,45 +165,53 @@ Status RunOne(const FaultSweepOptions& options, const Params& params,
 
   // Disarm everything and converge: with a healthy device, recovery plus a
   // final refresh must always succeed.
-  inst.disk.ClearFaults();
-  if (inst.disk.crashed()) inst.disk.Restart();
-  Status converged = Status::OK();
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    converged = strategy->Refresh();
-    if (converged.ok()) break;
+  disk.ClearFaults();
+  if (disk.crashed()) disk.Restart();
+  Status converged = Status::Internal("not attempted");
+  for (int attempt = 0; attempt < 4 && !converged.ok(); ++attempt) {
+    converged = driver->Converge();
   }
-  if (!converged.ok() || strategy->stale() || strategy->pending_tuples() != 0) {
+  if (!converged.ok()) {
     outcome->corrupt = true;
   } else {
-    // Golden invariant, checked three ways: the materialized view must
+    // Golden invariant, checked three ways: the strategy's answer must
     // equal the shadow oracle AND a from-scratch recompute over the folded
-    // base relation.
-    ViewMultiset view_contents;
-    Status scan = strategy->view()->ScanAll(
-        [&](const db::Tuple& value, int64_t count) {
-          view_contents[value] += count;
-          return true;
-        });
+    // base relation — and the base itself must hold exactly the committed
+    // state.
+    ViewMultiset answered;
+    Status scan = driver->Query(0, shadow.n - 1,
+                                [&](const db::Tuple& value, int64_t count) {
+                                  answered[value] += count;
+                                  return true;
+                                });
     ViewMultiset recomputed;
     if (scan.ok()) {
-      scan = RecomputeFromBase(options.model, sp_def, join_def, rel,
+      scan = RecomputeFromBase(options.model, driver->sp_def(),
+                               driver->join_def(), driver->base(),
                                &recomputed);
     }
+    ViewMultiset base_contents;
+    if (scan.ok()) scan = driver->VisibleBase(&base_contents);
     if (!scan.ok()) {
       outcome->corrupt = true;
     } else {
       const ViewMultiset expected = ExpectedRange(
           shadow, options.model, 0, shadow.n - 1);
-      if (view_contents != expected || recomputed != expected) {
+      ViewMultiset expected_base;
+      for (int64_t key = 0; key < shadow.n; ++key) {
+        expected_base[shadow.BaseTuple(key)] += 1;
+      }
+      if (answered != expected || recomputed != expected ||
+          base_contents != expected_base) {
         outcome->corrupt = true;
       }
     }
   }
 
-  cell->faults_injected += inst.disk.faults_injected();
-  cell->crashes += inst.disk.crashes();
-  cell->recoveries += strategy->recoveries();
-  cell->degraded_queries += strategy->degraded_queries();
+  cell->faults_injected += disk.faults_injected();
+  cell->crashes += disk.crashes();
+  cell->recoveries += driver->recoveries();
+  cell->degraded_queries += driver->degraded_queries();
   return Status::OK();
 }
 

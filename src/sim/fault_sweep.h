@@ -7,16 +7,18 @@
 
 #include "common/status.h"
 #include "costmodel/params.h"
+#include "sim/strategy_driver.h"
 
 namespace viewmat::sim {
 
 /// Knobs for the crash-safety torture sweep: Model 1 (select-project) or
-/// Model 2 (join) workloads driven through the crash-safe deferred strategy
-/// on a FaultyDisk, under increasing fault rates and scripted protocol
-/// crashes.
+/// Model 2 (join) workloads driven through any maintenance strategy on a
+/// FaultyDisk, under increasing fault rates and scripted crashes.
 struct FaultSweepOptions {
   uint64_t seed = 42;
-  /// 1 = select-project view, 2 = join view.
+  /// Which maintenance strategy absorbs the faults.
+  StrategyKind strategy = StrategyKind::kDeferred;
+  /// 1 = select-project view, 2 = join view (qm/immediate/deferred only).
   int model = 1;
   /// Worker threads for the sweep (1 = serial, 0 = one per core). Every
   /// run derives its seed from (sweep seed, rate index, run index) and
@@ -34,7 +36,9 @@ struct FaultSweepOptions {
   /// Fault budget per run (crashes included) so every run provably
   /// converges once the budget is spent. 0 = unlimited.
   uint64_t fault_budget = 40;
-  /// Arm one scripted crash at a random protocol point each run.
+  /// Arm one scripted crash per run: at a random protocol point for the
+  /// AD-journaled strategies (deferred/hybrid), at a random disk operation
+  /// for the RecoveryManager-committing ones.
   bool scripted_crashes = true;
   /// Base parameter set; when shrink_params is set the shape fields are
   /// overridden with a small torture-sized database.
@@ -67,12 +71,13 @@ struct FaultSweepResult {
   std::string ToString() const;
 };
 
-/// Drives runs_per_rate seeded workloads per fault rate through the
-/// crash-safe deferred strategy, injecting transient faults, torn writes,
-/// and scripted crashes; verifies every successful query against a shadow
+/// Drives runs_per_rate seeded workloads per fault rate through the chosen
+/// maintenance strategy, injecting transient faults, torn writes, and
+/// scripted crashes; verifies every successful query against a shadow
 /// oracle, and after disarming the faults verifies the golden invariant:
-/// the refreshed view equals both the oracle and a from-scratch recompute
-/// over the folded base relation.
+/// the converged answer equals the oracle, a from-scratch recompute over
+/// the folded base relation, and the base itself equals the oracle's
+/// committed state.
 StatusOr<FaultSweepResult> SimulateFaultSweep(const FaultSweepOptions& options);
 
 }  // namespace viewmat::sim

@@ -1,0 +1,369 @@
+#include "sim/strategy_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace viewmat::sim {
+
+using costmodel::Params;
+using workload::Scenario;
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kQueryModification: return "query-modification";
+    case StrategyKind::kImmediate: return "immediate";
+    case StrategyKind::kDeferred: return "deferred";
+    case StrategyKind::kSnapshot: return "snapshot";
+    case StrategyKind::kRecomputeOnChange: return "recompute-on-change";
+    case StrategyKind::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+StatusOr<StrategyKind> ParseStrategyKind(const std::string& name) {
+  for (StrategyKind kind : kAllStrategyKinds) {
+    if (name == StrategyKindName(kind)) return kind;
+  }
+  if (name == "qm") return StrategyKind::kQueryModification;
+  if (name == "recompute") return StrategyKind::kRecomputeOnChange;
+  return Status::InvalidArgument("unknown strategy '" + name + "'");
+}
+
+Params TortureParams(const Params& base) {
+  Params p = base;
+  p.N = 96;
+  p.S = 64;
+  p.B = 512;
+  p.n = 16;
+  p.k = 24;
+  p.l = 4;
+  p.q = 8;
+  p.f = 0.5;
+  p.f_v = 0.5;
+  p.f_R2 = 0.25;
+  return p;
+}
+
+hr::AdFile::Options TortureAdOptions(const Params& params,
+                                     storage::LsnAllocator* lsns) {
+  hr::AdFile::Options options;
+  const double expected = std::max(2.0 * params.u(), 64.0);
+  options.expected_keys = static_cast<size_t>(expected);
+  options.hash_buckets = static_cast<uint32_t>(
+      std::max(2.0, 2.0 * params.u() / params.T() + 1.0));
+  options.enable_wal = true;
+  options.lsn_allocator = lsns;
+  return options;
+}
+
+ShadowOracle MakeShadow(const Scenario& scenario) {
+  ShadowOracle shadow;
+  shadow.n = scenario.n();
+  shadow.f_cut = scenario.ViewTupleCount();
+  shadow.k2.resize(shadow.n);
+  shadow.v.resize(shadow.n);
+  for (int64_t key = 0; key < shadow.n; ++key) {
+    const db::Tuple t = scenario.BaseTuple(key);
+    shadow.k2[key] = t.at(Scenario::kFieldK2).AsInt64();
+    shadow.v[key] = t.at(Scenario::kFieldV).AsDouble();
+  }
+  shadow.w_by_r2_key.resize(scenario.r2_count());
+  for (int64_t key = 0; key < scenario.r2_count(); ++key) {
+    shadow.w_by_r2_key[key] = scenario.R2Tuple(key).at(1).AsDouble();
+  }
+  return shadow;
+}
+
+bool ShadowViewTuple(const ShadowOracle& shadow, int model, int64_t key,
+                     db::Tuple* out) {
+  if (key < 0 || key >= shadow.f_cut) return false;
+  if (model == 1) {
+    // Projection (k1, v) of the select-project definition.
+    *out = db::Tuple({db::Value(key), db::Value(shadow.v[key])});
+    return true;
+  }
+  // Join projection (k1, v) ++ (r2key, w).
+  const int64_t r2key = shadow.k2[key];
+  *out = db::Tuple({db::Value(key), db::Value(shadow.v[key]),
+                    db::Value(r2key), db::Value(shadow.w_by_r2_key[r2key])});
+  return true;
+}
+
+ViewMultiset ExpectedRange(const ShadowOracle& shadow, int model, int64_t lo,
+                           int64_t hi) {
+  ViewMultiset expected;
+  const int64_t from = std::max<int64_t>(lo, 0);
+  const int64_t to = std::min<int64_t>(hi, shadow.f_cut - 1);
+  for (int64_t key = from; key <= to; ++key) {
+    db::Tuple value;
+    if (ShadowViewTuple(shadow, model, key, &value)) expected[value] += 1;
+  }
+  return expected;
+}
+
+view::SelectProjectDef MakeSpDef(Scenario* scenario, db::Relation* base) {
+  view::SelectProjectDef def;
+  def.base = base;
+  def.predicate = scenario->ViewPredicate();
+  def.projection = {Scenario::kFieldK1, Scenario::kFieldV};
+  def.view_key_field = 0;
+  return def;
+}
+
+view::JoinDef MakeJoinDef(Scenario* scenario, db::Relation* r1,
+                          db::Relation* r2) {
+  view::JoinDef def;
+  def.r1 = r1;
+  def.r2 = r2;
+  def.cf = scenario->ViewPredicate();
+  def.r1_join_field = Scenario::kFieldK2;
+  def.r1_projection = {Scenario::kFieldK1, Scenario::kFieldV};
+  def.r2_projection = {0, 1};
+  def.view_key_field = 0;
+  return def;
+}
+
+Status RecomputeFromBase(int model, const view::SelectProjectDef& sp,
+                         const view::JoinDef& join, db::Relation* rel,
+                         ViewMultiset* out) {
+  out->clear();
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(rel->Scan([&](const db::Tuple& t) {
+    db::Tuple value;
+    if (model == 1) {
+      if (sp.MapTuple(t, &value)) (*out)[value] += 1;
+      return true;
+    }
+    auto mapped = join.MapTuple(t, &value, nullptr);
+    if (!mapped.ok()) {
+      inner = mapped.status();
+      return false;
+    }
+    if (*mapped) (*out)[value] += 1;
+    return true;
+  }));
+  return inner;
+}
+
+StrategyDriver::StrategyDriver(const Options& options)
+    : options_(options),
+      tracker_(options.params.C1, options.params.C2, options.params.C3),
+      inner_(static_cast<uint32_t>(options.params.B), &tracker_),
+      disk_(&inner_, options.seed),
+      pool_(&disk_, 128),
+      catalog_(&pool_),
+      scenario_(options.params, options.seed) {}
+
+StatusOr<std::unique_ptr<StrategyDriver>> StrategyDriver::Create(
+    const Options& options) {
+  if (options.model != 1 && options.model != 2) {
+    return Status::InvalidArgument("strategy driver supports models 1 and 2");
+  }
+  if (options.model == 2 &&
+      options.kind != StrategyKind::kQueryModification &&
+      options.kind != StrategyKind::kImmediate &&
+      options.kind != StrategyKind::kDeferred) {
+    return Status::InvalidArgument(
+        std::string("model 2 is not supported by the ") +
+        StrategyKindName(options.kind) + " strategy");
+  }
+  std::unique_ptr<StrategyDriver> driver(new StrategyDriver(options));
+  VIEWMAT_RETURN_IF_ERROR(driver->Build());
+  return driver;
+}
+
+Status StrategyDriver::Build() {
+  // Load the database with a healthy device.
+  VIEWMAT_ASSIGN_OR_RETURN(
+      rel_,
+      scenario_.LoadBase(&catalog_, "R", db::AccessMethod::kClusteredBTree));
+  if (options_.model == 2) {
+    VIEWMAT_ASSIGN_OR_RETURN(r2_, scenario_.LoadR2(&catalog_, "R2"));
+  }
+  sp_def_ = options_.model == 1 ? MakeSpDef(&scenario_, rel_)
+                                : view::SelectProjectDef();
+  join_def_ = options_.model == 2 ? MakeJoinDef(&scenario_, rel_, r2_)
+                                  : view::JoinDef();
+
+  // The recovery manager exists for every strategy: the RM-committing ones
+  // route their transactions through it; deferred/hybrid only borrow its
+  // LSN allocator so their AD logs join the unified LSN space.
+  db::RecoveryManager::Options rm_options;
+  rm_options.checkpoint_every = options_.checkpoint_every;
+  recovery_ = std::make_unique<db::RecoveryManager>(&pool_, rm_options);
+  recovery_->Register(rel_);
+  if (r2_ != nullptr) recovery_->Register(r2_);
+  storage::LsnAllocator* lsns = recovery_->wal()->lsn_allocator();
+
+  switch (options_.kind) {
+    case StrategyKind::kQueryModification:
+      if (options_.model == 1) {
+        qm_sp_ =
+            std::make_unique<view::QmSelectProjectStrategy>(sp_def_, &tracker_);
+        qm_sp_->AttachRecovery(recovery_.get());
+      } else {
+        qm_join_ = std::make_unique<view::QmJoinStrategy>(join_def_, &tracker_);
+        qm_join_->AttachRecovery(recovery_.get());
+      }
+      break;
+    case StrategyKind::kImmediate:
+      immediate_ =
+          options_.model == 1
+              ? std::make_unique<view::ImmediateStrategy>(sp_def_, &tracker_)
+              : std::make_unique<view::ImmediateStrategy>(join_def_, &tracker_);
+      immediate_->AttachRecovery(recovery_.get());
+      VIEWMAT_RETURN_IF_ERROR(immediate_->InitializeFromBase());
+      break;
+    case StrategyKind::kDeferred:
+      deferred_ =
+          options_.model == 1
+              ? std::make_unique<view::DeferredStrategy>(
+                    sp_def_, TortureAdOptions(options_.params, lsns), &tracker_)
+              : std::make_unique<view::DeferredStrategy>(
+                    join_def_, TortureAdOptions(options_.params, lsns),
+                    &tracker_);
+      VIEWMAT_RETURN_IF_ERROR(deferred_->InitializeFromBase());
+      break;
+    case StrategyKind::kSnapshot: {
+      // Refresh before every query: the torture oracle demands exact
+      // answers, so the staleness the snapshot scheme normally tolerates is
+      // configured away and only its crash behavior is under test.
+      view::SnapshotStrategy::Options snap_options;
+      snap_options.refresh_every_queries = 1;
+      snapshot_ = std::make_unique<view::SnapshotStrategy>(
+          sp_def_, snap_options, &tracker_);
+      snapshot_->AttachRecovery(recovery_.get());
+      VIEWMAT_RETURN_IF_ERROR(snapshot_->InitializeFromBase());
+      break;
+    }
+    case StrategyKind::kRecomputeOnChange:
+      recompute_ = std::make_unique<view::RecomputeOnChangeStrategy>(
+          sp_def_, &tracker_);
+      recompute_->AttachRecovery(recovery_.get());
+      VIEWMAT_RETURN_IF_ERROR(recompute_->InitializeFromBase());
+      break;
+    case StrategyKind::kHybrid:
+      hybrid_ = std::make_unique<view::HybridStrategy>(
+          sp_def_, TortureAdOptions(options_.params, lsns), &tracker_);
+      VIEWMAT_RETURN_IF_ERROR(hybrid_->InitializeFromBase());
+      break;
+  }
+  return pool_.FlushAll();
+}
+
+Status StrategyDriver::OnTransaction(const db::Transaction& txn) {
+  switch (options_.kind) {
+    case StrategyKind::kQueryModification:
+      return qm_sp_ != nullptr ? qm_sp_->OnTransaction(txn)
+                               : qm_join_->OnTransaction(txn);
+    case StrategyKind::kImmediate: return immediate_->OnTransaction(txn);
+    case StrategyKind::kDeferred: return deferred_->OnTransaction(txn);
+    case StrategyKind::kSnapshot: return snapshot_->OnTransaction(txn);
+    case StrategyKind::kRecomputeOnChange:
+      return recompute_->OnTransaction(txn);
+    case StrategyKind::kHybrid: return hybrid_->OnTransaction(txn);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status StrategyDriver::Query(int64_t lo, int64_t hi,
+                             const view::MaterializedView::CountedVisitor& visit) {
+  switch (options_.kind) {
+    case StrategyKind::kQueryModification:
+      return qm_sp_ != nullptr ? qm_sp_->Query(lo, hi, visit)
+                               : qm_join_->Query(lo, hi, visit);
+    case StrategyKind::kImmediate: return immediate_->Query(lo, hi, visit);
+    case StrategyKind::kDeferred: return deferred_->Query(lo, hi, visit);
+    case StrategyKind::kSnapshot:
+      // The torture oracle demands exact answers; refresh away the
+      // staleness the snapshot scheme normally tolerates so only its crash
+      // behavior (and the refresh path itself) is under test.
+      if (snapshot_->stale_transactions() > 0) {
+        VIEWMAT_RETURN_IF_ERROR(snapshot_->RefreshNow());
+      }
+      return snapshot_->Query(lo, hi, visit);
+    case StrategyKind::kRecomputeOnChange:
+      return recompute_->Query(lo, hi, visit);
+    case StrategyKind::kHybrid: return hybrid_->Query(lo, hi, visit);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status StrategyDriver::Recover() {
+  switch (options_.kind) {
+    case StrategyKind::kQueryModification:
+      return qm_sp_ != nullptr ? qm_sp_->Recover() : qm_join_->Recover();
+    case StrategyKind::kImmediate: return immediate_->Recover();
+    case StrategyKind::kDeferred: return deferred_->Recover();
+    case StrategyKind::kSnapshot: return snapshot_->Recover();
+    case StrategyKind::kRecomputeOnChange: return recompute_->Recover();
+    case StrategyKind::kHybrid: return hybrid_->Recover();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status StrategyDriver::Converge() {
+  VIEWMAT_RETURN_IF_ERROR(Recover());
+  switch (options_.kind) {
+    case StrategyKind::kDeferred: return deferred_->Refresh();
+    case StrategyKind::kHybrid: return hybrid_->Refresh();
+    case StrategyKind::kSnapshot: return snapshot_->RefreshNow();
+    default: return Status::OK();
+  }
+}
+
+uint64_t StrategyDriver::txn_seq() const {
+  switch (options_.kind) {
+    case StrategyKind::kDeferred: return deferred_->txn_seq();
+    case StrategyKind::kHybrid: return hybrid_->txn_seq();
+    default: return recovery_->txn_seq();
+  }
+}
+
+uint64_t StrategyDriver::committed_txn_high_water() const {
+  switch (options_.kind) {
+    case StrategyKind::kDeferred: return deferred_->committed_txn_high_water();
+    case StrategyKind::kHybrid: return hybrid_->committed_txn_high_water();
+    default: return recovery_->last_committed_txn();
+  }
+}
+
+Status StrategyDriver::VisibleBase(ViewMultiset* out) const {
+  out->clear();
+  const auto visit = [&](const db::Tuple& t) {
+    (*out)[t] += 1;
+    return true;
+  };
+  // Deferred and hybrid keep committed transactions in the differential
+  // until a fold; the hypothetical relation (base ∪ A − D) is what a reader
+  // is entitled to see.
+  constexpr int64_t kLo = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kHi = std::numeric_limits<int64_t>::max();
+  switch (options_.kind) {
+    case StrategyKind::kDeferred:
+      return deferred_->hypothetical()->RangeScanByKey(kLo, kHi, visit);
+    case StrategyKind::kHybrid:
+      return hybrid_->hypothetical()->RangeScanByKey(kLo, kHi, visit);
+    default: return rel_->Scan(visit);
+  }
+}
+
+uint64_t StrategyDriver::recoveries() const {
+  switch (options_.kind) {
+    case StrategyKind::kDeferred: return deferred_->recoveries();
+    case StrategyKind::kHybrid: return hybrid_->recoveries();
+    default: return recovery_->recoveries();
+  }
+}
+
+uint64_t StrategyDriver::degraded_queries() const {
+  return options_.kind == StrategyKind::kDeferred
+             ? deferred_->degraded_queries()
+             : 0;
+}
+
+}  // namespace viewmat::sim

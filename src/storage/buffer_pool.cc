@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/logging.h"
+#include "storage/wal.h"
 
 namespace viewmat::storage {
 
@@ -63,7 +64,8 @@ StatusOr<size_t> BufferPool::AcquireFrame() {
   Frame& fr = frames_[victim];
   VIEWMAT_DCHECK(fr.in_use && fr.pin_count == 0);
   if (fr.dirty) {
-    Status flushed = disk_->Write(fr.id, *fr.page);
+    Status flushed = EnforceWalRule(*fr.page);
+    if (flushed.ok()) flushed = disk_->Write(fr.id, *fr.page);
     if (!flushed.ok()) {
       // Re-link the victim before surfacing the error: it was already
       // popped from the LRU list, and returning with it unlinked leaves
@@ -141,10 +143,19 @@ void BufferPool::Unpin(size_t frame, PageId id) {
   }
 }
 
+Status BufferPool::EnforceWalRule(const Page& page) {
+  if (wal_ == nullptr || page.lsn() <= wal_->durable_lsn()) {
+    return Status::OK();
+  }
+  ++wal_syncs_forced_;
+  return wal_->Sync();
+}
+
 Status BufferPool::FlushAll() {
   const ScopedComponent tag(disk_->tracker(), Component::kBufferPool);
   for (Frame& fr : frames_) {
     if (fr.in_use && fr.dirty) {
+      VIEWMAT_RETURN_IF_ERROR(EnforceWalRule(*fr.page));
       VIEWMAT_RETURN_IF_ERROR(disk_->Write(fr.id, *fr.page));
       fr.dirty = false;
     }

@@ -14,6 +14,7 @@
 namespace viewmat::storage {
 
 class BufferPool;
+class WriteAheadLog;
 
 /// RAII pin on a buffered page. Access the bytes through page(); call
 /// MarkDirty() after modifying them. The pin is released (and the LRU
@@ -80,6 +81,22 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   DiskInterface* disk() { return disk_; }
 
+  /// Attaches the redo WAL this pool's pages are logged against. From then
+  /// on the pool enforces the WAL rule: before any dirty page is written
+  /// back (eviction or flush), if the page's LSN stamp exceeds the log's
+  /// durable LSN the log is synced first, so a page image never reaches the
+  /// device ahead of the records that produced it.
+  void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
+
+  /// Sets the LSN stamped onto pages dirtied from now on. Transactions call
+  /// this with their commit record's LSN before applying; 0 disables
+  /// stamping (unlogged mutations, the historical behavior).
+  void SetStampLsn(Lsn lsn) { stamp_lsn_ = lsn; }
+  Lsn stamp_lsn() const { return stamp_lsn_; }
+
+  /// WAL syncs forced by the write-back ordering rule (observability).
+  uint64_t wal_syncs_forced() const { return wal_syncs_forced_; }
+
  private:
   friend class PageGuard;
 
@@ -93,7 +110,15 @@ class BufferPool {
   };
 
   void Unpin(size_t frame, PageId id);
-  void MarkDirtyFrame(size_t frame) { frames_[frame].dirty = true; }
+  void MarkDirtyFrame(size_t frame) {
+    frames_[frame].dirty = true;
+    Page& page = *frames_[frame].page;
+    if (stamp_lsn_ > page.lsn()) page.set_lsn(stamp_lsn_);
+  }
+  /// WAL rule: syncs the attached log if `page` carries an LSN newer than
+  /// what the log has made durable. Called immediately before every dirty
+  /// write-back.
+  Status EnforceWalRule(const Page& page);
   /// Finds a frame for a new resident page, evicting the LRU unpinned frame
   /// if the pool is full.
   StatusOr<size_t> AcquireFrame();
@@ -104,6 +129,9 @@ class BufferPool {
   std::unordered_map<PageId, size_t> table_;
   std::list<size_t> lru_;  ///< unpinned frames, least-recently-used first
   std::vector<size_t> free_frames_;
+  WriteAheadLog* wal_ = nullptr;
+  Lsn stamp_lsn_ = 0;
+  uint64_t wal_syncs_forced_ = 0;
 };
 
 }  // namespace viewmat::storage

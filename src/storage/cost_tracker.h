@@ -25,8 +25,9 @@ enum class Component : uint8_t {
   kAdLog,       ///< the AD file's write-ahead log
   kBloom,       ///< Bloom screen upkeep (rebuilds)
   kBufferPool,  ///< explicit flush/evict traffic
+  kWal,         ///< the unified redo WAL (storage/wal.h)
 };
-inline constexpr size_t kNumComponents = 7;
+inline constexpr size_t kNumComponents = 8;
 
 inline const char* ComponentName(Component c) {
   switch (c) {
@@ -37,6 +38,7 @@ inline const char* ComponentName(Component c) {
     case Component::kAdLog: return "ad_log";
     case Component::kBloom: return "bloom";
     case Component::kBufferPool: return "buffer_pool";
+    case Component::kWal: return "wal";
   }
   return "unknown";
 }

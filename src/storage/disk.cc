@@ -40,6 +40,7 @@ Status SimulatedDisk::Read(PageId id, Page* out) {
   if (!IsLive(id)) return Status::InvalidArgument("reading non-live page");
   VIEWMAT_CHECK(out->size() == page_size_);
   out->WriteBytes(0, pages_[id]->data(), page_size_);
+  out->set_lsn(pages_[id]->lsn());
   tracker_->ChargeRead();
   return Status::OK();
 }
@@ -48,6 +49,7 @@ Status SimulatedDisk::Write(PageId id, const Page& in) {
   if (!IsLive(id)) return Status::InvalidArgument("writing non-live page");
   VIEWMAT_CHECK(in.size() == page_size_);
   pages_[id]->WriteBytes(0, in.data(), page_size_);
+  pages_[id]->set_lsn(in.lsn());
   tracker_->ChargeWrite();
   return Status::OK();
 }

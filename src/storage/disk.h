@@ -27,6 +27,7 @@ enum class CrashPoint : uint8_t {
   kMidFold,           ///< refresh: base deletes folded, inserts pending
   kBeforeAdReset,     ///< refresh: fold committed, AD file not yet reset
   kMidAdReset,        ///< refresh: AD hash cleared, log not yet truncated
+  kDiskOp,            ///< not announced: FaultyDisk::ScriptCrashAtOp fired
 };
 
 inline const char* CrashPointName(CrashPoint p) {
@@ -41,6 +42,7 @@ inline const char* CrashPointName(CrashPoint p) {
     case CrashPoint::kMidFold: return "mid-fold";
     case CrashPoint::kBeforeAdReset: return "before-ad-reset";
     case CrashPoint::kMidAdReset: return "mid-ad-reset";
+    case CrashPoint::kDiskOp: return "disk-op";
   }
   return "unknown";
 }

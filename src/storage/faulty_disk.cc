@@ -24,6 +24,26 @@ void FaultyDisk::ClearFaults() {
   write_fault_in_ = 0;
   scripted_point_ = CrashPoint::kNone;
   scripted_occurrence_ = 0;
+  crash_at_op_ = 0;
+}
+
+void FaultyDisk::ScriptCrashAtOp(uint64_t nth) {
+  VIEWMAT_CHECK(nth >= 1);
+  crash_at_op_ = op_count_ + nth;
+}
+
+Status FaultyDisk::OpTick() {
+  if (crashed_) return CrashedStatus();
+  ++op_count_;
+  if (crash_at_op_ != 0 && op_count_ >= crash_at_op_) {
+    crash_at_op_ = 0;
+    crashed_ = true;
+    crashed_at_ = CrashPoint::kDiskOp;
+    ++crashes_;
+    ++faults_injected_;
+    return CrashedStatus();
+  }
+  return Status::OK();
 }
 
 void FaultyDisk::ScriptCrash(CrashPoint point, uint64_t occurrence) {
@@ -53,12 +73,12 @@ Status FaultyDisk::AtCrashPoint(CrashPoint p) {
 }
 
 Status FaultyDisk::Free(PageId id) {
-  if (crashed_) return CrashedStatus();
+  VIEWMAT_RETURN_IF_ERROR(OpTick());
   return inner_->Free(id);
 }
 
 Status FaultyDisk::Read(PageId id, Page* out) {
-  if (crashed_) return CrashedStatus();
+  VIEWMAT_RETURN_IF_ERROR(OpTick());
   bool fail = false;
   if (read_fault_in_ > 0 && --read_fault_in_ == 0) fail = true;
   if (!fail && read_fault_rate_ > 0.0 && BudgetAllows() &&
@@ -73,7 +93,7 @@ Status FaultyDisk::Read(PageId id, Page* out) {
 }
 
 Status FaultyDisk::Write(PageId id, const Page& in) {
-  if (crashed_) return CrashedStatus();
+  VIEWMAT_RETURN_IF_ERROR(OpTick());
   bool fail = false;
   if (write_fault_in_ > 0 && --write_fault_in_ == 0) fail = true;
   if (!fail && write_fault_rate_ > 0.0 && BudgetAllows() &&

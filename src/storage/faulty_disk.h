@@ -71,6 +71,15 @@ class FaultyDisk : public DiskInterface {
   /// Crash the `occurrence`-th time `point` is announced (1 = next time).
   void ScriptCrash(CrashPoint point, uint64_t occurrence = 1);
 
+  /// Crash on the `nth` disk operation from now (1 = the very next one).
+  /// Reads, writes, and frees all count; the chosen operation fails with
+  /// the crash status, applies nothing, and the disk stays crashed until
+  /// Restart(). Unlike the protocol-point script this needs no
+  /// announcements from upper layers, so a sweep over nth = 1..op_count()
+  /// of a healthy run crashes the system at *every* disk operation — the
+  /// exhaustive schedule the crash-equivalence oracle drives.
+  void ScriptCrashAtOp(uint64_t nth);
+
   /// True once a crash fired; all I/O fails until Restart().
   bool crashed() const { return crashed_; }
   CrashPoint crash_point() const { return crashed_at_; }
@@ -83,12 +92,18 @@ class FaultyDisk : public DiskInterface {
   // --- Stats --------------------------------------------------------------
   uint64_t faults_injected() const { return faults_injected_; }
   uint64_t crashes() const { return crashes_; }
+  /// Disk operations (reads, writes, frees) attempted so far, including
+  /// ones that failed. The coordinate system ScriptCrashAtOp counts in.
+  uint64_t op_count() const { return op_count_; }
 
  private:
   bool BudgetAllows() const {
     return max_faults_ == 0 || faults_injected_ < max_faults_;
   }
   Status CrashedStatus() const;
+  /// Counts one disk operation; returns the crash status when the disk is
+  /// (or just became) crashed.
+  Status OpTick();
 
   DiskInterface* inner_;
   Random rng_;
@@ -102,6 +117,8 @@ class FaultyDisk : public DiskInterface {
 
   CrashPoint scripted_point_ = CrashPoint::kNone;
   uint64_t scripted_occurrence_ = 0;
+  uint64_t op_count_ = 0;
+  uint64_t crash_at_op_ = 0;  ///< absolute op number; 0 = not armed
   bool crashed_ = false;
   CrashPoint crashed_at_ = CrashPoint::kNone;
 

@@ -1,5 +1,6 @@
 #include "storage/hash_index.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -34,6 +35,7 @@ StatusOr<PageId> HashIndex::EnsurePrimary(uint32_t bucket) {
   pg.WriteAt<PageId>(kOverflowOff, kInvalidPageId);
   guard.MarkDirty();
   buckets_[bucket] = guard.id();
+  owned_pages_.push_back(guard.id());
   ++page_count_;
   return guard.id();
 }
@@ -70,6 +72,7 @@ Status HashIndex::Insert(int64_t key, const uint8_t* payload) {
     fresh.MarkDirty();
     pg.WriteAt<PageId>(kOverflowOff, fresh.id());
     guard.MarkDirty();
+    owned_pages_.push_back(fresh.id());
     ++page_count_;
     ++entry_count_;
     return Status::OK();
@@ -134,6 +137,8 @@ Status HashIndex::Delete(int64_t key, const Matcher& match) {
         pguard.MarkDirty();
         guard.Release();
         VIEWMAT_RETURN_IF_ERROR(pool_->DeletePage(cur));
+        owned_pages_.erase(
+            std::find(owned_pages_.begin(), owned_pages_.end(), cur));
         --page_count_;
       }
       return Status::OK();
@@ -185,21 +190,18 @@ Status HashIndex::ScanAll(const Visitor& visit) const {
 
 Status HashIndex::Clear() {
   const ScopedComponent tag(pool_->disk()->tracker(), Component::kHashIndex);
-  for (PageId& primary : buckets_) {
-    PageId cur = primary;
-    while (cur != kInvalidPageId) {
-      PageId next;
-      {
-        VIEWMAT_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cur));
-        next = guard.page().ReadAt<PageId>(kOverflowOff);
-      }
-      VIEWMAT_RETURN_IF_ERROR(pool_->DeletePage(cur));
-      --page_count_;
-      cur = next;
-    }
-    primary = kInvalidPageId;
-  }
+  // Empty the directory first so the index is logically clear even if a
+  // free below fails; the in-memory owned-page list is the sole authority
+  // on what to free (never the on-disk chain links — see owned_pages_).
+  // Popping only after a successful free makes a retried Clear resume
+  // exactly where a failed one stopped.
+  for (PageId& primary : buckets_) primary = kInvalidPageId;
   entry_count_ = 0;
+  while (!owned_pages_.empty()) {
+    VIEWMAT_RETURN_IF_ERROR(pool_->DeletePage(owned_pages_.back()));
+    owned_pages_.pop_back();
+    --page_count_;
+  }
   return Status::OK();
 }
 

@@ -77,6 +77,12 @@ class HashIndex {
   uint32_t payload_size_;
   uint32_t page_capacity_;
   std::vector<PageId> buckets_;  ///< primary page per bucket, lazily created
+  /// Every page this index has allocated and not yet freed. Clear() frees
+  /// exactly this list instead of walking the on-disk overflow chains: after
+  /// a crash a bucket page's durable link field may never have been written
+  /// (the initializing write can die in the buffer pool), and a stale link
+  /// would walk into — and free — pages owned by other structures.
+  std::vector<PageId> owned_pages_;
   size_t entry_count_ = 0;
   size_t page_count_ = 0;
 };

@@ -14,6 +14,12 @@ namespace viewmat::storage {
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 
+/// Log sequence number. 0 = "never logged"; real LSNs start at 1. Assigned
+/// by LsnAllocator (storage/wal.h) and stamped onto pages so the buffer
+/// pool can enforce the WAL rule: a dirty page never reaches the device
+/// before the log records that made it dirty.
+using Lsn = uint64_t;
+
 /// A fixed-size block of raw bytes with bounds-checked typed accessors.
 /// All on-disk structures (heap files, B+-tree nodes, hash buckets) are
 /// serialized into Page contents, so an I/O is always a whole-block
@@ -58,8 +64,16 @@ class Page {
 
   void Zero() { std::fill(bytes_.begin(), bytes_.end(), 0); }
 
+  /// LSN of the newest log record whose effect this page image carries.
+  /// Metadata alongside the bytes (the simulated device persists it with
+  /// the block); Zero() deliberately leaves it, since clearing content does
+  /// not un-happen the logged mutation.
+  Lsn lsn() const { return lsn_; }
+  void set_lsn(Lsn lsn) { lsn_ = lsn; }
+
  private:
   std::vector<uint8_t> bytes_;
+  Lsn lsn_ = 0;
 };
 
 /// Record identifier: a slot within a page.

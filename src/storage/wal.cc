@@ -1,43 +1,45 @@
-#include "hr/ad_log.h"
+#include "storage/wal.h"
 
 #include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
 
-namespace viewmat::hr {
+namespace viewmat::storage {
 
-using storage::kInvalidPageId;
-using storage::Page;
-using storage::PageId;
-
-AdLog::AdLog(storage::DiskInterface* disk)
-    : disk_(disk), tail_(disk->page_size()) {
+WriteAheadLog::WriteAheadLog(DiskInterface* disk, Options options)
+    : disk_(disk),
+      auto_sync_(options.auto_sync),
+      component_(options.component),
+      lsns_(options.lsn_allocator != nullptr ? options.lsn_allocator
+                                             : &owned_lsns_),
+      tail_(disk->page_size()) {
   VIEWMAT_CHECK(disk_ != nullptr);
   VIEWMAT_CHECK(disk_->page_size() >= kHeaderSize + kRecordHeader + 16);
   const PageId head = disk_->Allocate();
   InitHeader(&tail_);
   VIEWMAT_CHECK_MSG(disk_->Write(head, tail_).ok(),
-                    "AD log head page unwritable at construction");
+                    "WAL head page unwritable at construction");
   chain_.push_back(head);
 }
 
-AdLog::~AdLog() {
+WriteAheadLog::~WriteAheadLog() {
   for (const PageId id : chain_) (void)disk_->Free(id);
 }
 
-void AdLog::InitHeader(Page* page) const {
+void WriteAheadLog::InitHeader(Page* page) const {
   page->Zero();
   page->WriteAt<uint32_t>(kUsedOff, kHeaderSize);
   page->WriteAt<PageId>(kNextOff, kInvalidPageId);
 }
 
-uint16_t AdLog::max_payload() const {
+uint16_t WriteAheadLog::max_payload() const {
   return static_cast<uint16_t>(disk_->page_size() - kHeaderSize -
                                kRecordHeader);
 }
 
-uint32_t AdLog::Checksum(uint8_t type, const uint8_t* payload, uint16_t len) {
+uint32_t WriteAheadLog::Checksum(uint8_t type, uint16_t len, Lsn lsn,
+                                 const uint8_t* payload) {
   uint32_t h = 2166136261u;  // FNV-1a
   const auto mix = [&h](uint8_t b) {
     h ^= b;
@@ -46,39 +48,47 @@ uint32_t AdLog::Checksum(uint8_t type, const uint8_t* payload, uint16_t len) {
   mix(type);
   mix(static_cast<uint8_t>(len & 0xff));
   mix(static_cast<uint8_t>(len >> 8));
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix(static_cast<uint8_t>(lsn >> shift));
+  }
   for (uint16_t i = 0; i < len; ++i) mix(payload[i]);
   return h;
 }
 
-void AdLog::PutRecord(Page* page, uint32_t off, uint8_t type,
-                      const uint8_t* payload, uint16_t len) const {
+void WriteAheadLog::PutRecord(Page* page, uint32_t off, uint8_t type,
+                              const uint8_t* payload, uint16_t len,
+                              Lsn lsn) const {
   page->WriteAt<uint8_t>(off, type);
   page->WriteAt<uint16_t>(off + 1, len);
-  page->WriteAt<uint32_t>(off + 3, Checksum(type, payload, len));
+  page->WriteAt<Lsn>(off + 3, lsn);
+  page->WriteAt<uint32_t>(off + 11, Checksum(type, len, lsn, payload));
   if (len > 0) page->WriteBytes(off + kRecordHeader, payload, len);
 }
 
-void AdLog::DurableEnd(const Page& page, uint32_t* end, size_t* count) const {
+void WriteAheadLog::DurableEnd(const Page& page, uint32_t* end, size_t* count,
+                               Lsn* last) const {
   const uint32_t page_size = disk_->page_size();
   uint32_t off = kHeaderSize;
   *count = 0;
+  if (last != nullptr) *last = 0;
   while (off + kRecordHeader <= page_size) {
     const uint8_t type = page.ReadAt<uint8_t>(off);
     const uint16_t len = page.ReadAt<uint16_t>(off + 1);
-    const uint32_t sum = page.ReadAt<uint32_t>(off + 3);
+    const Lsn lsn = page.ReadAt<Lsn>(off + 3);
+    const uint32_t sum = page.ReadAt<uint32_t>(off + 11);
     if (off + kRecordHeader + len > page_size ||
-        sum != Checksum(type, page.data() + off + kRecordHeader, len)) {
+        sum != Checksum(type, len, lsn, page.data() + off + kRecordHeader)) {
       break;
     }
     off += kRecordHeader + len;
     ++*count;
+    if (last != nullptr) *last = lsn;
   }
   *end = off;
 }
 
-Status AdLog::ResyncTail() {
-  const storage::ScopedComponent tag(disk_->tracker(),
-                                     storage::Component::kAdLog);
+Status WriteAheadLog::ResyncTail() {
+  const ScopedComponent tag(disk_->tracker(), component_);
   // Walk the durable chain from the head — not from the in-memory tail,
   // which may be stale in either direction (a link write that landed
   // despite an error extends the chain; a truncate that landed despite an
@@ -90,6 +100,7 @@ Status AdLog::ResyncTail() {
   Page page(page_size);
   Page tail_image(page_size);
   size_t durable_records = 0;
+  Lsn durable_last = 0;
   PageId id = chain_.front();
   while (true) {
     if (std::find(durable_chain.begin(), durable_chain.end(), id) !=
@@ -106,10 +117,12 @@ Status AdLog::ResyncTail() {
     }
     uint32_t end = 0;
     size_t valid = 0;
-    DurableEnd(page, &end, &valid);
+    Lsn last = 0;
+    DurableEnd(page, &end, &valid, &last);
     if (!durable_chain.empty() && valid == 0) break;  // torn link target
     durable_chain.push_back(id);
     durable_records += valid;
+    if (last != 0) durable_last = last;
     tail_image = page;
     const PageId next = page.ReadAt<PageId>(kNextOff);
     if (next == kInvalidPageId) break;
@@ -126,33 +139,45 @@ Status AdLog::ResyncTail() {
   chain_ = std::move(durable_chain);
   uint32_t end = 0;
   size_t valid = 0;
-  DurableEnd(tail_image, &end, &valid);
+  DurableEnd(tail_image, &end, &valid, nullptr);
   // Scrub whatever follows the durable records so the next append rewrites
-  // clean bytes over any torn region.
+  // clean bytes over any torn region. Staged-but-unsynced records are
+  // dropped with it: their callers already saw an error, and the scan just
+  // decided their durable fate.
   std::memset(tail_image.data() + end, 0, page_size - end);
   tail_image.WriteAt<uint32_t>(kUsedOff, end);
   tail_ = std::move(tail_image);
   tail_used_ = end;
+  tail_synced_ = end;
+  pending_.clear();
   record_count_ = durable_records;
+  durable_lsn_ = durable_last;
+  if (durable_last > last_lsn_) last_lsn_ = durable_last;
+  lsns_->EnsureAtLeast(durable_last);
   tail_dirty_ = false;
   return Status::OK();
 }
 
-Status AdLog::Append(uint8_t type, const uint8_t* payload, uint16_t len) {
-  const storage::ScopedComponent tag(disk_->tracker(),
-                                     storage::Component::kAdLog);
+Status WriteAheadLog::Append(uint8_t type, const uint8_t* payload,
+                             uint16_t len, Lsn* out_lsn) {
+  const ScopedComponent tag(disk_->tracker(), component_);
   VIEWMAT_CHECK(len <= max_payload());
   if (tail_dirty_) VIEWMAT_RETURN_IF_ERROR(ResyncTail());
   const uint32_t need = kRecordHeader + len;
   const uint32_t page_size = disk_->page_size();
 
   if (tail_used_ + need > page_size) {
-    // Tail is full: place the record on a fresh page, write it, and only
-    // then link it from the old tail.
+    // Tail is full. Make any staged records durable first, then place the
+    // record on a fresh page, write it, and only then link it from the old
+    // tail — the rollover itself is always durable, even in buffered mode.
+    VIEWMAT_RETURN_IF_ERROR(SyncInternal());
+    const Lsn lsn = lsns_->Next();
+    last_lsn_ = lsn;
+    if (out_lsn != nullptr) *out_lsn = lsn;
     const PageId fresh = disk_->Allocate();
     Page next_page(page_size);
     InitHeader(&next_page);
-    PutRecord(&next_page, kHeaderSize, type, payload, len);
+    PutRecord(&next_page, kHeaderSize, type, payload, len, lsn);
     next_page.WriteAt<uint32_t>(kUsedOff, kHeaderSize + need);
     Status st = disk_->Write(fresh, next_page);
     if (!st.ok()) {
@@ -188,48 +213,96 @@ Status AdLog::Append(uint8_t type, const uint8_t* payload, uint16_t len) {
     chain_.push_back(fresh);
     tail_ = std::move(next_page);
     tail_used_ = kHeaderSize + need;
+    tail_synced_ = tail_used_;
     ++record_count_;
+    durable_lsn_ = lsn;
     return Status::OK();
   }
 
+  const Lsn lsn = lsns_->Next();
+  last_lsn_ = lsn;
+  if (out_lsn != nullptr) *out_lsn = lsn;
   const uint32_t off = tail_used_;
-  PutRecord(&tail_, off, type, payload, len);
+  PutRecord(&tail_, off, type, payload, len, lsn);
   tail_.WriteAt<uint32_t>(kUsedOff, off + need);
-  const Status st = disk_->Write(chain_.back(), tail_);
-  if (!st.ok()) {
-    // Find out what the device durably holds before deciding the record's
-    // fate: a torn write may still have landed it in full.
-    Page durable(page_size);
-    const Status read = disk_->Read(chain_.back(), &durable);
-    if (!read.ok()) {
-      tail_dirty_ = true;
-      return st;
-    }
-    uint32_t end = 0;
-    size_t valid = 0;
-    DurableEnd(durable, &end, &valid);
-    if (end >= off + need &&
-        std::memcmp(durable.data() + off, tail_.data() + off, need) == 0) {
-      // Landed in full despite the error: durable == acknowledged.
-      tail_used_ = off + need;
-      ++record_count_;
-      return Status::OK();
-    }
-    // Not durable: scrub the failed record from the in-memory image so the
-    // next append rewrites clean bytes over the torn region — the record
-    // can never retroactively become durable.
-    std::memset(tail_.data() + off, 0, page_size - off);
-    tail_.WriteAt<uint32_t>(kUsedOff, off);
-    return st;
-  }
   tail_used_ = off + need;
-  ++record_count_;
+  pending_.push_back(Pending{off, need, lsn});
+  if (auto_sync_) return SyncInternal();
   return Status::OK();
 }
 
-Status AdLog::Scan(const Visitor& visit, bool* torn_tail) const {
-  const storage::ScopedComponent tag(disk_->tracker(),
-                                     storage::Component::kAdLog);
+Status WriteAheadLog::Sync() {
+  const ScopedComponent tag(disk_->tracker(), component_);
+  if (tail_dirty_) VIEWMAT_RETURN_IF_ERROR(ResyncTail());
+  return SyncInternal();
+}
+
+Status WriteAheadLog::SyncInternal() {
+  if (pending_.empty()) return Status::OK();
+  const uint32_t page_size = disk_->page_size();
+  const uint32_t sync_start = tail_synced_;
+  const Status st = disk_->Write(chain_.back(), tail_);
+  if (st.ok()) {
+    record_count_ += pending_.size();
+    durable_lsn_ = pending_.back().lsn;
+    tail_synced_ = tail_used_;
+    pending_.clear();
+    return Status::OK();
+  }
+  // Find out what the device durably holds before deciding the batch's
+  // fate: a torn write may still have landed some or all of it.
+  Page durable(page_size);
+  const Status read = disk_->Read(chain_.back(), &durable);
+  if (!read.ok()) {
+    tail_dirty_ = true;
+    pending_.clear();
+    return st;
+  }
+  uint32_t end = 0;
+  size_t valid = 0;
+  DurableEnd(durable, &end, &valid, nullptr);
+  if (end >= tail_used_ &&
+      std::memcmp(durable.data() + sync_start, tail_.data() + sync_start,
+                  tail_used_ - sync_start) == 0) {
+    // The whole batch landed in full despite the error: durable ==
+    // acknowledged.
+    record_count_ += pending_.size();
+    durable_lsn_ = pending_.back().lsn;
+    tail_synced_ = tail_used_;
+    pending_.clear();
+    return Status::OK();
+  }
+  if (end < sync_start ||
+      std::memcmp(durable.data() + sync_start, tail_.data() + sync_start,
+                  end > sync_start ? end - sync_start : 0) != 0) {
+    // The device holds something that is neither the old tail nor a prefix
+    // of the staged bytes; trust nothing until a full resync.
+    tail_dirty_ = true;
+    pending_.clear();
+    return st;
+  }
+  // A strict prefix of the batch is durable (a torn write). Adopt it —
+  // durable history is append-only, never rewritten — and scrub the
+  // in-memory suffix so it can never retroactively become durable. The
+  // error still stands: the caller's newest records (its sync point) are
+  // gone.
+  for (const Pending& p : pending_) {
+    if (p.off + p.size <= end) {
+      ++record_count_;
+      durable_lsn_ = p.lsn;
+    }
+  }
+  std::memset(tail_.data() + end, 0, page_size - end);
+  tail_.WriteAt<uint32_t>(kUsedOff, end);
+  tail_used_ = end;
+  tail_synced_ = end;
+  pending_.clear();
+  return st;
+}
+
+Status WriteAheadLog::ScanWithLsn(const LsnVisitor& visit,
+                                  bool* torn_tail) const {
+  const ScopedComponent tag(disk_->tracker(), component_);
   if (torn_tail != nullptr) *torn_tail = false;
   const uint32_t page_size = disk_->page_size();
   Page page(page_size);
@@ -265,15 +338,16 @@ Status AdLog::Scan(const Visitor& visit, bool* torn_tail) const {
     while (off + kRecordHeader <= page_size) {
       const uint8_t type = page.ReadAt<uint8_t>(off);
       const uint16_t len = page.ReadAt<uint16_t>(off + 1);
-      const uint32_t sum = page.ReadAt<uint32_t>(off + 3);
+      const Lsn lsn = page.ReadAt<Lsn>(off + 3);
+      const uint32_t sum = page.ReadAt<uint32_t>(off + 11);
       if (off + kRecordHeader + len > page_size ||
-          sum != Checksum(type, page.data() + off + kRecordHeader, len)) {
+          sum != Checksum(type, len, lsn, page.data() + off + kRecordHeader)) {
         if ((type != 0 || len != 0 || sum != 0) && torn_tail != nullptr) {
           *torn_tail = true;
         }
         break;
       }
-      if (!visit(type, page.data() + off + kRecordHeader, len)) {
+      if (!visit(lsn, type, page.data() + off + kRecordHeader, len)) {
         return Status::OK();
       }
       off += kRecordHeader + len;
@@ -292,32 +366,71 @@ Status AdLog::Scan(const Visitor& visit, bool* torn_tail) const {
   return Status::OK();
 }
 
-Status AdLog::Truncate() {
-  const storage::ScopedComponent tag(disk_->tracker(),
-                                     storage::Component::kAdLog);
+Status WriteAheadLog::Scan(const Visitor& visit, bool* torn_tail) const {
+  return ScanWithLsn(
+      [&visit](Lsn, uint8_t type, const uint8_t* payload, uint16_t len) {
+        return visit(type, payload, len);
+      },
+      torn_tail);
+}
+
+Status WriteAheadLog::TruncateInternal(bool with_record, uint8_t type,
+                                       const uint8_t* payload, uint16_t len,
+                                       Lsn* out_lsn) {
+  const ScopedComponent tag(disk_->tracker(), component_);
   // Empty head first, then free the remainder: a crash in between leaves a
-  // logically empty log (plus leaked pages), never partial history.
+  // logically empty log (plus leaked pages), never partial history. The
+  // checkpoint record (when present) travels in the same single head
+  // write, so "empty log" and "checkpoint planted" are one atomic step as
+  // far as a clean failure is concerned; a torn head write degrades to an
+  // empty log, which callers make safe by flushing dirty pages first.
   Page empty(disk_->page_size());
   InitHeader(&empty);
+  uint32_t used = kHeaderSize;
+  Lsn lsn = 0;
+  size_t records = 0;
+  if (with_record) {
+    VIEWMAT_CHECK(len <= max_payload());
+    lsn = lsns_->Next();
+    last_lsn_ = lsn;
+    if (out_lsn != nullptr) *out_lsn = lsn;
+    PutRecord(&empty, kHeaderSize, type, payload, len, lsn);
+    used = kHeaderSize + kRecordHeader + len;
+    empty.WriteAt<uint32_t>(kUsedOff, used);
+    records = 1;
+  }
   const Status st = disk_->Write(chain_.front(), empty);
   if (!st.ok()) {
     // The head write may or may not have landed; resync before the next
     // append so the old in-memory tail cannot resurrect truncated history.
     tail_dirty_ = true;
+    pending_.clear();
     return st;
   }
-  // Once the head is empty the truncation is logically complete — the old
-  // chain is unreachable. Frees are best-effort: under a crashed device
-  // they leak pages (a space cost), never history.
+  // Once the head is rewritten the truncation is logically complete — the
+  // old chain is unreachable. Frees are best-effort: under a crashed
+  // device they leak pages (a space cost), never history.
   for (size_t i = 1; i < chain_.size(); ++i) {
     (void)disk_->Free(chain_[i]);
   }
   chain_.resize(1);
   tail_ = std::move(empty);
-  tail_used_ = kHeaderSize;
-  record_count_ = 0;
+  tail_used_ = used;
+  tail_synced_ = used;
+  pending_.clear();
+  record_count_ = records;
+  durable_lsn_ = lsn;
   tail_dirty_ = false;
   return Status::OK();
 }
 
-}  // namespace viewmat::hr
+Status WriteAheadLog::Truncate() {
+  return TruncateInternal(false, 0, nullptr, 0, nullptr);
+}
+
+Status WriteAheadLog::TruncateWithRecord(uint8_t type, const uint8_t* payload,
+                                         uint16_t len, Lsn* out_lsn) {
+  return TruncateInternal(true, type, payload, len, out_lsn);
+}
+
+}  // namespace viewmat::storage

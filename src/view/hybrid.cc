@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "obs/trace.h"
 
 namespace viewmat::view {
+
+namespace {
+using storage::CrashPoint;
+}  // namespace
 
 HybridStrategy::HybridStrategy(SelectProjectDef def,
                                hr::AdFile::Options ad_options,
@@ -41,6 +46,20 @@ Status HybridStrategy::OnTransaction(const db::Transaction& txn) {
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   const db::NetChange& net = txn.ChangesFor(def_.base);
   if (net.empty()) return Status::OK();
+  if (crash_safe() &&
+      (phase_ == RecoveryPhase::kNeedFold ||
+       phase_ == RecoveryPhase::kNeedReset || hr_.ad().needs_recovery())) {
+    // Same rule as the deferred strategy: once a fold has started (or the
+    // AD file is untrusted) the half-applied epoch must complete before new
+    // intents may land.
+    const Status recovered = Recover();
+    if (!recovered.ok()) {
+      return Status::FailedPrecondition(
+          "transaction rejected: interrupted refresh could not be rolled "
+          "forward (" +
+          recovered.message() + ")");
+    }
+  }
   for (const db::Tuple& t : net.deletes()) {
     VIEWMAT_RETURN_IF_ERROR(
         hr_.FindAllByKey(t.at(def_.base->key_field()).AsInt64(),
@@ -48,6 +67,13 @@ Status HybridStrategy::OnTransaction(const db::Transaction& txn) {
   }
   for (const db::Tuple& t : net.deletes()) screen_.Passes(t);
   for (const db::Tuple& t : net.inserts()) screen_.Passes(t);
+  if (crash_safe()) {
+    const Status st = hr_.RecordChangesCommitted(net, ++txn_seq_);
+    if (st.ok() && txn_seq_ > committed_txn_high_) {
+      committed_txn_high_ = txn_seq_;
+    }
+    return st;
+  }
   return hr_.RecordChanges(net);
 }
 
@@ -110,6 +136,14 @@ HybridStrategy::Estimate HybridStrategy::EstimateQuery(int64_t lo,
 }
 
 Status HybridStrategy::Refresh() {
+  if (crash_safe()) {
+    if (stale()) VIEWMAT_RETURN_IF_ERROR(Recover());
+    return RefreshSafe();
+  }
+  return RefreshUnsafe();
+}
+
+Status HybridStrategy::RefreshUnsafe() {
   if (hr_.ad().entry_count() == 0) return Status::OK();
   const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh");
@@ -130,10 +164,157 @@ Status HybridStrategy::Refresh() {
   return view_->ApplyDelta(inserts, deletes);
 }
 
+Status HybridStrategy::RefreshSafe() {
+  if (hr_.ad().entry_count() == 0) return Status::OK();
+  const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh");
+  storage::BufferPool* pool = def_.base->pool();
+  storage::DiskInterface* disk = pool->disk();
+
+  // Read-only preparation; failure is a clean abort.
+  std::vector<db::Tuple> a_net;
+  std::vector<db::Tuple> d_net;
+  VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
+  std::vector<db::Tuple> inserts;
+  std::vector<db::Tuple> deletes;
+  for (const db::Tuple& t : d_net) {
+    db::Tuple value;
+    if (def_.MapTuple(t, &value)) deletes.push_back(std::move(value));
+  }
+  for (const db::Tuple& t : a_net) {
+    db::Tuple value;
+    if (def_.MapTuple(t, &value)) inserts.push_back(std::move(value));
+  }
+
+  // Phase 1: patch the view under a durable begin marker.
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogRefreshBegin(++epoch_));
+  phase_ = RecoveryPhase::kNeedViewRebuild;
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeViewPatch));
+  for (const db::Tuple& value : deletes) {
+    VIEWMAT_RETURN_IF_ERROR(view_->ApplyDelete(value));
+  }
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kMidViewPatch));
+  for (const db::Tuple& value : inserts) {
+    VIEWMAT_RETURN_IF_ERROR(view_->ApplyInsert(value));
+  }
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kAfterViewPatch));
+  VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogViewPatched(epoch_));
+  phase_ = RecoveryPhase::kNeedFold;
+
+  // Phase 2: fold the base and retire the differential.
+  return FoldAndReset(a_net, d_net, /*idempotent=*/false);
+}
+
+Status HybridStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
+                                    const std::vector<db::Tuple>& d_net,
+                                    bool idempotent) {
+  storage::BufferPool* pool = def_.base->pool();
+  storage::DiskInterface* disk = pool->disk();
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeFold));
+  static const std::vector<db::Tuple> kEmpty;
+  VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(kEmpty, d_net, idempotent));
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kMidFold));
+  VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(a_net, kEmpty, idempotent));
+  VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogFoldCommit(epoch_));
+  phase_ = RecoveryPhase::kNeedReset;
+  return FinishReset();
+}
+
+Status HybridStrategy::FinishReset() {
+  storage::DiskInterface* disk = def_.base->pool()->disk();
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeAdReset));
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->Reset());
+  phase_ = RecoveryPhase::kNone;
+  ++refresh_count_;
+  return Status::OK();
+}
+
+Status HybridStrategy::RebuildViewAndFold() {
+  storage::BufferPool* pool = def_.base->pool();
+  storage::DiskInterface* disk = pool->disk();
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogRefreshBegin(++epoch_));
+  phase_ = RecoveryPhase::kNeedViewRebuild;
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeViewPatch));
+  // The copy may be partially patched in an unknowable way: rebuild it from
+  // the hypothetical relation (base untouched + all committed intents).
+  VIEWMAT_RETURN_IF_ERROR(view_->Clear());
+  Status inner = Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(hr_.RangeScanByKey(
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max(), [&](const db::Tuple& t) {
+        db::Tuple value;
+        if (def_.MapTuple(t, &value)) {
+          inner = view_->ApplyInsert(value);
+          if (!inner.ok()) return false;
+        }
+        return true;
+      }));
+  VIEWMAT_RETURN_IF_ERROR(inner);
+  VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kAfterViewPatch));
+  VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
+  VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogViewPatched(epoch_));
+  phase_ = RecoveryPhase::kNeedFold;
+  std::vector<db::Tuple> a_net;
+  std::vector<db::Tuple> d_net;
+  VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
+  return FoldAndReset(a_net, d_net, /*idempotent=*/true);
+}
+
+Status HybridStrategy::RollForward() {
+  switch (phase_) {
+    case RecoveryPhase::kNone:
+      return Status::OK();
+    case RecoveryPhase::kNeedViewRebuild:
+      return RebuildViewAndFold();
+    case RecoveryPhase::kNeedFold: {
+      std::vector<db::Tuple> a_net;
+      std::vector<db::Tuple> d_net;
+      VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
+      return FoldAndReset(a_net, d_net, /*idempotent=*/true);
+    }
+    case RecoveryPhase::kNeedReset:
+      return FinishReset();
+  }
+  return Status::Internal("unreachable recovery phase");
+}
+
+Status HybridStrategy::Recover() {
+  if (!crash_safe()) {
+    return Status::FailedPrecondition(
+        "hybrid strategy has no WAL (AdFile::Options::enable_wal)");
+  }
+  const storage::ScopedPhase phase_tag(tracker_,
+                                       storage::Phase::kRefreshRecovery);
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "recover");
+  ++recoveries_;
+  hr::AdFile::RecoveryInfo info;
+  VIEWMAT_RETURN_IF_ERROR(hr_.Recover(&info));
+  committed_txn_high_ = std::max(committed_txn_high_, info.last_committed_txn);
+  if (info.last_epoch_begun == 0) {
+    phase_ = RecoveryPhase::kNone;
+  } else if (info.fold_committed_epoch == info.last_epoch_begun) {
+    phase_ = RecoveryPhase::kNeedReset;
+  } else if (info.view_patched_epoch == info.last_epoch_begun) {
+    phase_ = RecoveryPhase::kNeedFold;
+  } else {
+    phase_ = RecoveryPhase::kNeedViewRebuild;
+  }
+  if (info.last_epoch_begun > epoch_) epoch_ = info.last_epoch_begun;
+  return RollForward();
+}
+
 Status HybridStrategy::Query(int64_t lo, int64_t hi,
                              const MaterializedView::CountedVisitor& visit) {
   const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
+  if (crash_safe() && stale()) {
+    // An interrupted refresh (or untrusted AD file) invalidates both read
+    // paths: QM would mis-merge a half-folded differential and the view may
+    // be half-patched. Roll forward before choosing.
+    VIEWMAT_RETURN_IF_ERROR(Recover());
+  }
   // Space backstop (§4): an overfull differential forces a refresh.
   if (hr_.ad().entry_count() > max_pending_) {
     VIEWMAT_RETURN_IF_ERROR(Refresh());

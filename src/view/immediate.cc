@@ -86,9 +86,25 @@ Status ImmediateStrategy::InitializeFromBase() {
 Status ImmediateStrategy::OnTransaction(const db::Transaction& txn) {
   const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
-  // The transaction commits against the base relations first.
-  VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
+  if (needs_recovery()) {
+    return Status::FailedPrecondition(
+        "immediate strategy needs Recover() before new transactions");
+  }
+  // The transaction commits against the base relations first — atomically,
+  // when a recovery manager is attached.
+  if (recovery_ != nullptr) {
+    VIEWMAT_RETURN_IF_ERROR(recovery_->CommitAndApply(txn));
+  } else {
+    VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
+  }
+  // From here the base holds the transaction; any failure before the view
+  // patch completes leaves the copy behind it.
+  Status patched = PatchView(txn);
+  if (!patched.ok() && recovery_ != nullptr) view_dirty_ = true;
+  return patched;
+}
 
+Status ImmediateStrategy::PatchView(const db::Transaction& txn) {
   const db::NetChange& net = txn.ChangesFor(UpdatedRelation());
   if (net.empty()) return Status::OK();
 
@@ -112,10 +128,25 @@ Status ImmediateStrategy::OnTransaction(const db::Transaction& txn) {
   return view_->ApplyDelta(view_inserts, view_deletes);
 }
 
+Status ImmediateStrategy::Recover() {
+  if (recovery_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no recovery manager attached to the immediate strategy");
+  }
+  VIEWMAT_RETURN_IF_ERROR(recovery_->Recover());
+  VIEWMAT_RETURN_IF_ERROR(InitializeFromBase());
+  view_dirty_ = false;
+  return Status::OK();
+}
+
 Status ImmediateStrategy::Query(int64_t lo, int64_t hi,
                                 const MaterializedView::CountedVisitor& visit) {
   const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kQuery);
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
+  if (needs_recovery()) {
+    return Status::FailedPrecondition(
+        "immediate strategy needs Recover() before queries");
+  }
   // The copy is always current: a query is a plain clustered view scan.
   return view_->Query(lo, hi, visit);
 }

@@ -4,6 +4,7 @@
 #include <variant>
 
 #include "common/status.h"
+#include "db/recovery.h"
 #include "storage/cost_tracker.h"
 #include "view/materialized_view.h"
 #include "view/screening.h"
@@ -33,6 +34,26 @@ class ImmediateStrategy : public ViewStrategy {
                const MaterializedView::CountedVisitor& visit) override;
   const char* name() const override { return "immediate"; }
 
+  /// Makes transactions atomic: once attached, OnTransaction commits
+  /// through the recovery manager (log-commit-then-apply) instead of bare
+  /// ApplyToBase. The manager must have the view's base relations
+  /// registered.
+  void AttachRecovery(db::RecoveryManager* rm) { recovery_ = rm; }
+
+  /// Crash recovery: completes any partially-applied committed transaction
+  /// via RecoveryManager::Recover(), then rebuilds the stored copy from the
+  /// recovered base (a crash between the base commit and the view patch
+  /// leaves the copy behind the base; immediate maintenance keeps no
+  /// differential to patch from, so the copy is recomputed).
+  Status Recover();
+
+  /// True when the stored copy may lag the base (failure after a durable
+  /// commit) and Recover() must run before queries are trustworthy.
+  bool needs_recovery() const {
+    return view_dirty_ ||
+           (recovery_ != nullptr && recovery_->needs_recovery());
+  }
+
   MaterializedView* view() { return view_.get(); }
   const TLockScreen& screen() const { return screen_; }
   uint64_t refresh_count() const { return refresh_count_; }
@@ -42,12 +63,17 @@ class ImmediateStrategy : public ViewStrategy {
   db::Relation* UpdatedRelation() const;
   /// Maps a base tuple to a view value; false when it contributes nothing.
   StatusOr<bool> Map(const db::Tuple& t, db::Tuple* out);
+  /// Screens and applies one transaction's delta to the stored copy.
+  Status PatchView(const db::Transaction& txn);
 
   std::variant<SelectProjectDef, JoinDef> def_;
   storage::CostTracker* tracker_;
   TLockScreen screen_;
   std::unique_ptr<MaterializedView> view_;
   uint64_t refresh_count_ = 0;
+  db::RecoveryManager* recovery_ = nullptr;
+  /// The base advanced (durable commit) but the view patch did not finish.
+  bool view_dirty_ = false;
 };
 
 }  // namespace viewmat::view

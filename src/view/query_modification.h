@@ -2,6 +2,7 @@
 #define VIEWMAT_VIEW_QUERY_MODIFICATION_H_
 
 #include "common/status.h"
+#include "db/recovery.h"
 #include "storage/cost_tracker.h"
 #include "view/strategy.h"
 #include "view/view_def.h"
@@ -28,10 +29,18 @@ class QmSelectProjectStrategy : public ViewStrategy {
                const MaterializedView::CountedVisitor& visit) override;
   const char* name() const override { return "query-modification"; }
 
+  /// Commit transactions through the recovery manager (atomic base writes).
+  void AttachRecovery(db::RecoveryManager* rm) { recovery_ = rm; }
+
+  /// Crash recovery. QM keeps no materialized state, so recovering the base
+  /// relations is the whole job — afterwards every query is correct again.
+  Status Recover();
+
  private:
   SelectProjectDef def_;
   storage::CostTracker* tracker_;
   bool force_sequential_;
+  db::RecoveryManager* recovery_ = nullptr;
 };
 
 /// Query modification for Model 2 views: nested-loops join with R1 outer
@@ -48,9 +57,16 @@ class QmJoinStrategy : public ViewStrategy {
                const MaterializedView::CountedVisitor& visit) override;
   const char* name() const override { return "query-modification-loopjoin"; }
 
+  /// Commit transactions through the recovery manager (atomic base writes).
+  void AttachRecovery(db::RecoveryManager* rm) { recovery_ = rm; }
+
+  /// Crash recovery (see QmSelectProjectStrategy::Recover).
+  Status Recover();
+
  private:
   JoinDef def_;
   storage::CostTracker* tracker_;
+  db::RecoveryManager* recovery_ = nullptr;
 };
 
 }  // namespace viewmat::view

@@ -45,7 +45,11 @@ Status RecomputeOnChangeStrategy::Recompute() {
 Status RecomputeOnChangeStrategy::OnTransaction(const db::Transaction& txn) {
   const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kUpdateApply);
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
-  VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
+  if (recovery_ != nullptr) {
+    VIEWMAT_RETURN_IF_ERROR(recovery_->CommitAndApply(txn));
+  } else {
+    VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
+  }
   const db::NetChange& net = txn.ChangesFor(def_.base);
   if (net.empty()) return Status::OK();
   // Phase 1 (compile time): readily ignorable commands cost nothing more.
@@ -74,6 +78,19 @@ Status RecomputeOnChangeStrategy::Query(
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "query");
   VIEWMAT_RETURN_IF_ERROR(Recompute());
   return view_->Query(lo, hi, visit);
+}
+
+Status RecomputeOnChangeStrategy::Recover() {
+  if (recovery_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no recovery manager attached to the recompute-on-change strategy");
+  }
+  VIEWMAT_RETURN_IF_ERROR(recovery_->Recover());
+  // A crash may have interrupted a recompute (partially rebuilt copy) or a
+  // screened-out delta may have landed during redo; recomputing is the
+  // strategy's uniform answer.
+  dirty_ = true;
+  return Status::OK();
 }
 
 }  // namespace viewmat::view

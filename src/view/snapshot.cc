@@ -45,7 +45,11 @@ Status SnapshotStrategy::OnTransaction(const db::Transaction& txn) {
   const obs::ScopedSpan span(storage::TracerOf(tracker_), "txn");
   // No screening, no differential, no view work: the defining property of
   // snapshots. The base commits and the snapshot goes stale.
-  VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
+  if (recovery_ != nullptr) {
+    VIEWMAT_RETURN_IF_ERROR(recovery_->CommitAndApply(txn));
+  } else {
+    VIEWMAT_RETURN_IF_ERROR(txn.ApplyToBase());
+  }
   if (!txn.ChangesFor(def_.base).empty()) ++stale_transactions_;
   return Status::OK();
 }
@@ -59,6 +63,15 @@ Status SnapshotStrategy::Query(int64_t lo, int64_t hi,
   }
   ++queries_since_refresh_;
   return view_->Query(lo, hi, visit);
+}
+
+Status SnapshotStrategy::Recover() {
+  if (recovery_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no recovery manager attached to the snapshot strategy");
+  }
+  VIEWMAT_RETURN_IF_ERROR(recovery_->Recover());
+  return RefreshNow();
 }
 
 }  // namespace viewmat::view

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "db/catalog.h"
+#include "storage/faulty_disk.h"
 
 namespace viewmat::db {
 namespace {
@@ -113,6 +114,39 @@ TEST(Transaction, DeleteThenInsertSameKeyDifferentValue) {
   ASSERT_TRUE(rel.FindByKey(5, &out).ok());
   EXPECT_EQ(out.at(1).AsInt64(), 2);
   EXPECT_EQ(rel.tuple_count(), 1u);
+}
+
+TEST(Transaction, ApplyToBaseStopsAtFirstFailedWriteAndSaysWhere) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk inner(512, &tracker);
+  storage::FaultyDisk disk(&inner);
+  storage::BufferPool pool(&disk, 4);
+  Relation rel(&pool, "orders", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  for (int64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(rel.Insert(Row(k, k)).ok());
+  }
+  // Cold the cache so every write must fetch B-tree pages, then fail the
+  // first such read: the multi-write apply dies on its opening delete.
+  ASSERT_TRUE(pool.FlushAndEvictAll().ok());
+  disk.InjectReadFault(/*after=*/0);
+
+  Transaction txn;
+  txn.Delete(&rel, Row(1, 1));
+  txn.Delete(&rel, Row(2, 2));
+  txn.Insert(&rel, Row(100, 100));
+  const Status st = txn.ApplyToBase();
+  disk.ClearFaults();
+  ASSERT_FALSE(st.ok());
+  // The error pinpoints the failed write: which op, which tuple, which
+  // relation, and how many writes had already landed.
+  EXPECT_NE(st.message().find("ApplyToBase stopped at delete"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("relation 'orders'"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("(0 writes applied before the failure)"),
+            std::string::npos)
+      << st.message();
 }
 
 TEST(Transaction, MultipleRelations) {

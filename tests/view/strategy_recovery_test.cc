@@ -1,0 +1,169 @@
+// Per-strategy crash repair on top of the unified RecoveryManager: each
+// maintenance scheme attaches the manager, commits its transactions
+// through the log-commit-then-apply protocol, and recovers to an exact
+// state after an apply that dies partway. The deferred strategy's
+// journaled protocol has its own suite (deferred_recovery_test); here the
+// RM-committing strategies and the hybrid's journaled fold are covered.
+
+#include <gtest/gtest.h>
+
+#include "db/recovery.h"
+#include "testing/view_fixture.h"
+#include "view/hybrid.h"
+#include "view/immediate.h"
+#include "view/query_modification.h"
+#include "view/recompute_on_change.h"
+#include "view/snapshot.h"
+
+namespace viewmat::view {
+namespace {
+
+using testing::ViewTestDb;
+
+db::Tuple SpValue(int64_t k1, double v) {
+  return db::Tuple({db::Value(k1), db::Value(v)});
+}
+
+/// Arms a read fault against a cold cache so the NEXT base apply dies
+/// after its commit record is durable (WAL syncs are writes; the apply's
+/// first B-tree descent is the first read).
+void ArmApplyFailure(ViewTestDb* db) {
+  ASSERT_TRUE(db->pool_.FlushAndEvictAll().ok());
+  db->disk_.InjectReadFault(/*after=*/0);
+}
+
+TEST(StrategyRecovery, QueryModificationRecoversBaseOnly) {
+  ViewTestDb db;
+  db::RecoveryManager rm(&db.pool_);
+  rm.Register(db.base_);
+  QmSelectProjectStrategy qm(db.SpDef(), &db.tracker_);
+  qm.AttachRecovery(&rm);
+
+  ArmApplyFailure(&db);
+  EXPECT_FALSE(qm.OnTransaction(db.UpdateTxn(5, 999.0)).ok());
+  db.disk_.ClearFaults();
+  EXPECT_TRUE(rm.needs_recovery());
+
+  // QM keeps no materialized state: recovering the base is the whole job.
+  ASSERT_TRUE(qm.Recover().ok());
+  EXPECT_FALSE(rm.needs_recovery());
+  const auto contents = db.QueryAll(&qm);
+  EXPECT_EQ(contents.count(SpValue(5, 999.0)), 1u);
+  EXPECT_EQ(contents.count(SpValue(5, 5.0)), 0u);
+  EXPECT_EQ(contents.size(), static_cast<size_t>(ViewTestDb::kFCut));
+}
+
+TEST(StrategyRecovery, ImmediateRebuildsTheCopyAfterAFailedPatch) {
+  ViewTestDb db;
+  db::RecoveryManager rm(&db.pool_);
+  rm.Register(db.base_);
+  ImmediateStrategy immediate(db.SpDef(), &db.tracker_);
+  immediate.AttachRecovery(&rm);
+  ASSERT_TRUE(immediate.InitializeFromBase().ok());
+
+  ArmApplyFailure(&db);
+  EXPECT_FALSE(immediate.OnTransaction(db.UpdateTxn(7, 777.0)).ok());
+  db.disk_.ClearFaults();
+  // The commit is durable but either the base apply or the view patch did
+  // not finish: queries are untrustworthy until Recover().
+  EXPECT_TRUE(immediate.needs_recovery());
+
+  ASSERT_TRUE(immediate.Recover().ok());
+  EXPECT_FALSE(immediate.needs_recovery());
+  // The rebuilt copy agrees with query modification over the recovered base.
+  QmSelectProjectStrategy qm(db.SpDef(), &db.tracker_);
+  EXPECT_EQ(db.QueryAll(&immediate), db.QueryAll(&qm));
+  EXPECT_EQ(db.QueryAll(&immediate).count(SpValue(7, 777.0)), 1u);
+}
+
+TEST(StrategyRecovery, SnapshotRecoverIsBaseRepairPlusFreshSnapshot) {
+  ViewTestDb db;
+  db::RecoveryManager rm(&db.pool_);
+  rm.Register(db.base_);
+  SnapshotStrategy snap(db.SpDef(), SnapshotStrategy::Options{1000},
+                        &db.tracker_);
+  snap.AttachRecovery(&rm);
+  ASSERT_TRUE(snap.InitializeFromBase().ok());
+  const uint64_t refreshes_before = snap.refresh_count();
+
+  ArmApplyFailure(&db);
+  EXPECT_FALSE(snap.OnTransaction(db.UpdateTxn(3, 333.0)).ok());
+  db.disk_.ClearFaults();
+
+  // A snapshot's only repair is a fresh snapshot: Recover() completes the
+  // committed transaction, then recomputes the stored copy, so the update
+  // is visible immediately (no staleness window after crash repair).
+  ASSERT_TRUE(snap.Recover().ok());
+  EXPECT_GT(snap.refresh_count(), refreshes_before);
+  EXPECT_EQ(snap.stale_transactions(), 0u);
+  std::map<db::Tuple, int64_t> contents = db.QueryAll(&snap);
+  EXPECT_EQ(contents.count(SpValue(3, 333.0)), 1u);
+  EXPECT_EQ(contents.count(SpValue(3, 3.0)), 0u);
+}
+
+TEST(StrategyRecovery, RecomputeOnChangeRecoversViaItsOwnRefreshRule) {
+  ViewTestDb db;
+  db::RecoveryManager rm(&db.pool_);
+  rm.Register(db.base_);
+  RecomputeOnChangeStrategy recompute(db.SpDef(), &db.tracker_);
+  recompute.AttachRecovery(&rm);
+  ASSERT_TRUE(recompute.InitializeFromBase().ok());
+  const uint64_t recomputes_before = recompute.recompute_count();
+
+  ArmApplyFailure(&db);
+  EXPECT_FALSE(recompute.OnTransaction(db.UpdateTxn(9, 99.0)).ok());
+  db.disk_.ClearFaults();
+
+  // [Bune79]'s refresh rule doubles as crash repair: Recover() marks the
+  // view dirty and the next query recomputes from the recovered base.
+  ASSERT_TRUE(recompute.Recover().ok());
+  const auto contents = db.QueryAll(&recompute);
+  EXPECT_EQ(contents.count(SpValue(9, 99.0)), 1u);
+  EXPECT_GT(recompute.recompute_count(), recomputes_before);
+}
+
+TEST(StrategyRecovery, HybridRollsTheJournaledFoldForward) {
+  ViewTestDb db;
+  HybridStrategy hybrid(db.SpDef(), db.WalAdOptions(), &db.tracker_);
+  ASSERT_TRUE(hybrid.InitializeFromBase().ok());
+  ASSERT_TRUE(hybrid.crash_safe());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(hybrid.OnTransaction(db.UpdateTxn(i, 1000.0 + i)).ok());
+  }
+
+  // Kill the fold partway: a write fault lands somewhere inside the
+  // journaled protocol (view patch, fold, or marker write).
+  db.disk_.InjectWriteFault(/*after=*/2);
+  EXPECT_FALSE(hybrid.Refresh().ok());
+  db.disk_.ClearFaults();
+
+  ASSERT_TRUE(hybrid.Recover().ok());
+  EXPECT_FALSE(hybrid.stale());
+  EXPECT_EQ(hybrid.phase(), RecoveryPhase::kNone);
+  // Every committed update survives the interrupted fold, exactly once.
+  const auto contents = db.QueryAll(&hybrid);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(contents.count(SpValue(i, 1000.0 + i)), 1u) << "key " << i;
+    EXPECT_EQ(contents.count(SpValue(i, 1.0 * i)), 0u) << "key " << i;
+  }
+  EXPECT_EQ(contents.size(), static_cast<size_t>(ViewTestDb::kFCut));
+}
+
+TEST(StrategyRecovery, RecoverIsANoOpOnAHealthySystem) {
+  ViewTestDb db;
+  db::RecoveryManager rm(&db.pool_);
+  rm.Register(db.base_);
+  ImmediateStrategy immediate(db.SpDef(), &db.tracker_);
+  immediate.AttachRecovery(&rm);
+  ASSERT_TRUE(immediate.InitializeFromBase().ok());
+  ASSERT_TRUE(immediate.OnTransaction(db.UpdateTxn(2, 22.0)).ok());
+
+  const auto before = db.QueryAll(&immediate);
+  ASSERT_TRUE(immediate.Recover().ok());
+  EXPECT_EQ(db.QueryAll(&immediate), before);
+  ASSERT_TRUE(immediate.Recover().ok());  // and idempotent
+  EXPECT_EQ(db.QueryAll(&immediate), before);
+}
+
+}  // namespace
+}  // namespace viewmat::view
