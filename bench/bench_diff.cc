@@ -1,0 +1,85 @@
+// Compares two BENCH report JSONs and fails on perf regressions — the
+// regression gate scripts/check.sh runs against the committed baselines.
+//
+// Usage:
+//   bench_diff <old.json> <new.json> [--threshold 5%] [--verbose]
+//
+// Metrics are matched by identity (workload point + run name, table title
+// + series + x), so result reordering is not a diff. Exit codes:
+//   0  no metric grew more than the threshold and nothing went missing
+//   1  regressions or structural errors (metric in old but not in new)
+//   2  usage / unreadable input
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/bench_diff.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <old.json> <new.json> "
+               "[--threshold 5%%|0.05] [--verbose]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string old_path;
+  std::string new_path;
+  viewmat::sim::DiffOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      auto threshold = viewmat::sim::ParseThreshold(argv[++i]);
+      if (!threshold.ok()) {
+        std::fprintf(stderr, "%s\n", threshold.status().ToString().c_str());
+        return 2;
+      }
+      options.threshold = *threshold;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (old_path.empty() || new_path.empty()) return Usage();
+
+  std::string old_json;
+  std::string new_json;
+  if (!ReadFile(old_path, &old_json)) {
+    std::fprintf(stderr, "cannot open %s\n", old_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(new_path, &new_json)) {
+    std::fprintf(stderr, "cannot open %s\n", new_path.c_str());
+    return 2;
+  }
+
+  auto result = viewmat::sim::DiffBenchReports(old_json, new_json, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s vs %s\n%s", old_path.c_str(), new_path.c_str(),
+              result->ToString(verbose).c_str());
+  return result->ok() ? 0 : 1;
+}

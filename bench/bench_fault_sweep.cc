@@ -60,6 +60,28 @@ int main(int argc, char** argv) {
       const std::string key = "model" + std::to_string(model) + "." +
                               sim::StrategyKindName(kind);
       report.AddNote(key + ".table", result->ToString());
+      // Numeric mirror of the text table so bench_diff can gate on it:
+      // any per-rate outcome drift against the committed baseline (the
+      // sweep is deterministic) surfaces as a compared-metric delta.
+      sim::SeriesTable table;
+      table.title = "fault-sweep " + key;
+      table.x_label = "fault_rate";
+      table.series_names = {"faults_injected", "crashes",    "recoveries",
+                            "degraded_queries", "rejected_txns",
+                            "failed_queries",   "corrupt_runs",
+                            "silently_stale_runs"};
+      for (const sim::FaultSweepCell& cell : result->cells) {
+        table.AddRow(cell.fault_rate,
+                     {static_cast<double>(cell.faults_injected),
+                      static_cast<double>(cell.crashes),
+                      static_cast<double>(cell.recoveries),
+                      static_cast<double>(cell.degraded_queries),
+                      static_cast<double>(cell.rejected_txns),
+                      static_cast<double>(cell.failed_queries),
+                      static_cast<double>(cell.corrupt_runs),
+                      static_cast<double>(cell.silently_stale_runs)});
+      }
+      report.AddTable(table);
       char totals[128];
       std::snprintf(totals, sizeof(totals),
                     "runs=%d corrupt=%d silently_stale=%d", result->total_runs,

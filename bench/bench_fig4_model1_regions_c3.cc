@@ -5,6 +5,7 @@
 // becomes unambiguous by C3 ≈ 4; we sweep C3 to show the progression (see
 // EXPERIMENTS.md for the deviation note).
 
+#include "costmodel/model1.h"
 #include "region_common.h"
 
 using namespace viewmat;

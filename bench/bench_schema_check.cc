@@ -1,8 +1,10 @@
-// Validator for the schema_version-2 bench reports every bench binary
+// Validator for the schema_version-3 bench reports every bench binary
 // emits under --json. Checks structure (required keys, table row widths,
-// counter fields, the execution block) and the observability invariant:
-// each strategy run's component × phase attribution cells must sum to its
-// flat counters exactly.
+// counter fields, the execution block, timeline windows, explain reports)
+// and the observability invariants: each strategy run's component × phase
+// attribution cells must sum to its flat counters exactly, and when the
+// run carries a cost timeline, the windows' totals must sum to the same
+// flat counters (no charge escapes its window).
 //
 // Usage:
 //   bench_schema_check <report.json> [...]       validate existing files
@@ -149,6 +151,148 @@ void CheckRun(const JsonValue& run, const std::string& where) {
             JsonValue::Type::kObject);
     Require(*gap, gap_where, "phase_ms_per_query", JsonValue::Type::kObject);
   }
+
+  // Timeline (optional: present when the bench recorded one). The windows'
+  // totals must sum to the run's flat counters — the same conservation law
+  // as the attribution matrix, applied over time.
+  const JsonValue* timeline = run.Find("timeline");
+  if (timeline != nullptr && counters != nullptr) {
+    const std::string tl_where = where + ".timeline";
+    const JsonValue* window_ms =
+        Require(*timeline, tl_where, "window_ms", JsonValue::Type::kNumber);
+    if (window_ms != nullptr && window_ms->number <= 0) {
+      Fail(tl_where + ".window_ms", "must be > 0");
+    }
+    const JsonValue* windows =
+        Require(*timeline, tl_where, "windows", JsonValue::Type::kArray);
+    if (windows != nullptr) {
+      if (windows->items.empty()) Fail(tl_where + ".windows", "empty");
+      uint64_t sums[5] = {0, 0, 0, 0, 0};
+      double last_index = -1;
+      for (size_t i = 0; i < windows->items.size(); ++i) {
+        const std::string win_where =
+            tl_where + ".windows[" + std::to_string(i) + "]";
+        const JsonValue& win = windows->items[i];
+        const JsonValue* index =
+            Require(win, win_where, "index", JsonValue::Type::kNumber);
+        if (index != nullptr) {
+          if (index->number <= last_index) {
+            Fail(win_where + ".index", "must be strictly ascending");
+          }
+          last_index = index->number;
+        }
+        Require(win, win_where, "begin_ms", JsonValue::Type::kNumber);
+        Require(win, win_where, "end_ms", JsonValue::Type::kNumber);
+        Require(win, win_where, "updates", JsonValue::Type::kNumber);
+        Require(win, win_where, "queries", JsonValue::Type::kNumber);
+        const JsonValue* totals =
+            Require(win, win_where, "totals", JsonValue::Type::kObject);
+        if (totals != nullptr) {
+          uint64_t v[5];
+          ReadCounters(*totals, win_where + ".totals", v);
+          for (int f = 0; f < 5; ++f) sums[f] += v[f];
+        }
+        const JsonValue* cells =
+            Require(win, win_where, "cells", JsonValue::Type::kArray);
+        if (cells != nullptr && totals != nullptr) {
+          uint64_t cell_sums[5] = {0, 0, 0, 0, 0};
+          for (size_t c = 0; c < cells->items.size(); ++c) {
+            const std::string cell_where =
+                win_where + ".cells[" + std::to_string(c) + "]";
+            const JsonValue& cell = cells->items[c];
+            Require(cell, cell_where, "component", JsonValue::Type::kString);
+            Require(cell, cell_where, "phase", JsonValue::Type::kString);
+            Require(cell, cell_where, "ms", JsonValue::Type::kNumber);
+            const JsonValue* cc = Require(cell, cell_where, "counters",
+                                          JsonValue::Type::kObject);
+            if (cc != nullptr) {
+              uint64_t v[5];
+              ReadCounters(*cc, cell_where + ".counters", v);
+              for (int f = 0; f < 5; ++f) cell_sums[f] += v[f];
+            }
+          }
+          uint64_t totals_v[5];
+          ReadCounters(*totals, win_where + ".totals", totals_v);
+          for (int f = 0; f < 5; ++f) {
+            if (cell_sums[f] != totals_v[f]) {
+              Fail(win_where + ".cells",
+                   std::string(kCounterFields[f]) + " cells sum to " +
+                       std::to_string(cell_sums[f]) + " but window total is " +
+                       std::to_string(totals_v[f]));
+            }
+          }
+        }
+        const JsonValue* signals =
+            Require(win, win_where, "signals", JsonValue::Type::kObject);
+        if (signals != nullptr) {
+          for (const char* key :
+               {"update_fraction", "update_ms", "refresh_ms", "query_ms",
+                "refresh_ms_per_update", "query_ms_per_query", "io_per_op",
+                "ewma_update_ms", "ewma_query_ms", "p50_op_ms",
+                "p95_op_ms"}) {
+            Require(*signals, win_where + ".signals", key,
+                    JsonValue::Type::kNumber);
+          }
+        }
+      }
+      for (int f = 0; f < 5; ++f) {
+        if (sums[f] != flat[f]) {
+          Fail(tl_where,
+               std::string(kCounterFields[f]) + " windows sum to " +
+                   std::to_string(sums[f]) + " but flat counter is " +
+                   std::to_string(flat[f]));
+        }
+      }
+    }
+  }
+}
+
+void CheckExplain(const JsonValue& explain, const std::string& where) {
+  const JsonValue* model =
+      Require(explain, where, "model", JsonValue::Type::kNumber);
+  if (model != nullptr && (model->number < 1 || model->number > 3)) {
+    Fail(where + ".model", "must be 1, 2, or 3");
+  }
+  Require(explain, where, "params", JsonValue::Type::kObject);
+  Require(explain, where, "winner", JsonValue::Type::kString);
+  Require(explain, where, "winner_cost_ms", JsonValue::Type::kNumber);
+  const JsonValue* candidates =
+      Require(explain, where, "candidates", JsonValue::Type::kArray);
+  if (candidates != nullptr) {
+    if (candidates->items.empty()) Fail(where + ".candidates", "empty");
+    double last_cost = -1;
+    for (size_t i = 0; i < candidates->items.size(); ++i) {
+      const std::string cand_where =
+          where + ".candidates[" + std::to_string(i) + "]";
+      const JsonValue& cand = candidates->items[i];
+      Require(cand, cand_where, "strategy", JsonValue::Type::kString);
+      Require(cand, cand_where, "margin_ms", JsonValue::Type::kNumber);
+      Require(cand, cand_where, "formula", JsonValue::Type::kString);
+      const JsonValue* cost =
+          Require(cand, cand_where, "cost_ms", JsonValue::Type::kNumber);
+      if (cost != nullptr) {
+        if (cost->number < last_cost) {
+          Fail(cand_where + ".cost_ms", "candidates must be ranked ascending");
+        }
+        last_cost = cost->number;
+      }
+    }
+  }
+  const JsonValue* boundaries =
+      Require(explain, where, "boundaries", JsonValue::Type::kArray);
+  if (boundaries != nullptr) {
+    for (size_t i = 0; i < boundaries->items.size(); ++i) {
+      const std::string b_where =
+          where + ".boundaries[" + std::to_string(i) + "]";
+      const JsonValue& b = boundaries->items[i];
+      Require(b, b_where, "param", JsonValue::Type::kString);
+      Require(b, b_where, "current", JsonValue::Type::kNumber);
+      Require(b, b_where, "boundary", JsonValue::Type::kNumber);
+      Require(b, b_where, "distance", JsonValue::Type::kNumber);
+      Require(b, b_where, "relative_distance", JsonValue::Type::kNumber);
+      Require(b, b_where, "challenger", JsonValue::Type::kString);
+    }
+  }
 }
 
 void CheckSimResult(const JsonValue& result, const std::string& where) {
@@ -181,8 +325,8 @@ void CheckSimResult(const JsonValue& result, const std::string& where) {
 void CheckReport(const JsonValue& root, const std::string& file) {
   const JsonValue* version =
       Require(root, file, "schema_version", JsonValue::Type::kNumber);
-  if (version != nullptr && version->number != 2) {
-    Fail(file + ".schema_version", "expected 2");
+  if (version != nullptr && version->number != 3) {
+    Fail(file + ".schema_version", "expected 3");
   }
   Require(root, file, "bench", JsonValue::Type::kString);
   Require(root, file, "quick", JsonValue::Type::kBool);
@@ -229,6 +373,17 @@ void CheckReport(const JsonValue& root, const std::string& file) {
                      file + ".sim_results[" + std::to_string(i) + "]");
     }
   }
+  const JsonValue* explain = root.Find("explain");  // optional
+  if (explain != nullptr) {
+    if (!explain->is_array()) {
+      Fail(file + ".explain", "must be an array");
+    } else {
+      for (size_t i = 0; i < explain->items.size(); ++i) {
+        CheckExplain(explain->items[i],
+                     file + ".explain[" + std::to_string(i) + "]");
+      }
+    }
+  }
   const JsonValue* metrics = root.Find("metrics");  // optional
   if (metrics != nullptr) {
     Require(*metrics, file + ".metrics", "counters", JsonValue::Type::kArray);
@@ -261,7 +416,7 @@ int CheckFile(const std::string& path) {
   const int before = g_errors;
   CheckReport(*parsed, path);
   if (g_errors != before) return 1;
-  std::printf("%s: OK (schema_version 2)\n", path.c_str());
+  std::printf("%s: OK (schema_version 3)\n", path.c_str());
   return 0;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/bench_report.h"
@@ -34,6 +35,9 @@ int main(int argc, char** argv) {
   sim::SimOptions options;
   options.tracer = &tracer;
   options.metrics = &metrics;
+  // Bucket every strategy's cost stream into windows so the report carries
+  // cost(view, component, phase, t) — a few dozen windows per run.
+  options.timeline_window_ms = cli.quick ? 20000 : 50000;
   std::printf("# Simulator-vs-model validation (N=%.0f, k=%.0f, q=%.0f, "
               "l=%.0f)\n\n",
               p.N, p.k, p.q, p.l);
@@ -59,6 +63,13 @@ int main(int argc, char** argv) {
                  "winner ordering and rough magnitudes match the closed "
                  "forms; explain_gap attributes the residual to B+-tree "
                  "descents and buffer-pool effects the model abstracts away");
+  // Advisor explain reports: the analytical winner for this workload point,
+  // every formula evaluated, and the distance to the nearest winner flip.
+  for (int model = 1; model <= 3; ++model) {
+    const obs::ExplainReport explain = obs::BuildExplain(model, p);
+    std::printf("%s\n", obs::ExplainText(explain).c_str());
+    report.AddExplain(explain);
+  }
   report.set_metrics(&metrics);
   report.set_tracer(&tracer);
   return sim::FinishBenchMain(cli, &report);

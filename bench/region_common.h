@@ -5,40 +5,34 @@
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
-#include "costmodel/model1.h"
-#include "costmodel/model2.h"
 #include "costmodel/regions.h"
 #include "sim/bench_report.h"
 
 namespace viewmat::bench {
 
+// Candidate sets and evaluators come from the shared costmodel definitions
+// (ModelCandidates / ModelCostFn) — the same ones the advisor and the
+// explain reports rank, so the figures can never drift from them.
+
 inline double Model1CostOrInf(costmodel::Strategy s,
                               const costmodel::Params& p) {
-  auto c = costmodel::Model1Cost(s, p);
-  return c.ok() ? *c : 1e300;
+  static const costmodel::CostFn kCost = costmodel::ModelCostFn(1);
+  return kCost(s, p);
 }
 
 inline double Model2CostOrInf(costmodel::Strategy s,
                               const costmodel::Params& p) {
-  auto c = costmodel::Model2Cost(s, p);
-  return c.ok() ? *c : 1e300;
+  static const costmodel::CostFn kCost = costmodel::ModelCostFn(2);
+  return kCost(s, p);
 }
 
 inline const std::vector<costmodel::Strategy>& Model1Candidates() {
-  static const std::vector<costmodel::Strategy> kCandidates = {
-      costmodel::Strategy::kDeferred, costmodel::Strategy::kImmediate,
-      costmodel::Strategy::kQmClustered, costmodel::Strategy::kQmUnclustered,
-      costmodel::Strategy::kQmSequential};
-  return kCandidates;
+  return costmodel::ModelCandidates(1);
 }
 
 inline const std::vector<costmodel::Strategy>& Model2Candidates() {
-  static const std::vector<costmodel::Strategy> kCandidates = {
-      costmodel::Strategy::kDeferred, costmodel::Strategy::kImmediate,
-      costmodel::Strategy::kQmLoopJoin};
-  return kCandidates;
+  return costmodel::ModelCandidates(2);
 }
 
 /// The f (log, .005..1) × P (linear, .01...97) raster the figures use.

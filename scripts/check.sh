@@ -27,6 +27,20 @@ if [[ "$quick" == 1 ]]; then
   exit 0
 fi
 
+echo "== bench regression gate (bench_diff vs committed baselines) =="
+# Fresh full-mode reports diffed against the committed BENCH_*.json at a 5%
+# threshold: any cost metric growing past it (or any metric/run/table going
+# missing) fails the check. The sweeps are deterministic, so a clean tree
+# diffs clean; an intentional perf change ships with regenerated baselines.
+./build/bench/bench_sim_validation --json build/BENCH_sim_validation.new.json \
+  --jobs "$jobs" >/dev/null
+./build/bench/bench_diff BENCH_sim_validation.json \
+  build/BENCH_sim_validation.new.json --threshold 5%
+./build/bench/bench_fault_sweep --json build/BENCH_fault_sweep.new.json \
+  --jobs "$jobs" >/dev/null
+./build/bench/bench_diff BENCH_fault_sweep.json \
+  build/BENCH_fault_sweep.new.json --threshold 5%
+
 echo "== sanitized build (address;undefined) =="
 cmake -S . -B build-asan -DVIEWMAT_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "$jobs"

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace viewmat::costmodel {
 
 Params Params::WithUpdateProbability(double p) const {
@@ -59,6 +61,31 @@ std::string Params::ToString() const {
                 N, S, B, b(), T(), n, k, l, q, u(), P(), f, f_v, f_R2, C1, C2,
                 C3);
   return buf;
+}
+
+void Params::WriteJson(common::JsonWriter* w) const {
+  w->BeginObject();
+  w->KV("N", N);
+  w->KV("S", S);
+  w->KV("B", B);
+  w->KV("n", n);
+  w->KV("k", k);
+  w->KV("l", l);
+  w->KV("q", q);
+  w->KV("f", f);
+  w->KV("f_v", f_v);
+  w->KV("f_R2", f_R2);
+  w->KV("C1", C1);
+  w->KV("C2", C2);
+  w->KV("C3", C3);
+  w->KV("use_exact_yao", use_exact_yao);
+  w->KV("aggregate_scan_fraction", aggregate_scan_fraction);
+  // Derived quantities, for report readers that don't re-derive.
+  w->KV("b", b());
+  w->KV("T", T());
+  w->KV("u", u());
+  w->KV("P", P());
+  w->EndObject();
 }
 
 }  // namespace viewmat::costmodel

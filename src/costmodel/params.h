@@ -5,6 +5,10 @@
 
 #include "common/status.h"
 
+namespace viewmat::common {
+class JsonWriter;
+}
+
 namespace viewmat::costmodel {
 
 /// The parameter set of the paper's analysis (§3.1), with the paper's
@@ -67,6 +71,11 @@ struct Params {
 
   /// Multi-line "name = value" dump used by bench_params_table.
   std::string ToString() const;
+
+  /// Serializes every field plus the derived quantities (b, T, u, P) as one
+  /// JSON object onto `w`. The single definition backing both BENCH report
+  /// "params" blocks and explain reports, so their key sets never diverge.
+  void WriteJson(common::JsonWriter* w) const;
 };
 
 }  // namespace viewmat::costmodel

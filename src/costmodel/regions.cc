@@ -7,8 +7,42 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "costmodel/model1.h"
+#include "costmodel/model2.h"
+#include "costmodel/model3.h"
 
 namespace viewmat::costmodel {
+
+const std::vector<Strategy>& ModelCandidates(int model) {
+  static const std::vector<Strategy> kModel1 = {
+      Strategy::kDeferred, Strategy::kImmediate, Strategy::kQmClustered,
+      Strategy::kQmUnclustered, Strategy::kQmSequential};
+  static const std::vector<Strategy> kModel2 = {
+      Strategy::kDeferred, Strategy::kImmediate, Strategy::kQmLoopJoin};
+  static const std::vector<Strategy> kModel3 = {
+      Strategy::kDeferred, Strategy::kImmediate, Strategy::kQmRecompute};
+  switch (model) {
+    case 1: return kModel1;
+    case 2: return kModel2;
+    case 3: return kModel3;
+  }
+  VIEWMAT_CHECK(false && "model must be 1, 2, or 3");
+  return kModel1;
+}
+
+CostFn ModelCostFn(int model) {
+  VIEWMAT_CHECK(model >= 1 && model <= 3);
+  return [model](Strategy s, const Params& p) -> double {
+    StatusOr<double> cost = [&]() -> StatusOr<double> {
+      switch (model) {
+        case 1: return Model1Cost(s, p);
+        case 2: return Model2Cost(s, p);
+        default: return Model3Cost(s, p);
+      }
+    }();
+    return cost.ok() ? *cost : std::numeric_limits<double>::infinity();
+  };
+}
 
 double Axis::At(int i) const {
   VIEWMAT_DCHECK(i >= 0 && i < count);

@@ -52,6 +52,18 @@ struct RegionGrid {
 Strategy Winner(const CostFn& cost, const std::vector<Strategy>& candidates,
                 const Params& p);
 
+/// The strategies applicable to a view model (1 = select-project, 2 = join,
+/// 3 = aggregate) — the candidate sets the paper's figures, the advisor,
+/// and the explain reports all rank. One definition so they can never
+/// drift apart.
+const std::vector<Strategy>& ModelCandidates(int model);
+
+/// The model's TOTAL_* evaluator packaged as a CostFn. Parameter points a
+/// formula rejects (Model*Cost returns an error) evaluate to +infinity, so
+/// the strategy simply never wins there — the convention Winner() and
+/// ComputeRegions() already assume.
+CostFn ModelCostFn(int model);
+
 /// Rasterizes winner regions over an (f, P) grid. `base` provides every
 /// parameter other than f and P; P is applied via WithUpdateProbability.
 /// `jobs` spreads the f rows over worker threads (1 = serial, 0 = one per

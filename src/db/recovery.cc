@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
+#include "storage/cost_tracker.h"
 
 namespace viewmat::db {
 
@@ -113,8 +115,9 @@ Status RecoveryManager::CommitAndApply(const Transaction& txn,
     return applied;
   }
 
+  ++commits_since_checkpoint_;
   if (options_.checkpoint_every > 0 &&
-      ++commits_since_checkpoint_ >= options_.checkpoint_every) {
+      commits_since_checkpoint_ >= options_.checkpoint_every) {
     // Best-effort: a failed checkpoint leaves either the old log or an
     // empty-but-checkpointed log, both recoverable; surface the error so
     // the caller knows durability work was left pending.
@@ -157,6 +160,8 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
   RecoverStats local;
   RecoverStats* out = stats != nullptr ? stats : &local;
   *out = RecoverStats();
+  obs::Tracer* tracer = storage::TracerOf(pool_->disk()->tracker());
+  const obs::ScopedSpan recover_span(tracer, "recover");
 
   // Analysis: group intents under the commits that cover them.
   struct CommittedTxn {
@@ -169,6 +174,7 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
   uint64_t checkpoint_floor = 0;
   Status decode = Status::OK();
   bool torn = false;
+  obs::ScopedSpan analysis_span(tracer, "recover.wal_analysis");
   Status scanned = wal_.ScanWithLsn(
       [&](storage::Lsn lsn, uint8_t type, const uint8_t* payload,
           uint16_t len) {
@@ -241,6 +247,7 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
         }
       },
       &torn);
+  analysis_span.End();
   VIEWMAT_RETURN_IF_ERROR(scanned);
   VIEWMAT_RETURN_IF_ERROR(decode);
   out->torn_tail = torn;
@@ -249,6 +256,7 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
 
   // Redo, in log order. Every replayed record is already durable, so page
   // stamps stay at or below the log's durable LSN and write-back is free.
+  obs::ScopedSpan redo_span(tracer, "recover.wal_redo");
   for (const CommittedTxn& txn : committed) {
     pool_->SetStampLsn(txn.commit_lsn);
     for (const RedoOp& op : txn.ops) {
@@ -256,6 +264,7 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
     }
     ++out->txns_replayed;
   }
+  redo_span.End();
 
   // The committed high-water mark survives three ways: the in-memory floor
   // (this process issued the commits), the checkpoint record, and the
@@ -276,10 +285,25 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
   VIEWMAT_RETURN_IF_ERROR(pool_->FlushAll());
   needs_recovery_ = false;
   ++recoveries_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("recovery_runs_total")->Increment();
+    metrics_->GetCounter("recovery_txns_replayed_total")
+        ->Increment(out->txns_replayed);
+    metrics_->GetCounter("recovery_ops_replayed_total")
+        ->Increment(out->ops_replayed);
+    metrics_->GetCounter("recovery_ops_skipped_total")
+        ->Increment(out->ops_skipped);
+    if (out->torn_tail) {
+      metrics_->GetCounter("recovery_torn_tails_total")->Increment();
+    }
+  }
   return Status::OK();
 }
 
 Status RecoveryManager::Checkpoint() {
+  // Log size and age are read before the truncate discards them.
+  const uint64_t retired_records = wal_.record_count();
+  const uint64_t age_commits = commits_since_checkpoint_;
   // Every committed transaction's effects must be on the device before the
   // log that would redo them is discarded.
   VIEWMAT_RETURN_IF_ERROR(pool_->FlushAll());
@@ -289,6 +313,16 @@ Status RecoveryManager::Checkpoint() {
       wal_.TruncateWithRecord(kCheckpoint, payload, sizeof(payload)));
   commits_since_checkpoint_ = 0;
   ++checkpoints_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("checkpoints_total")->Increment();
+    metrics_
+        ->GetHistogram("checkpoint_log_records", {},
+                       {1, 8, 64, 512, 4096, 32768})
+        ->Observe(static_cast<double>(retired_records));
+    metrics_
+        ->GetHistogram("checkpoint_age_commits", {}, {1, 2, 4, 8, 16, 32, 64})
+        ->Observe(static_cast<double>(age_commits));
+  }
   return Status::OK();
 }
 

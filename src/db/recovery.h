@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "db/relation.h"
 #include "db/transaction.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/wal.h"
 
@@ -126,6 +127,16 @@ class RecoveryManager {
   /// Checkpoints taken (observability).
   uint64_t checkpoints() const { return checkpoints_; }
 
+  /// Opts recovery/checkpoint work into a metrics registry (may be null to
+  /// opt back out). Recover() bumps `recovery_runs_total`,
+  /// `recovery_txns_replayed_total`, `recovery_ops_replayed_total`,
+  /// `recovery_ops_skipped_total`, and `recovery_torn_tails_total`;
+  /// Checkpoint() bumps `checkpoints_total` and observes the log size it
+  /// retired (`checkpoint_log_records`) and its age in commits
+  /// (`checkpoint_age_commits`). Both also record `recover.wal_analysis` /
+  /// `recover.wal_redo` spans when the disk's CostTracker has a tracer.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   storage::WriteAheadLog* wal() { return &wal_; }
   const storage::WriteAheadLog* wal() const { return &wal_; }
 
@@ -152,6 +163,7 @@ class RecoveryManager {
   bool needs_recovery_ = false;
   uint64_t recoveries_ = 0;
   uint64_t checkpoints_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace viewmat::db

@@ -160,7 +160,7 @@ Status AdFile::Recover(RecoveryInfo* info) {
   RecoveryInfo* out = info != nullptr ? info : &local;
   *out = RecoveryInfo();
   storage::CostTracker* tracker = pool_->disk()->tracker();
-  obs::ScopedSpan recover_span(storage::TracerOf(tracker), "ad-recover");
+  obs::ScopedSpan recover_span(storage::TracerOf(tracker), "recover.ad");
 
   // Pass 1: read the durable history. Intents buffer until their commit
   // record; a fold-commit marker means everything committed so far was
@@ -172,7 +172,8 @@ Status AdFile::Recover(RecoveryInfo* info) {
   std::vector<PendingIntent> committed;
   std::vector<PendingIntent> uncommitted;
   bool torn = false;
-  obs::ScopedSpan replay_span(storage::TracerOf(tracker), "log-replay");
+  obs::ScopedSpan replay_span(storage::TracerOf(tracker),
+                              "recover.log_replay");
   VIEWMAT_RETURN_IF_ERROR(log_->Scan(
       [&](uint8_t type, const uint8_t* payload, uint16_t len) {
         switch (static_cast<WalRecord>(type)) {
@@ -227,7 +228,8 @@ Status AdFile::Recover(RecoveryInfo* info) {
   // are not trustworthy — a failure partway must leave the flag set so no
   // reader serves the half-rebuilt state.
   needs_recovery_ = true;
-  obs::ScopedSpan rebuild_span(storage::TracerOf(tracker), "bloom-rebuild");
+  obs::ScopedSpan rebuild_span(storage::TracerOf(tracker),
+                               "recover.bloom_rebuild");
   {
     // The hash replay below re-adds surviving keys; clearing both here
     // makes the rebuild a fresh start (Bloom upkeep is free of I/O, so the

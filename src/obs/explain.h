@@ -1,0 +1,80 @@
+#ifndef VIEWMAT_OBS_EXPLAIN_H_
+#define VIEWMAT_OBS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "costmodel/params.h"
+#include "costmodel/strategy.h"
+
+namespace viewmat::common {
+class JsonWriter;
+}
+
+namespace viewmat::obs {
+
+/// Advisor explain report: for one view model + workload parameter point,
+/// *why* the recommended strategy wins — every applicable TOTAL_* formula
+/// evaluated with its parameter values, and how far the workload would
+/// have to drift before a different strategy takes over.
+///
+/// The boundary distances are the load-bearing part for the online
+/// adaptive advisor (ROADMAP item 4): a small distance on the P axis means
+/// a modest shift in the update/query mix flips the decision, so a
+/// controller watching the cost timeline knows which drift signal to
+/// monitor and how much slack it has.
+
+/// One ranked strategy with its evaluated cost formula.
+struct ExplainCandidate {
+  costmodel::Strategy strategy;
+  double cost_ms = 0;    ///< model ms per view query (the TOTAL_* value)
+  double margin_ms = 0;  ///< cost_ms - winner's cost_ms (0 for the winner)
+  /// The formula as evaluated, e.g.
+  /// "TOTAL_def(P=0.500, f=0.100, f_v=0.100, u=10, b=500, T=40)".
+  std::string formula;
+};
+
+/// The nearest winner-flip along one parameter axis.
+struct ExplainBoundary {
+  std::string param;  ///< "P", "f", "f_v", or "l"
+  double current = 0;   ///< the parameter's value at the explained point
+  double boundary = 0;  ///< nearest value at which the winner changes
+  double distance = 0;  ///< |boundary - current|
+  /// distance / max(|current|, axis floor): a unitless "how much drift"
+  /// number comparable across axes.
+  double relative_distance = 0;
+  costmodel::Strategy challenger;  ///< the winner on the far side
+};
+
+struct ExplainReport {
+  int model = 0;  ///< 1, 2, or 3
+  costmodel::Params params;
+  std::vector<ExplainCandidate> ranked;  ///< ascending cost; front() wins
+  /// Boundaries for every axis where a flip exists within the searched
+  /// range, ordered by relative_distance (nearest first).
+  std::vector<ExplainBoundary> boundaries;
+
+  costmodel::Strategy winner() const { return ranked.front().strategy; }
+  double winner_cost_ms() const { return ranked.front().cost_ms; }
+  /// The single nearest boundary across all axes, or null when every axis
+  /// is flip-free in range (the winner region surrounds the point).
+  const ExplainBoundary* nearest_boundary() const {
+    return boundaries.empty() ? nullptr : &boundaries.front();
+  }
+};
+
+/// Builds the report: ranks costmodel::ModelCandidates(model) under
+/// costmodel::ModelCostFn(model), then searches the P, f, f_v, and l axes
+/// (P linearly, the rest log-scaled) for the nearest winner-region
+/// boundary in each direction and bisects it to high precision.
+ExplainReport BuildExplain(int model, const costmodel::Params& params);
+
+/// Multi-line human-readable rendering.
+std::string ExplainText(const ExplainReport& report);
+
+/// Serializes the report as one JSON object onto `w`.
+void WriteExplainJson(common::JsonWriter* w, const ExplainReport& report);
+
+}  // namespace viewmat::obs
+
+#endif  // VIEWMAT_OBS_EXPLAIN_H_

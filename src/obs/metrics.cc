@@ -8,6 +8,15 @@
 
 namespace viewmat::obs {
 
+Labels MetricsRegistry::CanonicalLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  return sorted;
+}
+
 std::string MetricsRegistry::FullKey(std::string_view name,
                                      const Labels& labels) {
   std::string key(name);
@@ -33,13 +42,15 @@ const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
 
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      const Labels& labels) {
-  const std::string key = FullKey(name, labels);
+  Labels canonical = CanonicalLabels(labels);
+  const std::string key = FullKey(name, canonical);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.counters.find(key);
   if (it == shard.counters.end()) {
     it = shard.counters
-             .emplace(key, CounterEntry{std::string(name), labels,
+             .emplace(key, CounterEntry{std::string(name),
+                                        std::move(canonical),
                                         std::make_unique<Counter>()})
              .first;
   }
@@ -49,14 +60,15 @@ Counter* MetricsRegistry::GetCounter(std::string_view name,
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          const Labels& labels,
                                          std::vector<double> bounds) {
-  const std::string key = FullKey(name, labels);
+  Labels canonical = CanonicalLabels(labels);
+  const std::string key = FullKey(name, canonical);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.histograms.find(key);
   if (it == shard.histograms.end()) {
     it = shard.histograms
              .emplace(key,
-                      HistogramEntry{std::string(name), labels,
+                      HistogramEntry{std::string(name), std::move(canonical),
                                      std::make_unique<Histogram>(
                                          std::move(bounds))})
              .first;

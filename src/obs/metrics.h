@@ -17,8 +17,11 @@ class JsonWriter;
 
 namespace viewmat::obs {
 
-/// Metric labels: ordered key=value pairs. Order is part of identity, so
-/// instrumentation sites should list labels in one canonical order.
+/// Metric labels: key=value pairs. The registry canonicalizes them by
+/// sorting on key, so call sites may list labels in any order — the same
+/// (name, label set) always resolves to the same metric, and snapshots
+/// (JSON, text) always render labels in sorted order regardless of which
+/// shard or call site registered them.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonic counter. Pointer-stable once created: call-sites cache the
@@ -132,6 +135,10 @@ class MetricsRegistry {
     std::map<std::string, HistogramEntry> histograms;
   };
 
+  /// Labels sorted by key — the canonical form used for identity and
+  /// output. Stable for equal keys, preserving first-listed precedence.
+  static Labels CanonicalLabels(const Labels& labels);
+  /// `labels` must already be canonical.
   static std::string FullKey(std::string_view name, const Labels& labels);
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;

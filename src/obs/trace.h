@@ -36,6 +36,16 @@ struct Span {
 /// Chrome-trace/Perfetto JSON (load via ui.perfetto.dev or
 /// chrome://tracing) or as a deterministic ASCII tree for golden tests.
 ///
+/// Span naming scheme (shared by every strategy, so traces from deferred
+/// and hybrid runs line up): root spans are bare verbs — "txn", "query",
+/// "refresh", "recover", "recompute" — and sub-steps are
+/// "<root>.<step>" in snake_case, e.g. "refresh.prepare",
+/// "refresh.view_patch", "refresh.fold", "refresh.ad_reset",
+/// "recover.ad", "recover.log_replay", "recover.bloom_rebuild",
+/// "recover.wal_analysis", "recover.wal_redo". New emission sites should
+/// reuse an existing root when the work belongs to one of these
+/// lifecycles rather than inventing a new root verb.
+///
 /// The disabled mode is a null pointer: every emission site goes through
 /// ScopedSpan, which does nothing (one branch) when the tracer is null, so
 /// tracing costs nothing unless a harness opts in.

@@ -33,28 +33,7 @@ void WriteCounters(JsonWriter* w, const CostCounters& c) {
 }
 
 void WriteParams(JsonWriter* w, const costmodel::Params& p) {
-  w->BeginObject();
-  w->KV("N", p.N);
-  w->KV("S", p.S);
-  w->KV("B", p.B);
-  w->KV("n", p.n);
-  w->KV("k", p.k);
-  w->KV("l", p.l);
-  w->KV("q", p.q);
-  w->KV("f", p.f);
-  w->KV("f_v", p.f_v);
-  w->KV("f_R2", p.f_R2);
-  w->KV("C1", p.C1);
-  w->KV("C2", p.C2);
-  w->KV("C3", p.C3);
-  w->KV("use_exact_yao", p.use_exact_yao);
-  w->KV("aggregate_scan_fraction", p.aggregate_scan_fraction);
-  // Derived quantities, for report readers that don't re-derive.
-  w->KV("b", p.b());
-  w->KV("T", p.T());
-  w->KV("u", p.u());
-  w->KV("P", p.P());
-  w->EndObject();
+  p.WriteJson(w);
 }
 
 void WriteTable(JsonWriter* w, const SeriesTable& t) {
@@ -85,6 +64,58 @@ double CellMs(const CostCounters& c, const costmodel::Params& p) {
   return p.C2 * static_cast<double>(c.disk_ios()) +
          p.C1 * static_cast<double>(c.screen_tests + c.tuple_cpu_ops) +
          p.C3 * static_cast<double>(c.ad_set_ops);
+}
+
+/// Per-run cost timeline: window index, op counts, sparse attributed
+/// cells, and the drift signals stamped when the window closed. The
+/// windows' totals sum to the run's flat counters (schema check enforced).
+void WriteTimeline(JsonWriter* w, const storage::CostTimeline& timeline,
+                   const costmodel::Params& p) {
+  w->BeginObject();
+  w->KV("window_ms", timeline.window_ms);
+  w->Key("windows");
+  w->BeginArray();
+  for (const storage::TimelineWindow& win : timeline.windows) {
+    w->BeginObject();
+    w->KV("index", win.index);
+    w->KV("begin_ms", static_cast<double>(win.index) * timeline.window_ms);
+    w->KV("end_ms",
+          static_cast<double>(win.index + 1) * timeline.window_ms);
+    w->KV("updates", win.updates);
+    w->KV("queries", win.queries);
+    w->Key("totals");
+    WriteCounters(w, win.totals);
+    w->Key("cells");
+    w->BeginArray();
+    for (const storage::TimelineCell& cell : win.cells) {
+      w->BeginObject();
+      w->KV("component", storage::ComponentName(cell.component));
+      w->KV("phase", storage::PhaseName(cell.phase));
+      w->Key("counters");
+      WriteCounters(w, cell.counters);
+      w->KV("ms", CellMs(cell.counters, p));
+      w->EndObject();
+    }
+    w->EndArray();
+    const storage::TimelineSignals& s = win.signals;
+    w->Key("signals");
+    w->BeginObject();
+    w->KV("update_fraction", s.update_fraction);
+    w->KV("update_ms", s.update_ms);
+    w->KV("refresh_ms", s.refresh_ms);
+    w->KV("query_ms", s.query_ms);
+    w->KV("refresh_ms_per_update", s.refresh_ms_per_update);
+    w->KV("query_ms_per_query", s.query_ms_per_query);
+    w->KV("io_per_op", s.io_per_op);
+    w->KV("ewma_update_ms", s.ewma_update_ms);
+    w->KV("ewma_query_ms", s.ewma_query_ms);
+    w->KV("p50_op_ms", s.p50_op_ms);
+    w->KV("p95_op_ms", s.p95_op_ms);
+    w->EndObject();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
 }
 
 void WriteRun(JsonWriter* w, const StrategyRun& run, const SimResult& result) {
@@ -149,6 +180,11 @@ void WriteRun(JsonWriter* w, const StrategyRun& run, const SimResult& result) {
   w->EndObject();
   w->EndObject();
 
+  if (!run.timeline.empty()) {
+    w->Key("timeline");
+    WriteTimeline(w, run.timeline, p);
+  }
+
   w->EndObject();
 }
 
@@ -193,7 +229,7 @@ size_t BenchCli::effective_jobs() const {
 std::string BenchReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
-  w.KV("schema_version", 2);
+  w.KV("schema_version", 3);
   w.KV("bench", bench_name_);
   w.Key("build");
   w.BeginObject();
@@ -224,6 +260,12 @@ std::string BenchReport::ToJson() const {
   w.BeginArray();
   for (const SimResult& r : sim_results_) WriteSimResult(&w, r);
   w.EndArray();
+  if (!explains_.empty()) {
+    w.Key("explain");
+    w.BeginArray();
+    for (const obs::ExplainReport& e : explains_) obs::WriteExplainJson(&w, e);
+    w.EndArray();
+  }
   if (metrics_ != nullptr) {
     w.Key("metrics");
     metrics_->WriteJson(&w);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/report.h"
@@ -33,9 +34,10 @@ struct BenchCli {
 };
 
 /// Collects what a bench run wants to persist — series tables, full
-/// simulation results (with component × phase attribution), free-form
-/// notes, and optionally a metrics registry and span trace — and
-/// serializes everything as one JSON document (schema_version 2).
+/// simulation results (with component × phase attribution and, when the
+/// sim recorded them, per-run cost timelines), advisor explain reports,
+/// free-form notes, and optionally a metrics registry and span trace —
+/// and serializes everything as one JSON document (schema_version 3).
 ///
 /// Every report carries run metadata: bench name, the git revision the
 /// binary was built from, the quick flag, and an execution block (worker
@@ -55,6 +57,10 @@ class BenchReport {
 
   void AddTable(const SeriesTable& table) { tables_.push_back(table); }
   void AddSimResult(const SimResult& result) { sim_results_.push_back(result); }
+  /// Attaches an advisor explain report (serialized under "explain").
+  void AddExplain(const obs::ExplainReport& report) {
+    explains_.push_back(report);
+  }
   void AddNote(std::string_view key, std::string_view value) {
     notes_.emplace_back(key, value);
   }
@@ -75,6 +81,7 @@ class BenchReport {
   size_t jobs_ = 1;
   std::vector<SeriesTable> tables_;
   std::vector<SimResult> sim_results_;
+  std::vector<obs::ExplainReport> explains_;
   std::vector<std::pair<std::string, std::string>> notes_;
   const obs::MetricsRegistry* metrics_ = nullptr;
   const obs::Tracer* tracer_ = nullptr;

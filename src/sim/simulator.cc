@@ -144,20 +144,28 @@ Status DriveTupleStrategy(const SimOptions& options, Scenario* scenario,
                           Instance* inst, db::Relation* updated_rel,
                           view::ViewStrategy* strategy,
                           const std::string& run_name, double* ms_per_query,
-                          DriveStats* stats = nullptr) {
+                          DriveStats* stats = nullptr,
+                          storage::CostTimeline* timeline = nullptr) {
   // Loading/initialization happens outside the measured window: persist it
   // and start the run cold.
   VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAndEvictAll());
   inst->tracker.Reset();
   RunObservers observe(options, inst, run_name);
+  std::unique_ptr<storage::TimelineRecorder> recorder;
+  if (timeline != nullptr && options.timeline_window_ms > 0) {
+    recorder = std::make_unique<storage::TimelineRecorder>(
+        &inst->tracker, options.timeline_window_ms);
+  }
   size_t queries = 0;
   size_t updates = 0;
   for (const Scenario::OpKind op : scenario->OpSequence()) {
     const double before_ms = inst->tracker.TotalMs();
+    bool is_update = false;
     if (op == Scenario::OpKind::kUpdate) {
       const db::Transaction txn = scenario->NextUpdateTransaction(updated_rel);
       VIEWMAT_RETURN_IF_ERROR(strategy->OnTransaction(txn));
       ++updates;
+      is_update = true;
       observe.OnUpdate(inst->tracker.TotalMs() - before_ms);
     } else {
       const Scenario::QueryRange range = scenario->NextQueryRange();
@@ -170,8 +178,12 @@ Status DriveTupleStrategy(const SimOptions& options, Scenario* scenario,
     if (options.cold_cache_between_ops) {
       VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAndEvictAll());
     }
+    // After the inter-op flush, so eviction traffic lands in the op's
+    // window and the timeline sums to the run totals.
+    if (recorder != nullptr) recorder->OnOp(is_update, before_ms);
   }
   VIEWMAT_RETURN_IF_ERROR(inst->pool.FlushAll());
+  if (recorder != nullptr) *timeline = recorder->Finish();
   if (stats != nullptr) {
     stats->queries = queries;
     stats->updates = updates;
@@ -334,7 +346,7 @@ StatusOr<SimResult> SimulateModel1(const Params& params,
     DriveStats stats;
     VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(
         options, &scenario, &inst, base, strategy.get(), run.name,
-        &run.measured_ms_per_query, &stats));
+        &run.measured_ms_per_query, &stats, &run.timeline));
     run.counters = inst.tracker.counters();
     run.attributed = inst.tracker.attributed();
     run.queries = stats.queries;
@@ -412,7 +424,7 @@ StatusOr<SimResult> SimulateModel2(const Params& params,
     DriveStats stats;
     VIEWMAT_RETURN_IF_ERROR(DriveTupleStrategy(
         options, &scenario, &inst, r1, strategy.get(), run.name,
-        &run.measured_ms_per_query, &stats));
+        &run.measured_ms_per_query, &stats, &run.timeline));
     run.counters = inst.tracker.counters();
     run.attributed = inst.tracker.attributed();
     run.queries = stats.queries;
@@ -485,13 +497,20 @@ StatusOr<SimResult> SimulateModel3(const Params& params,
     StrategyRun run;
     run.name = costmodel::StrategyName(which);
     RunObservers observe(options, &inst, run.name);
+    std::unique_ptr<storage::TimelineRecorder> recorder;
+    if (options.timeline_window_ms > 0) {
+      recorder = std::make_unique<storage::TimelineRecorder>(
+          &inst.tracker, options.timeline_window_ms);
+    }
     size_t queries = 0;
     for (const Scenario::OpKind op : scenario.OpSequence()) {
       const double before_ms = inst.tracker.TotalMs();
+      bool is_update = false;
       if (op == Scenario::OpKind::kUpdate) {
         const db::Transaction txn = scenario.NextUpdateTransaction(base);
         VIEWMAT_RETURN_IF_ERROR(strategy->OnTransaction(txn));
         ++run.updates;
+        is_update = true;
         observe.OnUpdate(inst.tracker.TotalMs() - before_ms);
       } else {
         db::Value value;
@@ -502,8 +521,10 @@ StatusOr<SimResult> SimulateModel3(const Params& params,
       if (options.cold_cache_between_ops) {
         VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAndEvictAll());
       }
+      if (recorder != nullptr) recorder->OnOp(is_update, before_ms);
     }
     VIEWMAT_RETURN_IF_ERROR(inst.pool.FlushAll());
+    if (recorder != nullptr) run.timeline = recorder->Finish();
     if (options.tracer != nullptr) options.tracer->SetClock(nullptr);
 
     run.measured_ms_per_query =

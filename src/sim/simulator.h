@@ -8,6 +8,7 @@
 #include "costmodel/params.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/cost_timeline.h"
 #include "storage/cost_tracker.h"
 
 namespace viewmat::sim {
@@ -30,6 +31,10 @@ struct SimOptions {
   /// Optional metrics registry (not owned; null = off). The driver records
   /// per-operation counts and model-ms histograms labeled by strategy.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Window width (model ms) for per-run cost timelines; 0 = timelines off.
+  /// Each strategy run then carries cost(component, phase, t) plus drift
+  /// signals per window (see storage/cost_timeline.h).
+  double timeline_window_ms = 0;
 };
 
 /// Outcome of driving the workload through one strategy.
@@ -44,6 +49,10 @@ struct StrategyRun {
   double measured_ms_per_query = 0;      ///< tracker ms / q
   double adjusted_ms_per_query = 0;      ///< measured − no-view baseline
   double analytical_ms_per_query = 0;    ///< the paper's TOTAL_* prediction
+  /// Windowed cost(component, phase, t) samples and drift signals; empty
+  /// unless SimOptions::timeline_window_ms was set. Windows sum to
+  /// `counters` exactly.
+  storage::CostTimeline timeline;
 };
 
 /// One simulated experiment: the same generated workload driven through a

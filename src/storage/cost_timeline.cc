@@ -1,0 +1,136 @@
+#include "storage/cost_timeline.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace viewmat::storage {
+
+namespace {
+
+/// Same latency ladder as the sim_update_ms/sim_query_ms registry
+/// histograms, so windowed quantiles and run-level histograms are
+/// comparable bucket for bucket.
+std::vector<double> OpCostBounds() {
+  return {30, 60, 120, 300, 600, 1200, 3000, 15000, 60000};
+}
+
+}  // namespace
+
+TimelineRecorder::TimelineRecorder(CostTracker* tracker, double window_ms)
+    : tracker_(tracker),
+      window_ms_(window_ms),
+      ewma_update_(/*half_life_ms=*/window_ms),
+      ewma_query_(/*half_life_ms=*/window_ms),
+      op_hist_(OpCostBounds(), window_ms, /*window_count=*/4) {
+  VIEWMAT_CHECK(tracker != nullptr);
+  VIEWMAT_CHECK(window_ms > 0);
+  timeline_.window_ms = window_ms;
+  last_snapshot_ = tracker_->attributed();
+  last_op_begin_ms_ = tracker_->TotalMs();
+}
+
+void TimelineRecorder::OpenWindow(int64_t index) {
+  window_ = TimelineWindow();
+  window_.index = index;
+  window_attr_ = AttributedCounters();
+  open_ = true;
+}
+
+void TimelineRecorder::AbsorbDelta() {
+  const AttributedCounters now = tracker_->attributed();
+  const AttributedCounters delta = now - last_snapshot_;
+  last_snapshot_ = now;
+  window_attr_ += delta;
+  window_.totals += delta.Total();
+}
+
+void TimelineRecorder::CloseWindow() {
+  if (!open_) return;
+  for (size_t c = 0; c < kNumComponents; ++c) {
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      const CostCounters& cell = window_attr_.cells[c][p];
+      if (cell.empty()) continue;
+      window_.cells.push_back({static_cast<Component>(c),
+                               static_cast<Phase>(p), cell});
+    }
+  }
+
+  TimelineSignals& s = window_.signals;
+  const uint64_t ops = window_.updates + window_.queries;
+  s.update_fraction =
+      ops > 0 ? static_cast<double>(window_.updates) / static_cast<double>(ops)
+              : 0.0;
+  CostCounters update_side = window_attr_.PhaseTotal(Phase::kUpdateApply);
+  update_side += window_attr_.PhaseTotal(Phase::kScreen);
+  CostCounters refresh_side = window_attr_.PhaseTotal(Phase::kRefresh);
+  refresh_side += window_attr_.PhaseTotal(Phase::kRefreshRecovery);
+  s.update_ms = tracker_->Ms(update_side);
+  s.refresh_ms = tracker_->Ms(refresh_side);
+  s.query_ms = tracker_->Ms(window_attr_.PhaseTotal(Phase::kQuery));
+  s.refresh_ms_per_update =
+      window_.updates > 0
+          ? s.refresh_ms / static_cast<double>(window_.updates)
+          : 0.0;
+  s.query_ms_per_query =
+      window_.queries > 0 ? s.query_ms / static_cast<double>(window_.queries)
+                          : 0.0;
+  s.io_per_op = ops > 0 ? static_cast<double>(window_.totals.disk_ios()) /
+                              static_cast<double>(ops)
+                        : 0.0;
+  s.ewma_update_ms = ewma_update_.value();
+  s.ewma_query_ms = ewma_query_.value();
+  s.p50_op_ms = op_hist_.Quantile(last_op_begin_ms_, 0.5);
+  s.p95_op_ms = op_hist_.Quantile(last_op_begin_ms_, 0.95);
+
+  timeline_.windows.push_back(std::move(window_));
+  open_ = false;
+}
+
+void TimelineRecorder::OnOp(bool is_update, double begin_ms) {
+  VIEWMAT_DCHECK(!finished_);
+  const int64_t w = static_cast<int64_t>(std::floor(begin_ms / window_ms_));
+  if (open_ && window_.index != w) CloseWindow();
+  if (!open_) OpenWindow(w);
+
+  // The snapshot distance is exactly this op's charges: OnOp is called once
+  // per op, right after it runs.
+  const AttributedCounters now = tracker_->attributed();
+  const AttributedCounters delta = now - last_snapshot_;
+  last_snapshot_ = now;
+  const double op_ms = tracker_->Ms(delta.Total());
+  window_attr_ += delta;
+  window_.totals += delta.Total();
+
+  if (is_update) {
+    ++window_.updates;
+    ewma_update_.Observe(begin_ms, op_ms);
+  } else {
+    ++window_.queries;
+    ewma_query_.Observe(begin_ms, op_ms);
+  }
+  op_hist_.Observe(begin_ms, op_ms);
+  last_op_begin_ms_ = begin_ms;
+}
+
+CostTimeline TimelineRecorder::Finish() {
+  VIEWMAT_DCHECK(!finished_);
+  finished_ = true;
+  // Trailing charges (final flushes, teardown) belong to no op; sweep them
+  // into the last open window so the timeline still sums to the run totals.
+  const AttributedCounters now = tracker_->attributed();
+  const AttributedCounters residual = now - last_snapshot_;
+  if (!residual.Total().empty()) {
+    if (!open_) {
+      // No op ever ran (or the last window already closed): attribute the
+      // residual to the window of the last op start / construction time.
+      OpenWindow(
+          static_cast<int64_t>(std::floor(last_op_begin_ms_ / window_ms_)));
+    }
+    AbsorbDelta();
+  }
+  CloseWindow();
+  return std::move(timeline_);
+}
+
+}  // namespace viewmat::storage

@@ -1,0 +1,132 @@
+#ifndef VIEWMAT_STORAGE_COST_TIMELINE_H_
+#define VIEWMAT_STORAGE_COST_TIMELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/timeseries.h"
+#include "storage/cost_tracker.h"
+
+namespace viewmat::storage {
+
+/// Time-series view of a strategy run: the attributed cost matrix bucketed
+/// into fixed windows of model milliseconds, so a run answers
+/// cost(component, phase, t) instead of only cost(component, phase).
+///
+/// Windowing follows obs/timeseries.h: window k covers the half-open
+/// interval [k*W, (k+1)*W) of the virtual clock. An operation is charged
+/// entirely to the window containing its *start* time — ops are atomic
+/// units of model time, and splitting one across windows would break the
+/// sum-of-windows == flat-counters invariant the schema checker verifies.
+/// Charges made outside any op (setup, final flushes) are swept into the
+/// window of the last preceding op by TimelineRecorder::Finish() for the
+/// same reason.
+
+/// One non-empty (component, phase) cell of a window.
+struct TimelineCell {
+  Component component = Component::kUnattributed;
+  Phase phase = Phase::kUnphased;
+  CostCounters counters;
+};
+
+/// Drift signals stamped when a window closes. These are what an adaptive
+/// advisor would watch: update_fraction tracks the P axis, the per-op cost
+/// gauges and quantiles surface refresh amplification and query latency
+/// shifts long before the run-level averages move.
+struct TimelineSignals {
+  /// updates / (updates + queries) in this window — the observed P.
+  double update_fraction = 0;
+  /// Model ms charged in this window to the update path (phases
+  /// update_apply + screen), to refresh work (refresh + refresh_recovery),
+  /// and to query serving (query). Unphased charges are in none of them.
+  double update_ms = 0;
+  double refresh_ms = 0;
+  double query_ms = 0;
+  /// refresh_ms / updates: refresh amplification per update transaction.
+  double refresh_ms_per_update = 0;
+  /// query_ms / queries: the windowed analogue of ms-per-query.
+  double query_ms_per_query = 0;
+  /// Disk I/Os per operation in this window.
+  double io_per_op = 0;
+  /// EWMA (half-life = one window) of whole-op cost, split by op kind.
+  double ewma_update_ms = 0;
+  double ewma_query_ms = 0;
+  /// Per-op cost quantiles over the trailing 4 windows.
+  double p50_op_ms = 0;
+  double p95_op_ms = 0;
+};
+
+struct TimelineWindow {
+  int64_t index = 0;  ///< window k covers [k*window_ms, (k+1)*window_ms)
+  uint64_t updates = 0;
+  uint64_t queries = 0;
+  CostCounters totals;              ///< sum of cells
+  std::vector<TimelineCell> cells;  ///< non-empty cells, (component, phase)
+                                    ///< index order
+  TimelineSignals signals;
+};
+
+struct CostTimeline {
+  double window_ms = 0;  ///< 0 = timeline recording was off
+  /// Ascending by index; sparse (windows with no ops and no charges are
+  /// simply absent).
+  std::vector<TimelineWindow> windows;
+
+  bool empty() const { return windows.empty(); }
+  /// Sum of every window's totals — must equal the run's flat counters.
+  CostCounters Total() const {
+    CostCounters total;
+    for (const TimelineWindow& w : windows) total += w.totals;
+    return total;
+  }
+};
+
+/// Accumulates a CostTimeline while a strategy driver runs ops. Usage:
+///
+///   TimelineRecorder rec(&tracker, /*window_ms=*/5000);
+///   for each op: { begin = tracker.TotalMs(); run op;
+///                  rec.OnOp(is_update, begin); }
+///   run.timeline = rec.Finish();   // also sweeps trailing charges
+///
+/// The recorder snapshots the tracker's attributed matrix and charges each
+/// OnOp the delta since the previous snapshot, so it needs no hooks inside
+/// the storage layer. Single-threaded like the tracker it reads; all state
+/// is driven by the virtual clock, so timelines are byte-identical at any
+/// sweep parallelism.
+class TimelineRecorder {
+ public:
+  /// `tracker` must outlive the recorder. `window_ms` > 0.
+  TimelineRecorder(CostTracker* tracker, double window_ms);
+
+  /// Records the op that just finished; `begin_ms` is the virtual clock
+  /// read *before* the op ran. Must be called in op order.
+  void OnOp(bool is_update, double begin_ms);
+
+  /// Sweeps charges made since the last op into the final window, stamps
+  /// its signals, and returns the finished timeline. Call exactly once.
+  CostTimeline Finish();
+
+ private:
+  void OpenWindow(int64_t index);
+  void CloseWindow();
+  /// Delta of the tracker's attributed matrix since the last snapshot,
+  /// accumulated into the open window.
+  void AbsorbDelta();
+
+  CostTracker* tracker_;
+  const double window_ms_;
+  CostTimeline timeline_;
+  AttributedCounters last_snapshot_;
+  bool open_ = false;
+  TimelineWindow window_;
+  AttributedCounters window_attr_;
+  double last_op_begin_ms_ = 0;
+  obs::EwmaGauge ewma_update_;
+  obs::EwmaGauge ewma_query_;
+  obs::SlidingWindowHistogram op_hist_;
+  bool finished_ = false;
+};
+
+}  // namespace viewmat::storage
+
+#endif  // VIEWMAT_STORAGE_COST_TIMELINE_H_

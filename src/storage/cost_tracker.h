@@ -142,6 +142,23 @@ struct AttributedCounters {
     }
     return total;
   }
+  /// Cell-wise delta — how the timeline recorder turns two snapshots of a
+  /// monotonically growing matrix into one window's worth of charges.
+  AttributedCounters operator-(const AttributedCounters& rhs) const {
+    AttributedCounters d;
+    for (size_t c = 0; c < kNumComponents; ++c) {
+      for (size_t p = 0; p < kNumPhases; ++p) {
+        d.cells[c][p] = cells[c][p] - rhs.cells[c][p];
+      }
+    }
+    return d;
+  }
+  AttributedCounters& operator+=(const AttributedCounters& rhs) {
+    for (size_t c = 0; c < kNumComponents; ++c) {
+      for (size_t p = 0; p < kNumPhases; ++p) cells[c][p] += rhs.cells[c][p];
+    }
+    return *this;
+  }
 };
 
 /// Accumulates operation counts and converts them to model milliseconds

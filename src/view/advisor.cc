@@ -4,9 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
-#include "costmodel/model1.h"
-#include "costmodel/model2.h"
-#include "costmodel/model3.h"
+#include "costmodel/regions.h"
 
 namespace viewmat::view {
 
@@ -16,36 +14,13 @@ Advice Advise(ViewModel model, const costmodel::Params& params) {
   Advice advice;
   advice.model = model;
   advice.params = params;
-  std::vector<Strategy> candidates;
-  switch (model) {
-    case ViewModel::kSelectProject:
-      candidates = {Strategy::kDeferred, Strategy::kImmediate,
-                    Strategy::kQmClustered, Strategy::kQmUnclustered,
-                    Strategy::kQmSequential};
-      break;
-    case ViewModel::kJoin:
-      candidates = {Strategy::kDeferred, Strategy::kImmediate,
-                    Strategy::kQmLoopJoin};
-      break;
-    case ViewModel::kAggregate:
-      candidates = {Strategy::kDeferred, Strategy::kImmediate,
-                    Strategy::kQmRecompute};
-      break;
-  }
-  for (const Strategy s : candidates) {
-    StatusOr<double> cost = [&]() -> StatusOr<double> {
-      switch (model) {
-        case ViewModel::kSelectProject:
-          return costmodel::Model1Cost(s, params);
-        case ViewModel::kJoin:
-          return costmodel::Model2Cost(s, params);
-        case ViewModel::kAggregate:
-          return costmodel::Model3Cost(s, params);
-      }
-      return Status::Internal("unreachable");
-    }();
-    VIEWMAT_CHECK(cost.ok());
-    advice.ranked.push_back(Advice::Entry{s, *cost});
+  // Candidate sets and evaluators are the shared costmodel definitions, so
+  // the advisor, the region figures, and the explain reports rank the same
+  // strategies under the same formulas.
+  const int model_number = static_cast<int>(model);
+  const costmodel::CostFn cost = costmodel::ModelCostFn(model_number);
+  for (const Strategy s : costmodel::ModelCandidates(model_number)) {
+    advice.ranked.push_back(Advice::Entry{s, cost(s, params)});
   }
   std::sort(advice.ranked.begin(), advice.ranked.end(),
             [](const Advice::Entry& a, const Advice::Entry& b) {

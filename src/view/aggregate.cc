@@ -200,7 +200,8 @@ Status ImmediateAggregateStrategy::InitializeFromBase() {
 
 Status ImmediateAggregateStrategy::Recompute() {
   const storage::ScopedPhase phase_tag(tracker_, storage::Phase::kRefresh);
-  const obs::ScopedSpan span(storage::TracerOf(tracker_), "agg-recompute");
+  const obs::ScopedSpan span(storage::TracerOf(tracker_),
+                             "refresh.recompute");
   ++recompute_count_;
   VIEWMAT_RETURN_IF_ERROR(ComputeAggregateFromBase(def_, tracker_, &state_));
   return stored_.Write(state_);

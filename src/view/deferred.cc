@@ -177,7 +177,7 @@ Status DeferredStrategy::RefreshSafe() {
   // here is a clean abort — nothing durable has changed yet.
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
-  obs::ScopedSpan prepare_span(storage::TracerOf(tracker_), "prepare-deltas");
+  obs::ScopedSpan prepare_span(storage::TracerOf(tracker_), "refresh.prepare");
   VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
   std::vector<db::Tuple> view_inserts;
   std::vector<db::Tuple> view_deletes;
@@ -198,7 +198,7 @@ Status DeferredStrategy::RefreshSafe() {
   // kNeedViewRebuild.
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogRefreshBegin(++epoch_));
   phase_ = RecoveryPhase::kNeedViewRebuild;
-  obs::ScopedSpan patch_span(storage::TracerOf(tracker_), "view-patch");
+  obs::ScopedSpan patch_span(storage::TracerOf(tracker_), "refresh.view_patch");
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeViewPatch));
   for (const db::Tuple& value : view_deletes) {
     VIEWMAT_RETURN_IF_ERROR(view_->ApplyDelete(value));
@@ -224,7 +224,7 @@ Status DeferredStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
                                       bool idempotent) {
   storage::BufferPool* pool = UpdatedRelation()->pool();
   storage::DiskInterface* disk = pool->disk();
-  obs::ScopedSpan fold_span(storage::TracerOf(tracker_), "fold");
+  obs::ScopedSpan fold_span(storage::TracerOf(tracker_), "refresh.fold");
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeFold));
   static const std::vector<db::Tuple> kEmpty;
   VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(kEmpty, d_net, idempotent));
@@ -238,7 +238,7 @@ Status DeferredStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
 }
 
 Status DeferredStrategy::FinishReset() {
-  const obs::ScopedSpan span(storage::TracerOf(tracker_), "ad-reset");
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh.ad_reset");
   storage::DiskInterface* disk = UpdatedRelation()->pool()->disk();
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeAdReset));
   // Reset clears the hash file and Bloom filter and truncates the WAL

@@ -174,6 +174,7 @@ Status HybridStrategy::RefreshSafe() {
   // Read-only preparation; failure is a clean abort.
   std::vector<db::Tuple> a_net;
   std::vector<db::Tuple> d_net;
+  obs::ScopedSpan prepare_span(storage::TracerOf(tracker_), "refresh.prepare");
   VIEWMAT_RETURN_IF_ERROR(hr_.NetChanges(&a_net, &d_net));
   std::vector<db::Tuple> inserts;
   std::vector<db::Tuple> deletes;
@@ -185,10 +186,12 @@ Status HybridStrategy::RefreshSafe() {
     db::Tuple value;
     if (def_.MapTuple(t, &value)) inserts.push_back(std::move(value));
   }
+  prepare_span.End();
 
   // Phase 1: patch the view under a durable begin marker.
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogRefreshBegin(++epoch_));
   phase_ = RecoveryPhase::kNeedViewRebuild;
+  obs::ScopedSpan patch_span(storage::TracerOf(tracker_), "refresh.view_patch");
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeViewPatch));
   for (const db::Tuple& value : deletes) {
     VIEWMAT_RETURN_IF_ERROR(view_->ApplyDelete(value));
@@ -200,6 +203,7 @@ Status HybridStrategy::RefreshSafe() {
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kAfterViewPatch));
   VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogViewPatched(epoch_));
+  patch_span.End();
   phase_ = RecoveryPhase::kNeedFold;
 
   // Phase 2: fold the base and retire the differential.
@@ -211,6 +215,7 @@ Status HybridStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
                                     bool idempotent) {
   storage::BufferPool* pool = def_.base->pool();
   storage::DiskInterface* disk = pool->disk();
+  obs::ScopedSpan fold_span(storage::TracerOf(tracker_), "refresh.fold");
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeFold));
   static const std::vector<db::Tuple> kEmpty;
   VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(kEmpty, d_net, idempotent));
@@ -218,11 +223,13 @@ Status HybridStrategy::FoldAndReset(const std::vector<db::Tuple>& a_net,
   VIEWMAT_RETURN_IF_ERROR(hr_.FoldNoReset(a_net, kEmpty, idempotent));
   VIEWMAT_RETURN_IF_ERROR(pool->FlushAll());
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->LogFoldCommit(epoch_));
+  fold_span.End();
   phase_ = RecoveryPhase::kNeedReset;
   return FinishReset();
 }
 
 Status HybridStrategy::FinishReset() {
+  const obs::ScopedSpan span(storage::TracerOf(tracker_), "refresh.ad_reset");
   storage::DiskInterface* disk = def_.base->pool()->disk();
   VIEWMAT_RETURN_IF_ERROR(disk->AtCrashPoint(CrashPoint::kBeforeAdReset));
   VIEWMAT_RETURN_IF_ERROR(hr_.mutable_ad()->Reset());

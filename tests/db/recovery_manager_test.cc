@@ -63,6 +63,47 @@ class RecoveryManagerTest : public ::testing::Test {
   std::unique_ptr<RecoveryManager> rm_;
 };
 
+TEST_F(RecoveryManagerTest, MetricsCountRecoveriesAndCheckpoints) {
+  obs::MetricsRegistry metrics;
+  RecoveryManager* rm = Make();
+  rm->set_metrics(&metrics);
+  MustCommit(rm, 1, 10);
+  MustCommit(rm, 2, 20);
+  const size_t records_before = rm->wal()->record_count();
+  ASSERT_TRUE(rm->Checkpoint().ok());
+  EXPECT_EQ(metrics.GetCounter("checkpoints_total")->value(), 1u);
+  // The checkpoint observed the log size it retired and its age in commits.
+  obs::Histogram* retired =
+      metrics.GetHistogram("checkpoint_log_records", {}, {});
+  EXPECT_EQ(retired->count(), 1u);
+  EXPECT_DOUBLE_EQ(retired->sum(), static_cast<double>(records_before));
+  obs::Histogram* age = metrics.GetHistogram("checkpoint_age_commits", {}, {});
+  EXPECT_EQ(age->count(), 1u);
+  EXPECT_DOUBLE_EQ(age->sum(), 2.0);
+
+  // A clean-log recovery pass still counts a run, replays nothing.
+  RecoverStats stats;
+  ASSERT_TRUE(rm->Recover(&stats).ok());
+  EXPECT_EQ(metrics.GetCounter("recovery_runs_total")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("recovery_txns_replayed_total")->value(), 0u);
+
+  // A commit whose apply dies leaves redo work; recovery counts what it
+  // replayed and what idempotence skipped.
+  ASSERT_TRUE(pool_.FlushAndEvictAll().ok());
+  disk_.InjectReadFault(/*after=*/0);
+  Transaction txn;
+  txn.Insert(&rel_, Row(3, 30));
+  EXPECT_FALSE(rm->CommitAndApply(txn).ok());
+  disk_.ClearFaults();
+  ASSERT_TRUE(rm->Recover(&stats).ok());
+  EXPECT_EQ(metrics.GetCounter("recovery_runs_total")->value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("recovery_txns_replayed_total")->value(),
+            stats.txns_replayed);
+  EXPECT_EQ(metrics.GetCounter("recovery_ops_replayed_total")->value(),
+            stats.ops_replayed);
+  EXPECT_GT(stats.ops_replayed, 0u);
+}
+
 TEST_F(RecoveryManagerTest, CommitAndApplyIsDurableAndApplied) {
   RecoveryManager* rm = Make();
   Transaction txn;

@@ -1,0 +1,115 @@
+#include "obs/explain.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/json.h"
+#include "costmodel/regions.h"
+#include "gtest/gtest.h"
+
+namespace viewmat::obs {
+namespace {
+
+using costmodel::ModelCandidates;
+using costmodel::ModelCostFn;
+using costmodel::Params;
+using costmodel::Strategy;
+
+TEST(Explain, RanksEveryCandidateAscendingWithWinnerMarginZero) {
+  const Params p;
+  for (int model = 1; model <= 3; ++model) {
+    const ExplainReport report = BuildExplain(model, p);
+    EXPECT_EQ(report.model, model);
+    ASSERT_EQ(report.ranked.size(), ModelCandidates(model).size());
+    EXPECT_DOUBLE_EQ(report.ranked.front().margin_ms, 0.0);
+    for (size_t i = 1; i < report.ranked.size(); ++i) {
+      EXPECT_GE(report.ranked[i].cost_ms, report.ranked[i - 1].cost_ms);
+      EXPECT_NEAR(report.ranked[i].margin_ms,
+                  report.ranked[i].cost_ms - report.winner_cost_ms(), 1e-9);
+    }
+    EXPECT_FALSE(report.ranked.front().formula.empty());
+  }
+}
+
+TEST(Explain, WinnerAgreesWithTheSharedCostModel) {
+  Params p;
+  for (const double prob : {0.05, 0.3, 0.7}) {
+    const Params point = p.WithUpdateProbability(prob);
+    for (int model = 1; model <= 3; ++model) {
+      const ExplainReport report = BuildExplain(model, point);
+      const Strategy expected = costmodel::Winner(
+          ModelCostFn(model), ModelCandidates(model), point);
+      EXPECT_EQ(report.winner(), expected)
+          << "model " << model << " P=" << prob;
+    }
+  }
+}
+
+TEST(Explain, BoundariesActuallyFlipTheWinner) {
+  // For every reported boundary, the challenger must win just beyond it.
+  const Params p = Params().WithUpdateProbability(0.3);
+  for (int model = 1; model <= 3; ++model) {
+    const ExplainReport report = BuildExplain(model, p);
+    const auto cost = ModelCostFn(model);
+    for (const ExplainBoundary& b : report.boundaries) {
+      Params beyond = p;
+      // Step slightly past the boundary, away from the current value.
+      const double overshoot =
+          (b.boundary - b.current) * 1e-3 + (b.boundary > b.current ? 1e-9
+                                                                    : -1e-9);
+      const double x = b.boundary + overshoot;
+      if (b.param == "P") {
+        beyond = p.WithUpdateProbability(x);
+      } else if (b.param == "f") {
+        beyond.f = x;
+      } else if (b.param == "f_v") {
+        beyond.f_v = x;
+      } else if (b.param == "l") {
+        beyond.l = x;
+      } else {
+        FAIL() << "unknown boundary axis " << b.param;
+      }
+      const Strategy flipped = costmodel::Winner(
+          cost, ModelCandidates(model), beyond);
+      EXPECT_NE(flipped, report.winner())
+          << "model " << model << " axis " << b.param << " boundary "
+          << b.boundary;
+      EXPECT_GT(b.distance, 0.0);
+      EXPECT_GT(b.relative_distance, 0.0);
+    }
+    // Boundaries are sorted nearest-first by relative distance.
+    for (size_t i = 1; i < report.boundaries.size(); ++i) {
+      EXPECT_GE(report.boundaries[i].relative_distance,
+                report.boundaries[i - 1].relative_distance);
+    }
+  }
+}
+
+TEST(Explain, TextRendersWinnerAndBoundaries) {
+  const ExplainReport report =
+      BuildExplain(1, Params().WithUpdateProbability(0.3));
+  const std::string text = ExplainText(report);
+  EXPECT_NE(text.find("<-- winner"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL_"), std::string::npos);
+}
+
+TEST(Explain, JsonIsParseableAndCarriesTheRanking) {
+  const ExplainReport report =
+      BuildExplain(2, Params().WithUpdateProbability(0.4));
+  common::JsonWriter w;
+  WriteExplainJson(&w, report);
+  auto doc = common::ParseJson(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const common::JsonValue* model = doc->Find("model");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->number, 2.0);
+  const common::JsonValue* candidates = doc->Find("candidates");
+  ASSERT_NE(candidates, nullptr);
+  EXPECT_EQ(candidates->items.size(), ModelCandidates(2).size());
+  ASSERT_NE(doc->Find("winner"), nullptr);
+  ASSERT_NE(doc->Find("params"), nullptr);
+  ASSERT_NE(doc->Find("boundaries"), nullptr);
+}
+
+}  // namespace
+}  // namespace viewmat::obs

@@ -43,6 +43,29 @@ TEST(MetricsRegistry, HistogramBucketsAreInclusiveUpperBounds) {
   EXPECT_EQ(again->bounds().size(), 2u);
 }
 
+TEST(MetricsRegistry, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  // Permuted label order resolves to the SAME metric...
+  Counter* a = registry.GetCounter("ops_total",
+                                   {{"strategy", "deferred"}, {"model", "1"}});
+  Counter* b = registry.GetCounter("ops_total",
+                                   {{"model", "1"}, {"strategy", "deferred"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.counter_count(), 1u);
+  a->Increment(3);
+  // ...and snapshots render the labels in sorted order regardless of which
+  // permutation registered first (byte-stable output).
+  EXPECT_NE(registry.ToString().find("ops_total{model=1,strategy=deferred} 3"),
+            std::string::npos)
+      << registry.ToString();
+  // Same canonicalization for histograms.
+  Histogram* h = registry.GetHistogram("ms", {{"b", "2"}, {"a", "1"}}, {10.0});
+  EXPECT_EQ(registry.GetHistogram("ms", {{"a", "1"}, {"b", "2"}}, {99.0}), h);
+  EXPECT_EQ(registry.histogram_count(), 1u);
+  EXPECT_NE(registry.ToString().find("ms{a=1,b=2}"), std::string::npos)
+      << registry.ToString();
+}
+
 TEST(MetricsRegistry, ToStringIsSortedAndLabeled) {
   MetricsRegistry registry;
   registry.GetCounter("z_total")->Increment(2);

@@ -1,0 +1,165 @@
+#include "obs/timeseries.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace viewmat::obs {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(WindowedCounter, EmptyWindowsCostNothingAndReadZero) {
+  WindowedCounter c(100.0);
+  c.Add(50.0);       // window 0
+  c.Add(100250.0);   // window 1002, a thousand idle windows later
+  EXPECT_EQ(c.total(), 2u);
+  const auto windows = c.Snapshot();
+  ASSERT_EQ(windows.size(), 2u);  // sparse: the idle gap stores nothing
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[1].index, 1002);
+  EXPECT_EQ(c.CountAt(550.0), 0u);  // an empty window reads zero
+}
+
+TEST(WindowedCounter, BoundarySampleOpensTheNextWindow) {
+  WindowedCounter c(100.0);
+  c.Add(99.999999);
+  c.Add(100.0);  // half-open [0,100): exactly 100 belongs to window 1
+  const auto windows = c.Snapshot();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[0].count, 1u);
+  EXPECT_EQ(windows[1].index, 1);
+  EXPECT_EQ(windows[1].count, 1u);
+}
+
+// ------------------------------------------------------------------- ewma
+
+TEST(EwmaGauge, FirstSampleSetsTheAverageDirectly) {
+  EwmaGauge g(50.0);
+  EXPECT_EQ(g.value(), 0.0);
+  g.Observe(10.0, 42.0);
+  EXPECT_DOUBLE_EQ(g.value(), 42.0);
+}
+
+TEST(EwmaGauge, OneHalfLifeMovesHalfway) {
+  EwmaGauge g(50.0);
+  g.Observe(0.0, 100.0);
+  g.Observe(50.0, 0.0);  // dt = one half-life: weight of the past is 1/2
+  EXPECT_NEAR(g.value(), 50.0, 1e-12);
+}
+
+// -------------------------------------------------- sliding-window histogram
+
+std::vector<double> Bounds() { return {1.0, 10.0, 100.0}; }
+
+TEST(SlidingWindowHistogram, EmptyWindowQuantileIsZero) {
+  SlidingWindowHistogram h(Bounds(), 100.0, 4);
+  EXPECT_EQ(h.MergedCount(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.0, 0.5), 0.0);
+  // Observed long ago, then queried in a far-future window: every ring slot
+  // has rotated out, so the merged window is empty again.
+  h.Observe(0.0, 5.0);
+  EXPECT_EQ(h.MergedCount(1e9), 0u);
+  EXPECT_EQ(h.Quantile(1e9, 0.5), 0.0);
+}
+
+TEST(SlidingWindowHistogram, SingleSampleReportsItsBucketAtEveryQuantile) {
+  SlidingWindowHistogram h(Bounds(), 100.0, 4);
+  h.Observe(10.0, 5.0);  // bucket (1, 10]
+  EXPECT_EQ(h.MergedCount(10.0), 1u);
+  for (const double q : {0.01, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(h.Quantile(10.0, q), 10.0) << "q=" << q;
+  }
+}
+
+TEST(SlidingWindowHistogram, QuantileSaturatesAtLargestFiniteBound) {
+  SlidingWindowHistogram h(Bounds(), 100.0, 4);
+  h.Observe(10.0, 1e6);  // lands in the +inf bucket
+  EXPECT_EQ(h.Quantile(10.0, 0.5), 100.0);
+}
+
+TEST(SlidingWindowHistogram, RotationExactlyOnWindowBoundary) {
+  // Ring of 2 windows of 100 ms. A sample at exactly t = k*100 opens window
+  // k (half-open convention), which must recycle the slot window k-2 held.
+  SlidingWindowHistogram h(Bounds(), 100.0, 2);
+  h.Observe(0.0, 0.5);    // window 0, bucket (..1]
+  h.Observe(100.0, 5.0);  // window 1 — exactly on the boundary
+  // Both windows are inside the 2-window ring.
+  EXPECT_EQ(h.MergedCount(100.0), 2u);
+  EXPECT_EQ(h.Quantile(100.0, 0.25), 1.0);
+  h.Observe(200.0, 50.0);  // window 2 — recycles window 0's slot in place
+  EXPECT_EQ(h.MergedCount(200.0), 2u);  // windows 1 and 2; window 0 gone
+  auto counts = h.MergedCounts(200.0);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 0u);  // the 0.5 sample rotated out
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  // A stale sample for the rotated-out window 0 is dropped, not revived.
+  h.Observe(10.0, 0.5);
+  EXPECT_EQ(h.MergedCount(200.0), 2u);
+}
+
+TEST(SlidingWindowHistogram, MergedCountsSpanOnlyTheTrailingWindows) {
+  SlidingWindowHistogram h(Bounds(), 100.0, 3);
+  h.Observe(50.0, 5.0);    // window 0
+  h.Observe(150.0, 5.0);   // window 1
+  h.Observe(250.0, 5.0);   // window 2
+  EXPECT_EQ(h.MergedCount(250.0), 3u);
+  // Viewed from window 3 the trailing 3 windows are {1, 2, 3}.
+  EXPECT_EQ(h.MergedCount(350.0), 2u);
+}
+
+TEST(SlidingWindowHistogram, MergeOnSnapshotUnderEightThreads) {
+  // Eight workers hammer one shared histogram within a fixed window, then
+  // the merged snapshot must account for every sample exactly once. This is
+  // the --jobs 8 sharing shape; determinism of *timestamps* stays with the
+  // caller, so all samples target the same window here.
+  SlidingWindowHistogram h(Bounds(), 1000.0, 4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&h, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Spread across buckets deterministically per thread.
+        const double v = (w % 2 == 0) ? 0.5 : 50.0;
+        h.Observe(500.0, v);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(h.MergedCount(500.0), uint64_t{kThreads} * kPerThread);
+  const auto counts = h.MergedCounts(500.0);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], uint64_t{kThreads} / 2 * kPerThread);
+  EXPECT_EQ(counts[2], uint64_t{kThreads} / 2 * kPerThread);
+}
+
+TEST(WindowedCounter, MergeOnSnapshotUnderEightThreads) {
+  WindowedCounter c(100.0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&c, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add(100.0 * (w % 4) + 50.0);  // four distinct windows
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(c.total(), uint64_t{kThreads} * kPerThread);
+  const auto windows = c.Snapshot();
+  ASSERT_EQ(windows.size(), 4u);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.count, uint64_t{2} * kPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace viewmat::obs

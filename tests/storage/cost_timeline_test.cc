@@ -1,0 +1,118 @@
+#include "storage/cost_timeline.h"
+
+#include "gtest/gtest.h"
+#include "storage/cost_tracker.h"
+
+namespace viewmat::storage {
+namespace {
+
+// One "op": charge some attributed work, then report it to the recorder.
+void RunOp(CostTracker* tracker, TimelineRecorder* rec, bool is_update,
+           Component component, Phase phase, uint64_t reads) {
+  const double begin = tracker->TotalMs();
+  {
+    const ScopedComponent c(tracker, component);
+    const ScopedPhase p(tracker, phase);
+    tracker->ChargeRead(reads);
+    tracker->ChargeTupleCpu(2);
+  }
+  rec->OnOp(is_update, begin);
+}
+
+TEST(CostTimeline, SumOfWindowsEqualsFlatCounters) {
+  CostTracker tracker;
+  TimelineRecorder rec(&tracker, /*window_ms=*/100.0);
+  for (int i = 0; i < 20; ++i) {
+    RunOp(&tracker, &rec, /*is_update=*/i % 3 != 0, Component::kHeap,
+          i % 3 != 0 ? Phase::kUpdateApply : Phase::kQuery, /*reads=*/3);
+  }
+  // Trailing charges outside any op (a final flush) must be swept in too.
+  tracker.ChargeWrite(7);
+  const CostTimeline timeline = rec.Finish();
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_TRUE(timeline.Total() == tracker.counters());
+  // Windows are ascending and each window's cells sum to its totals.
+  int64_t prev = -1;
+  for (const TimelineWindow& w : timeline.windows) {
+    EXPECT_GT(w.index, prev);
+    prev = w.index;
+    CostCounters cells;
+    for (const TimelineCell& cell : w.cells) cells += cell.counters;
+    EXPECT_TRUE(cells == w.totals);
+  }
+}
+
+TEST(CostTimeline, OpChargedToWindowOfItsStartTime) {
+  CostTracker tracker;  // C2 = 30: one read = 30 model ms
+  TimelineRecorder rec(&tracker, /*window_ms=*/100.0);
+  // First op starts at t=0 and runs 3 reads + 2 cpu = 92 ms; second starts
+  // at 92 ms (window 0) but finishes at 184 ms (window 1). Start-time
+  // attribution puts both entirely in window 0.
+  RunOp(&tracker, &rec, true, Component::kHeap, Phase::kUpdateApply, 3);
+  RunOp(&tracker, &rec, false, Component::kBptree, Phase::kQuery, 3);
+  const CostTimeline timeline = rec.Finish();
+  ASSERT_EQ(timeline.windows.size(), 1u);
+  EXPECT_EQ(timeline.windows[0].index, 0);
+  EXPECT_EQ(timeline.windows[0].updates, 1u);
+  EXPECT_EQ(timeline.windows[0].queries, 1u);
+  EXPECT_EQ(timeline.windows[0].totals.disk_reads, 6u);
+}
+
+TEST(CostTimeline, SignalsSplitPhasesAndCountKinds) {
+  CostTracker tracker;
+  TimelineRecorder rec(&tracker, /*window_ms=*/10000.0);
+  RunOp(&tracker, &rec, true, Component::kHeap, Phase::kUpdateApply, 2);
+  RunOp(&tracker, &rec, true, Component::kAdLog, Phase::kRefresh, 4);
+  RunOp(&tracker, &rec, false, Component::kBptree, Phase::kQuery, 1);
+  const CostTimeline timeline = rec.Finish();
+  ASSERT_EQ(timeline.windows.size(), 1u);
+  const TimelineSignals& s = timeline.windows[0].signals;
+  EXPECT_DOUBLE_EQ(s.update_fraction, 2.0 / 3.0);
+  // 2 reads + 2 cpu under update_apply = 62 ms; 4 reads + 2 cpu under
+  // refresh = 122 ms; 1 read + 2 cpu under query = 32 ms (C1=1, C2=30).
+  EXPECT_DOUBLE_EQ(s.update_ms, 62.0);
+  EXPECT_DOUBLE_EQ(s.refresh_ms, 122.0);
+  EXPECT_DOUBLE_EQ(s.query_ms, 32.0);
+  EXPECT_DOUBLE_EQ(s.refresh_ms_per_update, 122.0 / 2.0);
+  EXPECT_DOUBLE_EQ(s.query_ms_per_query, 32.0);
+  EXPECT_DOUBLE_EQ(s.io_per_op, 7.0 / 3.0);
+  EXPECT_GT(s.ewma_update_ms, 0.0);
+  EXPECT_GT(s.ewma_query_ms, 0.0);
+  EXPECT_GT(s.p50_op_ms, 0.0);
+  EXPECT_GE(s.p95_op_ms, s.p50_op_ms);
+}
+
+TEST(CostTimeline, CellsAreSparseAndOrdered) {
+  CostTracker tracker;
+  TimelineRecorder rec(&tracker, /*window_ms=*/10000.0);
+  RunOp(&tracker, &rec, true, Component::kBptree, Phase::kUpdateApply, 1);
+  RunOp(&tracker, &rec, true, Component::kHeap, Phase::kUpdateApply, 1);
+  const CostTimeline timeline = rec.Finish();
+  ASSERT_EQ(timeline.windows.size(), 1u);
+  const auto& cells = timeline.windows[0].cells;
+  ASSERT_EQ(cells.size(), 2u);
+  // (component, phase) index order, and no empty cells for the other
+  // 8 x 6 - 2 combinations.
+  EXPECT_LT(static_cast<int>(cells[0].component),
+            static_cast<int>(cells[1].component));
+  for (const TimelineCell& cell : cells) {
+    EXPECT_FALSE(cell.counters.empty());
+  }
+}
+
+TEST(CostTimeline, IdleGapsProduceNoWindows) {
+  CostTracker tracker;
+  TimelineRecorder rec(&tracker, /*window_ms=*/10.0);
+  RunOp(&tracker, &rec, true, Component::kHeap, Phase::kUpdateApply, 1);
+  // Charge a long stretch of work as one op: its start pins it to the
+  // current window; the windows its *duration* spans stay absent.
+  RunOp(&tracker, &rec, true, Component::kHeap, Phase::kUpdateApply, 40);
+  RunOp(&tracker, &rec, false, Component::kBptree, Phase::kQuery, 1);
+  const CostTimeline timeline = rec.Finish();
+  // Sparse: far fewer windows than the ~120 the run's duration spans.
+  EXPECT_LE(timeline.windows.size(), 3u);
+  EXPECT_TRUE(timeline.Total() == tracker.counters());
+}
+
+}  // namespace
+}  // namespace viewmat::storage
