@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threshold" && i + 1 < argc) {
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) return Usage();  // not a path: a flag missing its value
       auto threshold = viewmat::sim::ParseThreshold(argv[++i]);
       if (!threshold.ok()) {
         std::fprintf(stderr, "%s\n", threshold.status().ToString().c_str());

@@ -1,0 +1,11 @@
+# Runs bench_diff with ARGS and fails unless the exit code equals EXPECT.
+# Drives the CLI-contract ctest entries in bench/CMakeLists.txt: malformed
+# thresholds, a --threshold missing its value, and unreadable inputs must
+# all be usage errors (exit 2), never silent fallbacks to a default gate.
+separate_arguments(args NATIVE_COMMAND "${ARGS}")
+execute_process(COMMAND "${BENCH_DIFF}" ${args}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL "${EXPECT}")
+  message(FATAL_ERROR
+          "bench_diff ${ARGS}: expected exit ${EXPECT}, got ${rc}")
+endif()

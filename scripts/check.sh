@@ -40,6 +40,13 @@ echo "== bench regression gate (bench_diff vs committed baselines) =="
   --jobs "$jobs" >/dev/null
 ./build/bench/bench_diff BENCH_fault_sweep.json \
   build/BENCH_fault_sweep.new.json --threshold 5%
+./build/bench/bench_server --json build/BENCH_server.new.json \
+  --jobs "$jobs" >/dev/null
+./build/bench/bench_diff BENCH_server.json \
+  build/BENCH_server.new.json --threshold 5%
+
+echo "== server smoke (multi-client view server + serializability oracle) =="
+ctest --test-dir build --output-on-failure -L server
 
 echo "== sanitized build (address;undefined) =="
 cmake -S . -B build-asan -DVIEWMAT_SANITIZE="address;undefined" >/dev/null

@@ -24,16 +24,31 @@ void NetChange::AddDelete(const Tuple& t) {
   deletes_.push_back(t);
 }
 
+const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kOpen:
+      return "open";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
 void Transaction::Insert(Relation* rel, const Tuple& t) {
+  VIEWMAT_DCHECK(state_ == TxnState::kOpen);
   changes_[rel].AddInsert(t);
 }
 
 void Transaction::Delete(Relation* rel, const Tuple& t) {
+  VIEWMAT_DCHECK(state_ == TxnState::kOpen);
   changes_[rel].AddDelete(t);
 }
 
 void Transaction::Update(Relation* rel, const Tuple& old_t,
                          const Tuple& new_t) {
+  VIEWMAT_DCHECK(state_ == TxnState::kOpen);
   NetChange& nc = changes_[rel];
   nc.AddDelete(old_t);
   nc.AddInsert(new_t);
@@ -70,6 +85,10 @@ Status PartialApplyError(const Status& cause, const char* op,
 }  // namespace
 
 Status Transaction::ApplyToBase() const {
+  // Aborted transactions must never reach an engine; their net sets were
+  // cleared by Abort(), so applying one would be a silent no-op that hides
+  // a lifecycle bug in the caller.
+  VIEWMAT_DCHECK(state_ != TxnState::kAborted);
   size_t applied = 0;
   for (const auto& [rel, nc] : changes_) {
     for (const Tuple& t : nc.deletes()) {

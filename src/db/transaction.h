@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "db/relation.h"
 #include "db/tuple.h"
@@ -30,6 +31,18 @@ class NetChange {
   std::vector<Tuple> deletes_;
 };
 
+/// Lifecycle of a transaction as the server layer sees it: a transaction is
+/// built open, optionally acquires locks and applies, and ends exactly once
+/// as committed or aborted. Serial callers that never call MarkCommitted()
+/// or Abort() keep the old build-then-apply behavior (state stays kOpen).
+enum class TxnState {
+  kOpen,       // accepting mutations (begin/acquire/apply)
+  kCommitted,  // net changes durably applied; immutable from here on
+  kAborted,    // undone before apply; net sets cleared, immutable
+};
+
+const char* TxnStateName(TxnState s);
+
 /// A single update transaction: a batch of inserts, deletes, and updates
 /// against base relations, recorded as net A/D sets per relation. The
 /// transaction is a pure description — the chosen maintenance engine decides
@@ -40,6 +53,22 @@ class Transaction {
   void Delete(Relation* rel, const Tuple& t);
   /// Update = delete old + insert new (the paper's HR modification rule).
   void Update(Relation* rel, const Tuple& old_t, const Tuple& new_t);
+
+  /// --- Lifecycle -------------------------------------------------------
+  /// Transactions begin open; mutators DCHECK the open state. Commit and
+  /// abort are terminal and one-shot. Abort undoes the not-yet-applied net
+  /// changes by clearing them, so an aborted transaction applied through
+  /// any engine is a guaranteed no-op.
+  TxnState state() const { return state_; }
+  void MarkCommitted() {
+    VIEWMAT_DCHECK(state_ == TxnState::kOpen);
+    state_ = TxnState::kCommitted;
+  }
+  void Abort() {
+    VIEWMAT_DCHECK(state_ == TxnState::kOpen);
+    changes_.clear();
+    state_ = TxnState::kAborted;
+  }
 
   const std::map<Relation*, NetChange>& changes() const { return changes_; }
 
@@ -56,6 +85,7 @@ class Transaction {
 
  private:
   std::map<Relation*, NetChange> changes_;
+  TxnState state_ = TxnState::kOpen;
 };
 
 }  // namespace viewmat::db

@@ -42,9 +42,12 @@ struct Span {
 /// "<root>.<step>" in snake_case, e.g. "refresh.prepare",
 /// "refresh.view_patch", "refresh.fold", "refresh.ad_reset",
 /// "recover.ad", "recover.log_replay", "recover.bloom_rebuild",
-/// "recover.wal_analysis", "recover.wal_redo". New emission sites should
-/// reuse an existing root when the work belongs to one of these
-/// lifecycles rather than inventing a new root verb.
+/// "recover.wal_analysis", "recover.wal_redo". The server layer adds the
+/// namespaced roots "server.txn" / "server.query" (one per scheduled
+/// client operation) and "lock.wait" (a worker physically blocked in
+/// LockManager::Acquire). New emission sites should reuse an existing
+/// root when the work belongs to one of these lifecycles rather than
+/// inventing a new root verb.
 ///
 /// The disabled mode is a null pointer: every emission site goes through
 /// ScopedSpan, which does nothing (one branch) when the tracer is null, so

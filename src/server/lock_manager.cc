@@ -1,0 +1,104 @@
+#include "server/lock_manager.h"
+
+#include <chrono>
+
+namespace viewmat::server {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ModesConflict(LockMode a, LockMode b) {
+  return a == LockMode::kExclusive || b == LockMode::kExclusive;
+}
+
+bool RequestsConflict(const LockRequest& a, const LockRequest& b) {
+  if (a.relation_id != b.relation_id) return false;
+  if (!ModesConflict(a.mode, b.mode)) return false;
+  return !db::IntervalSet::Intersect(a.keys, b.keys).empty();
+}
+
+}  // namespace
+
+bool Conflicts(const LockSet& a, const LockSet& b) {
+  for (const LockRequest& ra : a) {
+    for (const LockRequest& rb : b) {
+      if (RequestsConflict(ra, rb)) return true;
+    }
+  }
+  return false;
+}
+
+bool LockManager::Blocked(uint64_t txn, const LockSet& set) const {
+  for (const auto& [holder, held] : held_) {
+    if (holder != txn && Conflicts(set, held)) return true;
+  }
+  // Yield to earlier conflicting waiters so grants follow transaction-id
+  // (= commit LSN) order instead of racing on wakeup.
+  for (const auto& [waiter, pending] : waiting_) {
+    if (waiter < txn && Conflicts(set, *pending)) return true;
+  }
+  return false;
+}
+
+LockManager::AcquireResult LockManager::Acquire(uint64_t txn,
+                                                const LockSet& set) {
+  AcquireResult result;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (Blocked(txn, set)) {
+    result.blocked = true;
+    ++stats_.blocked_acquires;
+    waiting_.emplace(txn, &set);
+    const auto t0 = std::chrono::steady_clock::now();
+    cv_.wait(lock, [&] { return !Blocked(txn, set); });
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wall_wait_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats_.wall_wait_ms += result.wall_wait_ms;
+    waiting_.erase(txn);
+    // Removing a waiter can unblock a later waiter that was only yielding
+    // to this one, so wake the others to re-evaluate.
+    cv_.notify_all();
+  }
+  LockSet& held = held_[txn];
+  held.insert(held.end(), set.begin(), set.end());
+  return result;
+}
+
+bool LockManager::TryAcquire(uint64_t txn, const LockSet& set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (Blocked(txn, set)) return false;
+  LockSet& held = held_[txn];
+  held.insert(held.end(), set.begin(), set.end());
+  return true;
+}
+
+void LockManager::Release(uint64_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (held_.erase(txn) == 0) return;
+  ++stats_.releases;
+  cv_.notify_all();
+}
+
+size_t LockManager::HeldCount(uint64_t txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+LockManager::Stats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace viewmat::server

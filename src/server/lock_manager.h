@@ -1,0 +1,106 @@
+#ifndef VIEWMAT_SERVER_LOCK_MANAGER_H_
+#define VIEWMAT_SERVER_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "db/predicate.h"
+
+namespace viewmat::server {
+
+/// Lock mode. Compatibility is the classical matrix restricted to two
+/// modes — S/S compatible, S/X and X/X conflicting — but applied to
+/// *intervals* of the B+-tree key space rather than to single objects:
+/// two locks conflict only when their modes conflict AND their interval
+/// sets intersect on the same relation's keyspace.
+enum class LockMode : uint8_t {
+  kShared,     ///< readers: view queries lock the queried range ∩ screen
+  kExclusive,  ///< writers: update transactions lock their net A/D keys
+};
+
+const char* LockModeName(LockMode mode);
+
+/// One interval lock request: a set of closed key intervals on one
+/// relation's clustering key. Writers derive point intervals from their
+/// net A/D sets; readers derive theirs from the paper's t-lock screening
+/// predicate (Predicate::ImpliedRangeSet on the lock field) intersected
+/// with the queried range — a reader outside the view's screening interval
+/// can never conflict with it.
+struct LockRequest {
+  uint32_t relation_id = 0;
+  LockMode mode = LockMode::kShared;
+  db::IntervalSet keys;
+};
+
+/// A transaction's full lock set, acquired as one atomic unit.
+using LockSet = std::vector<LockRequest>;
+
+/// True iff `a` and `b` held by *different* transactions could not be
+/// granted together: some pair of requests on the same relation has
+/// conflicting modes and intersecting interval sets. Also used by the
+/// schedule analyzer to count logical conflicts without running threads.
+bool Conflicts(const LockSet& a, const LockSet& b);
+
+/// Two-phase interval lock manager over the t-lock rule index's key space.
+///
+/// Growth phase = one Acquire(txn, set) call that atomically claims the
+/// transaction's entire lock set; shrink phase = one Release(txn) at
+/// commit/abort. Because a transaction never holds part of its set while
+/// waiting for the rest, hold-and-wait is impossible and the manager is
+/// deadlock-free by construction (no victim selection needed). Waiters are
+/// granted in transaction-id order: a request must also yield to any
+/// *waiting* conflicting request with a smaller id, so grants follow the
+/// commit-LSN order the server's deterministic scheduler assigns — no
+/// barging, no starvation.
+///
+/// Thread safety: fully thread-safe; every operation takes the manager
+/// mutex. Blocking uses a condition variable signalled on every release.
+class LockManager {
+ public:
+  struct AcquireResult {
+    bool blocked = false;       ///< did the request ever wait?
+    double wall_wait_ms = 0.0;  ///< physical (not model) time spent waiting
+  };
+
+  /// Monotone counters; wall_wait_ms is physical time and therefore only
+  /// reportable in nondeterministic report sections.
+  struct Stats {
+    uint64_t acquires = 0;
+    uint64_t blocked_acquires = 0;
+    uint64_t releases = 0;
+    double wall_wait_ms = 0.0;
+  };
+
+  /// Blocks until the whole set is grantable, then holds it for `txn`.
+  /// Acquiring twice for the same transaction extends its held set.
+  AcquireResult Acquire(uint64_t txn, const LockSet& set);
+
+  /// Grants the set iff it is grantable right now (no waiting).
+  bool TryAcquire(uint64_t txn, const LockSet& set);
+
+  /// Releases everything `txn` holds (the 2PL shrink phase). No-op for an
+  /// unknown transaction, so abort paths may release unconditionally.
+  void Release(uint64_t txn);
+
+  /// Locks currently held by `txn` (empty if none) — test introspection.
+  size_t HeldCount(uint64_t txn) const;
+
+  Stats stats() const;
+
+ private:
+  /// True iff `set` conflicts with a held or waiting entry that bars it.
+  bool Blocked(uint64_t txn, const LockSet& set) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, LockSet> held_;
+  std::map<uint64_t, const LockSet*> waiting_;
+  Stats stats_;
+};
+
+}  // namespace viewmat::server
+
+#endif  // VIEWMAT_SERVER_LOCK_MANAGER_H_

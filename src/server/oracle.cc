@@ -1,0 +1,127 @@
+#include "server/oracle.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace viewmat::server {
+
+StatusOr<uint64_t> SerialReplayDigest(
+    const ViewServer::Options& options, const Schedule& schedule,
+    const std::vector<ViewServer::OpResult>& ops) {
+  if (ops.size() != schedule.ops.size()) {
+    return Status::InvalidArgument("op results do not match the schedule");
+  }
+  VIEWMAT_ASSIGN_OR_RETURN(std::unique_ptr<sim::StrategyDriver> replay,
+                           sim::StrategyDriver::Create(options.driver));
+  sim::ShadowOracle shadow = sim::MakeShadow(*replay->scenario());
+  uint64_t committed = 0;
+  for (size_t i = 0; i < schedule.ops.size(); ++i) {
+    if (ops[i].status != OpStatus::kCommitted) continue;
+    const ScheduledOp& op = schedule.ops[i];
+    db::Transaction txn = BuildUpdateTxn(shadow, op, replay->base());
+    VIEWMAT_RETURN_IF_ERROR(replay->OnTransaction(txn));
+    txn.MarkCommitted();
+    AdvanceShadow(op, &shadow);
+    ++committed;
+  }
+  VIEWMAT_RETURN_IF_ERROR(replay->Converge());
+
+  // Golden triple: the replayed system's full view answer and visible base
+  // must match the shadow oracle exactly — a digest collision between two
+  // equally-wrong states cannot slip through.
+  sim::ViewMultiset answered;
+  VIEWMAT_RETURN_IF_ERROR(replay->Query(
+      0, shadow.n - 1, [&](const db::Tuple& value, int64_t count) {
+        answered[value] += count;
+        return true;
+      }));
+  if (answered != sim::ExpectedRange(shadow, replay->model(), 0,
+                                     shadow.n - 1)) {
+    return Status::Internal(
+        "serial replay view answer disagrees with the shadow oracle");
+  }
+  sim::ViewMultiset base;
+  VIEWMAT_RETURN_IF_ERROR(replay->VisibleBase(&base));
+  sim::ViewMultiset expected_base;
+  for (int64_t key = 0; key < shadow.n; ++key) {
+    expected_base[shadow.BaseTuple(key)] += 1;
+  }
+  if (base != expected_base) {
+    return Status::Internal(
+        "serial replay base contents disagree with the committed state");
+  }
+  (void)committed;
+  return StateDigest(replay.get());
+}
+
+Status CheckSerializability(ViewServer::Options options,
+                            const std::vector<size_t>& worker_counts,
+                            std::string* detail) {
+  if (worker_counts.empty()) {
+    return Status::InvalidArgument("no worker counts to check");
+  }
+
+  bool have_reference = false;
+  ViewServer::Result reference;
+  const Schedule* schedule = nullptr;
+  std::unique_ptr<ViewServer> reference_server;
+  for (const size_t workers : worker_counts) {
+    options.workers = workers;
+    VIEWMAT_ASSIGN_OR_RETURN(std::unique_ptr<ViewServer> server,
+                             ViewServer::Create(options));
+    VIEWMAT_ASSIGN_OR_RETURN(ViewServer::Result result, server->Run());
+    if (result.queries_stale != 0) {
+      return Status::Internal(
+          "stale query answer at workers=" + std::to_string(workers) +
+          " — a reader saw a non-serializable state");
+    }
+    if (!have_reference) {
+      have_reference = true;
+      reference = result;
+      reference_server = std::move(server);
+      schedule = &reference_server->schedule();
+      continue;
+    }
+    // Worker count must be invisible to every logical outcome.
+    if (result.state_digest != reference.state_digest) {
+      return Status::Internal(
+          "state digest diverged at workers=" + std::to_string(workers));
+    }
+    if (result.committed != reference.committed ||
+        result.aborted != reference.aborted ||
+        result.rejected != reference.rejected ||
+        result.skipped != reference.skipped) {
+      return Status::Internal(
+          "transaction outcomes diverged at workers=" +
+          std::to_string(workers));
+    }
+    for (size_t i = 0; i < result.ops.size(); ++i) {
+      if (result.ops[i].status != reference.ops[i].status ||
+          !(result.ops[i].cost == reference.ops[i].cost)) {
+        return Status::Internal("op " + std::to_string(i) +
+                                " diverged at workers=" +
+                                std::to_string(workers));
+      }
+    }
+  }
+
+  VIEWMAT_ASSIGN_OR_RETURN(const uint64_t serial_digest,
+                           SerialReplayDigest(options, *schedule,
+                                              reference.ops));
+  if (serial_digest != reference.state_digest) {
+    return Status::Internal(
+        "concurrent final state does not equal the serial order of its "
+        "committed transactions");
+  }
+  if (detail != nullptr) {
+    *detail += "serializable: " + std::to_string(reference.committed) +
+               " committed, " + std::to_string(reference.aborted) +
+               " aborted, " + std::to_string(reference.logical_conflicts) +
+               " conflicts, digest " +
+               std::to_string(reference.state_digest) + "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace viewmat::server

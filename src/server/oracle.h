@@ -1,0 +1,42 @@
+#ifndef VIEWMAT_SERVER_ORACLE_H_
+#define VIEWMAT_SERVER_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/view_server.h"
+
+namespace viewmat::server {
+
+/// Serializability oracle.
+///
+/// A concurrent schedule is accepted iff its final base+view state equals
+/// the state produced by *some* serial order of its committed transactions.
+/// The server's commit pipeline makes that order explicit (commit LSN =
+/// schedule sequence), so the oracle exhibits the witness directly: it
+/// replays exactly the committed ops, in sequence order, through a fresh
+/// serial StrategyDriver, and demands state-digest equality — plus the
+/// golden triple from the torture harness (the replayed view must match
+/// the shadow oracle's expected multiset and the base must hold exactly
+/// the committed values), so a digest collision cannot mask corruption.
+
+/// Replays the committed updates of a finished run serially and returns
+/// the digest of the converged replay state. Errors if any replayed
+/// transaction fails or the replay state disagrees with the shadow oracle.
+StatusOr<uint64_t> SerialReplayDigest(
+    const ViewServer::Options& options, const Schedule& schedule,
+    const std::vector<ViewServer::OpResult>& ops);
+
+/// Runs the full check: executes the schedule at every worker count in
+/// `worker_counts`, requires identical per-op outcomes and state digests
+/// across counts, zero stale queries, and serial-replay equality. On
+/// success appends a one-line summary to `detail` (may be null).
+Status CheckSerializability(ViewServer::Options options,
+                            const std::vector<size_t>& worker_counts,
+                            std::string* detail);
+
+}  // namespace viewmat::server
+
+#endif  // VIEWMAT_SERVER_ORACLE_H_

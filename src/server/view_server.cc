@@ -1,0 +1,304 @@
+#include "server/view_server.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace viewmat::server {
+
+const char* OpStatusName(OpStatus s) {
+  switch (s) {
+    case OpStatus::kCommitted:
+      return "committed";
+    case OpStatus::kAborted:
+      return "aborted";
+    case OpStatus::kRejected:
+      return "rejected";
+    case OpStatus::kSkipped:
+      return "skipped";
+    case OpStatus::kQueryExact:
+      return "query_exact";
+    case OpStatus::kQueryStale:
+      return "query_stale";
+    case OpStatus::kQueryFailed:
+      return "query_failed";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<ViewServer>> ViewServer::Create(
+    const Options& options) {
+  if (options.workers == 0) {
+    return Status::InvalidArgument("ViewServer needs at least one worker");
+  }
+  if (options.schedule.clients == 0 || options.schedule.ops_per_client == 0) {
+    return Status::InvalidArgument("ViewServer needs clients and ops");
+  }
+  std::unique_ptr<ViewServer> server(new ViewServer(options));
+  VIEWMAT_ASSIGN_OR_RETURN(server->driver_,
+                           sim::StrategyDriver::Create(options.driver));
+  server->schedule_ = BuildSchedule(options.schedule, server->driver_.get());
+  AnalyzeSchedule(&server->schedule_);
+  server->exec_shadow_ = sim::MakeShadow(*server->driver_->scenario());
+  server->baseline_ = server->driver_->tracker()->counters();
+  server->results_.resize(server->schedule_.ops.size());
+  if (options.tracer != nullptr) options.tracer->SetClock(&server->clock_);
+  return server;
+}
+
+bool ViewServer::ExecuteOp(size_t i) {
+  const ScheduledOp& op = schedule_.ops[i];
+  OpResult& r = results_[i];
+  storage::CostTracker* tracker = driver_->tracker();
+  // The previous commit-turn holder is done with the tracker; the turn
+  // mutex serializes the handoff, the claim moves to this thread on its
+  // first charge.
+  tracker->TransferOwnership();
+  obs::Tracer* tracer = options_.tracer;
+  uint32_t span = 0;
+  if (tracer != nullptr) {
+    span = tracer->BeginSpan(op.kind == OpKind::kUpdate ? "server.txn"
+                                                        : "server.query");
+  }
+  storage::TxnCostContext ctx;
+  ctx.Begin(tracker);
+
+  if (op.kind == OpKind::kUpdate) {
+    db::Transaction txn = BuildUpdateTxn(exec_shadow_, op, driver_->base());
+    if (op.voluntary_abort) {
+      // begin → acquire → abort: undo the unapplied net changes and walk
+      // away; the base was never touched, so there is nothing to recover.
+      txn.Abort();
+      r.status = OpStatus::kAborted;
+    } else {
+      const uint64_t seq_before = driver_->txn_seq();
+      const Status st = driver_->OnTransaction(txn);
+      if (st.ok()) {
+        txn.MarkCommitted();
+        AdvanceShadow(op, &exec_shadow_);
+        r.status = OpStatus::kCommitted;
+      } else if (driver_->txn_seq() == seq_before) {
+        // Failed before a txn id was issued: provably not committed.
+        r.status = OpStatus::kRejected;
+      } else {
+        // Ambiguous — the commit record may have landed before the crash.
+        // Resolved against the recovered log after the pool drains.
+        ambiguous_op_ = i;
+        ambiguous_txn_id_ = driver_->txn_seq();
+        r.status = OpStatus::kRejected;  // provisional
+      }
+    }
+  } else {
+    sim::ViewMultiset got;
+    const Status st = driver_->Query(
+        op.lo, op.hi, [&](const db::Tuple& value, int64_t count) {
+          got[value] += count;
+          return true;
+        });
+    if (!st.ok()) {
+      r.status = OpStatus::kQueryFailed;  // loud failure: crash runs only
+    } else {
+      r.status = got == op.expected ? OpStatus::kQueryExact
+                                    : OpStatus::kQueryStale;
+    }
+  }
+
+  ctx.End(tracker);
+  r.cost = ctx.flat();
+  r.commit_ms = tracker->Ms(tracker->counters() - baseline_);
+  clock_.Set(r.commit_ms);
+  if (tracer != nullptr) tracer->EndSpan(span);
+  return !driver_->disk()->crashed();
+}
+
+void ViewServer::WorkerLoop() {
+  obs::Tracer* tracer = options_.tracer;
+  if (tracer != nullptr) tracer->NewTrack("server.worker");
+  for (;;) {
+    const size_t i = next_op_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= schedule_.ops.size()) return;
+    const ScheduledOp& op = schedule_.ops[i];
+
+    // Acquire turn: lock sets are claimed in sequence order, so a blocked
+    // acquire only ever waits for earlier transactions — deadlock-free.
+    {
+      std::unique_lock<std::mutex> lock(turn_mu_);
+      turn_cv_.wait(lock, [&] { return acquire_turn_ == i; });
+    }
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(turn_mu_);
+      skip = crashed_;
+    }
+    if (!skip && !locks_.TryAcquire(op.seq, op.locks)) {
+      // Physically blocked on an earlier holder: wait under a lock.wait
+      // span. Whether this branch runs depends on worker count and timing
+      // — it never affects the logical outcome, only physical stats.
+      results_[i].physically_blocked = true;
+      if (tracer != nullptr) {
+        const uint32_t span = tracer->BeginSpan("lock.wait");
+        locks_.Acquire(op.seq, op.locks);
+        tracer->EndSpan(span);
+      } else {
+        locks_.Acquire(op.seq, op.locks);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(turn_mu_);
+      ++acquire_turn_;
+    }
+    turn_cv_.notify_all();
+
+    // Commit turn: state transitions and cost charges happen strictly in
+    // sequence order (= commit LSN order).
+    {
+      std::unique_lock<std::mutex> lock(turn_mu_);
+      turn_cv_.wait(lock, [&] { return commit_turn_ == i; });
+      if (crashed_ || skip) {
+        results_[i].status = OpStatus::kSkipped;
+        results_[i].commit_ms = clock_.NowMs();
+      } else if (!ExecuteOp(i)) {
+        crashed_ = true;
+      }
+      ++commit_turn_;
+    }
+    turn_cv_.notify_all();
+    locks_.Release(op.seq);
+  }
+}
+
+StatusOr<ViewServer::Result> ViewServer::Run() {
+  if (ran_) return Status::Internal("ViewServer::Run is one-shot");
+  ran_ = true;
+
+  if (options_.crash_at_disk_op > 0) {
+    driver_->disk()->ScriptCrashAtOp(options_.crash_at_disk_op);
+  }
+  // The build thread is done with the tracker until the pool drains.
+  driver_->tracker()->TransferOwnership();
+
+  const size_t workers =
+      std::min<size_t>(options_.workers, schedule_.ops.size());
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([this] { WorkerLoop(); });
+  }
+  for (std::thread& t : pool) t.join();
+  driver_->tracker()->TransferOwnership();  // back to the coordinator
+
+  Result result;
+  result.crashed = crashed_;
+  // Model time consumed by the schedule itself (recovery/convergence and
+  // the digest query below are deliberately excluded — they are epilogue).
+  result.model_ms =
+      driver_->tracker()->Ms(driver_->tracker()->counters() - baseline_);
+
+  if (crashed_) {
+    driver_->disk()->ClearFaults();
+    if (driver_->disk()->crashed()) driver_->disk()->Restart();
+    Status recovered = Status::Internal("not attempted");
+    for (int attempt = 0; attempt < 4 && !recovered.ok(); ++attempt) {
+      recovered = driver_->Recover();
+    }
+    VIEWMAT_RETURN_IF_ERROR(recovered);
+    if (ambiguous_op_ != SIZE_MAX) {
+      // The durable commit record decides the in-flight transaction.
+      if (driver_->committed_txn_high_water() >= ambiguous_txn_id_) {
+        results_[ambiguous_op_].status = OpStatus::kCommitted;
+        AdvanceShadow(schedule_.ops[ambiguous_op_], &exec_shadow_);
+      }
+    }
+  }
+  VIEWMAT_RETURN_IF_ERROR(driver_->Converge());
+  VIEWMAT_ASSIGN_OR_RETURN(result.state_digest, StateDigest(driver_.get()));
+  result.recoveries = driver_->recoveries();
+
+  // Logical wait analysis on the committed timeline: an op "arrives" when
+  // its client's previous op committed and is granted once every
+  // conflicting in-window predecessor has committed. Deterministic — it
+  // reads only schedule analysis and model-clock commit stamps.
+  std::vector<double> client_last(options_.schedule.clients, 0.0);
+  for (size_t i = 0; i < results_.size(); ++i) {
+    OpResult& r = results_[i];
+    const ScheduledOp& op = schedule_.ops[i];
+    if (r.status == OpStatus::kSkipped) {
+      ++result.skipped;
+      continue;
+    }
+    r.arrive_ms = client_last[op.client];
+    double grant = r.arrive_ms;
+    for (const uint32_t j : op.conflict_preds) {
+      if (results_[j].status != OpStatus::kSkipped) {
+        grant = std::max(grant, results_[j].commit_ms);
+      }
+    }
+    r.logical_wait_ms = grant - r.arrive_ms;
+    result.logical_wait_ms += r.logical_wait_ms;
+    result.logical_conflicts += op.conflict_preds.size();
+    result.conflicts_rw += op.conflicts_rw;
+    result.conflicts_ww += op.conflicts_ww;
+    client_last[op.client] = r.commit_ms;
+    result.total_cost += r.cost;
+
+    switch (r.status) {
+      case OpStatus::kCommitted:
+        ++result.committed;
+        break;
+      case OpStatus::kAborted:
+        ++result.aborted;
+        break;
+      case OpStatus::kRejected:
+        ++result.rejected;
+        break;
+      case OpStatus::kQueryExact:
+        ++result.queries_exact;
+        break;
+      case OpStatus::kQueryStale:
+        ++result.queries_stale;
+        break;
+      case OpStatus::kQueryFailed:
+        ++result.queries_failed;
+        break;
+      case OpStatus::kSkipped:
+        break;
+    }
+  }
+  result.throughput_tps =
+      result.model_ms > 0.0
+          ? static_cast<double>(result.committed) / (result.model_ms / 1000.0)
+          : 0.0;
+  result.lock_stats = locks_.stats();
+  result.ops = results_;
+  RecordMetrics(result);
+  return result;
+}
+
+void ViewServer::RecordMetrics(const Result& result) {
+  obs::MetricsRegistry* m = options_.metrics;
+  if (m == nullptr) return;
+  const obs::Labels labels = {
+      {"strategy", sim::StrategyKindName(options_.driver.kind)},
+      {"model", options_.driver.model == 1 ? "1" : "2"}};
+  m->GetCounter("server.txn.committed", labels)->Increment(result.committed);
+  m->GetCounter("server.txn.aborted", labels)->Increment(result.aborted);
+  m->GetCounter("server.txn.rejected", labels)->Increment(result.rejected);
+  m->GetCounter("server.txn.skipped", labels)->Increment(result.skipped);
+  m->GetCounter("server.query.exact", labels)
+      ->Increment(result.queries_exact);
+  m->GetCounter("server.query.stale", labels)
+      ->Increment(result.queries_stale);
+  m->GetCounter("server.query.failed", labels)
+      ->Increment(result.queries_failed);
+  m->GetCounter("server.lock.conflicts", labels)
+      ->Increment(result.logical_conflicts);
+  obs::Histogram* wait = m->GetHistogram(
+      "server.lock.logical_wait_ms", labels,
+      {0.0, 1.0, 10.0, 100.0, 1000.0, 10000.0});
+  for (const OpResult& r : result.ops) {
+    if (r.status != OpStatus::kSkipped) wait->Observe(r.logical_wait_ms);
+  }
+}
+
+}  // namespace viewmat::server

@@ -1,0 +1,167 @@
+#ifndef VIEWMAT_SERVER_VIEW_SERVER_H_
+#define VIEWMAT_SERVER_VIEW_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/lock_manager.h"
+#include "server/schedule.h"
+#include "sim/strategy_driver.h"
+#include "storage/cost_tracker.h"
+
+namespace viewmat::server {
+
+/// A VirtualClock the server can publish model time through from whichever
+/// worker holds the commit turn, readable by any thread (lock-wait spans
+/// begin on threads that do not own the cost tracker).
+class AtomicModelClock : public obs::VirtualClock {
+ public:
+  double NowMs() const override { return ms_.load(std::memory_order_relaxed); }
+  void Set(double ms) { ms_.store(ms, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> ms_{0.0};
+};
+
+/// How one scheduled op ended.
+enum class OpStatus : uint8_t {
+  kCommitted,    ///< update durably committed
+  kAborted,      ///< update voluntarily aborted (locks held, undo, release)
+  kRejected,     ///< update failed before/at commit and provably did not land
+  kSkipped,      ///< never executed (a crash stopped the server earlier)
+  kQueryExact,   ///< query answered and matched the expected multiset
+  kQueryStale,   ///< query answered but WRONG — a serializability violation
+  kQueryFailed,  ///< query errored loudly (only possible in crash runs)
+};
+
+const char* OpStatusName(OpStatus s);
+
+/// The multi-client view server: N simulated client sessions issue
+/// interleaved update/query transactions against one shared StrategyDriver
+/// (base relations + materialized view + maintenance strategy + recovery),
+/// executed by a fixed pool of real worker threads under the LockManager's
+/// two-phase interval locks.
+///
+/// Determinism contract (the Calvin-style split the benches rely on):
+/// the seeded scheduler fixes the global sequence before any thread runs;
+/// workers acquire locks in sequence order (so lock waits only ever point
+/// backwards — deadlock-free) and commit in sequence order (the commit
+/// turn serializes state transitions and cost charges). Everything logical
+/// — op outcomes, per-transaction cost contexts, model time, conflict and
+/// wait analysis, the final state digest — is therefore identical at any
+/// worker count; only *physical* lock-wait statistics (wall time, blocked
+/// counts) vary, and those are reported separately so benches can confine
+/// them to the nondeterministic `execution` block.
+class ViewServer {
+ public:
+  struct Options {
+    sim::StrategyDriver::Options driver;
+    ScheduleOptions schedule;
+    size_t workers = 1;
+    /// If nonzero, the disk crashes at this (1-based) disk op after the
+    /// schedule starts; the server stops, recovers, and reports a
+    /// prefix-consistent state.
+    size_t crash_at_disk_op = 0;
+    /// Optional instrumentation (not owned; may be null). The tracer runs
+    /// on the server's atomic model clock and receives server.txn /
+    /// server.query spans from the commit turn plus lock.wait spans from
+    /// physically blocked workers.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+  };
+
+  struct OpResult {
+    OpStatus status = OpStatus::kSkipped;
+    storage::CostCounters cost;   ///< this op's TxnCostContext delta
+    double commit_ms = 0.0;       ///< model clock when the op finished
+    double arrive_ms = 0.0;       ///< logical arrival (client's prev commit)
+    double logical_wait_ms = 0.0; ///< lock-wait under the logical model
+    bool physically_blocked = false;  ///< nondeterministic; execution-only
+  };
+
+  struct Result {
+    std::vector<OpResult> ops;  ///< indexed by schedule sequence
+
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t rejected = 0;
+    uint64_t skipped = 0;
+    uint64_t queries_exact = 0;
+    uint64_t queries_stale = 0;
+    uint64_t queries_failed = 0;
+
+    uint64_t logical_conflicts = 0;
+    uint64_t conflicts_rw = 0;
+    uint64_t conflicts_ww = 0;
+    double logical_wait_ms = 0.0;
+
+    double model_ms = 0.0;        ///< model time the schedule consumed
+    double throughput_tps = 0.0;  ///< committed txns per model second
+    storage::CostCounters total_cost;  ///< sum of all op contexts
+
+    bool crashed = false;
+    uint64_t recoveries = 0;
+    uint64_t state_digest = 0;  ///< StateDigest of the converged final state
+
+    /// Physical lock statistics — wall time and actual blocking, which
+    /// depend on the worker count and machine. Never fold these into a
+    /// deterministic report section.
+    LockManager::Stats lock_stats;
+  };
+
+  /// Builds the driver (healthy load), the schedule, and the analysis.
+  static StatusOr<std::unique_ptr<ViewServer>> Create(const Options& options);
+
+  ViewServer(const ViewServer&) = delete;
+  ViewServer& operator=(const ViewServer&) = delete;
+
+  /// Executes the whole schedule on the worker pool. One-shot.
+  StatusOr<Result> Run();
+
+  const Schedule& schedule() const { return schedule_; }
+  sim::StrategyDriver* driver() { return driver_.get(); }
+
+ private:
+  explicit ViewServer(const Options& options) : options_(options) {}
+
+  void WorkerLoop();
+  /// Executes op `i` while holding the commit turn. Returns false when the
+  /// disk crashed under the op (the server stops executing).
+  bool ExecuteOp(size_t i);
+  void RecordMetrics(const Result& result);
+
+  Options options_;
+  std::unique_ptr<sim::StrategyDriver> driver_;
+  Schedule schedule_;
+  LockManager locks_;
+  AtomicModelClock clock_;
+
+  // Execution state shared by the worker pool.
+  std::atomic<size_t> next_op_{0};
+  std::mutex turn_mu_;
+  std::condition_variable turn_cv_;
+  size_t acquire_turn_ = 0;
+  size_t commit_turn_ = 0;
+  bool crashed_ = false;
+
+  // Commit-turn-only state (guarded by holding the turn, not a mutex).
+  sim::ShadowOracle exec_shadow_;
+  storage::CostCounters baseline_;  ///< tracker counters after build
+  std::vector<OpResult> results_;
+  /// Sequence index + txn id of an update whose commit is ambiguous after
+  /// a crash (error after the driver issued a txn id); resolved against
+  /// the recovered log's high-water mark.
+  size_t ambiguous_op_ = SIZE_MAX;
+  uint64_t ambiguous_txn_id_ = 0;
+
+  bool ran_ = false;
+};
+
+}  // namespace viewmat::server
+
+#endif  // VIEWMAT_SERVER_VIEW_SERVER_H_

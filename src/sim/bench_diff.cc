@@ -1,10 +1,12 @@
 #include "sim/bench_diff.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string_view>
 
 #include "common/json.h"
 
@@ -319,19 +321,24 @@ StatusOr<double> ParseThreshold(const std::string& text) {
   if (text.empty()) {
     return Status::InvalidArgument("empty threshold");
   }
-  std::string number = text;
+  std::string_view number = text;
   bool percent = false;
   if (number.back() == '%') {
     percent = true;
-    number.pop_back();
+    number.remove_suffix(1);
   }
-  char* end = nullptr;
-  const double value = std::strtod(number.c_str(), &end);
-  if (end == number.c_str() || *end != '\0') {
+  // from_chars, unlike strtod, consumes no leading whitespace, no '+',
+  // and no hex forms — a gate flag should accept nothing looser than a
+  // plain decimal. Trailing garbage ("5%%", "5x") fails the full-consume
+  // check; "nan"/"inf" parse but fail the finite range check below.
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(number.data(), number.data() + number.size(), value);
+  if (ec != std::errc() || end != number.data() + number.size()) {
     return Status::InvalidArgument("bad threshold: " + text);
   }
   const double fraction = percent ? value / 100.0 : value;
-  if (!(fraction >= 0.0) || fraction > 10.0) {
+  if (!std::isfinite(fraction) || fraction < 0.0 || fraction > 10.0) {
     return Status::InvalidArgument("threshold out of range: " + text);
   }
   return fraction;

@@ -160,6 +160,10 @@ class StrategyDriver {
 
   storage::FaultyDisk* disk() { return &disk_; }
   storage::BufferPool* pool() { return &pool_; }
+  /// The driver-owned tracker (model clock + cost counters). The server
+  /// layer snapshots it per transaction (TxnCostContext) and hands its
+  /// thread-ownership claim across workers at commit-turn boundaries.
+  storage::CostTracker* tracker() { return &tracker_; }
   db::Relation* base() { return rel_; }
   workload::Scenario* scenario() { return &scenario_; }
   const view::SelectProjectDef& sp_def() const { return sp_def_; }

@@ -182,7 +182,9 @@ struct AttributedCounters {
 /// be meaningless as well as racy). Debug builds assert the contract: the
 /// first charging thread claims the tracker, and any charge or tag swap
 /// from a different thread trips a VIEWMAT_DCHECK. Reset() releases the
-/// claim along with the counters.
+/// claim along with the counters; TransferOwnership() releases just the
+/// claim, the explicit handoff the server's serialized commit pipeline
+/// uses to move a tracker between worker threads one at a time.
 class CostTracker : public obs::VirtualClock {
  public:
   CostTracker(double c1 = 1.0, double c2 = 30.0, double c3 = 1.0)
@@ -219,6 +221,19 @@ class CostTracker : public obs::VirtualClock {
   void Reset() {
     counters_ = CostCounters();
     attributed_ = AttributedCounters();
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+
+  /// Releases the current thread's ownership claim without touching the
+  /// counters, so the next charging thread becomes the owner. This is the
+  /// explicit handoff that generalizes the single-owner contract to "one
+  /// thread at a time": the server layer's commit pipeline calls it at each
+  /// turn boundary, where an external mutex already serializes the old and
+  /// new owner (that mutex — not this relaxed store — provides the
+  /// happens-before edge for the counter values themselves). Calling it
+  /// while another thread may still charge concurrently is a contract
+  /// violation the DCHECK cannot catch.
+  void TransferOwnership() {
     owner_.store(std::thread::id(), std::memory_order_relaxed);
   }
 
@@ -287,6 +302,45 @@ class CostTracker : public obs::VirtualClock {
   Phase phase_ = Phase::kUnphased;
   obs::Tracer* tracer_ = nullptr;
   std::atomic<std::thread::id> owner_{};  ///< default id until first charge
+};
+
+/// Per-transaction cost context: captures the slice of a shared tracker's
+/// growth attributable to one transaction as a pair of snapshot deltas
+/// (flat counters + the full component×phase matrix). Because the server's
+/// commit pipeline executes at most one transaction against the tracker at
+/// a time, the delta between Begin() and End() is exactly that
+/// transaction's charge — no routing of individual charges is needed, and
+/// the sum of all contexts reproduces the tracker totals to the counter
+/// (an invariant the server tests pin). Contexts are merged into reports
+/// in commit-LSN order, which is what keeps reports byte-identical for a
+/// fixed schedule at any worker count.
+class TxnCostContext {
+ public:
+  /// Snapshots the tracker at transaction start. Must run on the thread
+  /// that currently owns the tracker (the worker holding the commit turn).
+  void Begin(const CostTracker* tracker) {
+    base_flat_ = tracker->counters();
+    base_attributed_ = tracker->attributed();
+    open_ = true;
+  }
+  /// Captures the delta at transaction end (commit or abort).
+  void End(const CostTracker* tracker) {
+    VIEWMAT_DCHECK(open_);
+    flat_ = tracker->counters() - base_flat_;
+    attributed_ = tracker->attributed() - base_attributed_;
+    open_ = false;
+  }
+
+  const CostCounters& flat() const { return flat_; }
+  const AttributedCounters& attributed() const { return attributed_; }
+  bool open() const { return open_; }
+
+ private:
+  CostCounters base_flat_;
+  AttributedCounters base_attributed_;
+  CostCounters flat_;
+  AttributedCounters attributed_;
+  bool open_ = false;
 };
 
 /// RAII component tag: charges made while alive are attributed to `c`.

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+
+#include "common/random.h"
 #include "db/catalog.h"
 #include "storage/faulty_disk.h"
 
@@ -51,6 +55,165 @@ TEST(NetChange, ADIntersectionAlwaysEmpty) {
       EXPECT_FALSE(a == d);
     }
   }
+}
+
+// --- Satellite: adversarial property test of the A ∩ D = ∅ invariant. ----
+//
+// Reference semantics: a NetChange is the multiset delta it induces. Every
+// op sequence is checked against a map<Tuple,int64_t> counting net copies
+// (+ for insert, - for delete); the net sets must reproduce that delta
+// exactly, A and D must stay disjoint as multisets, and tuples_written()
+// must equal |A| + |D|.
+class NetChangeModel {
+ public:
+  void Insert(const Tuple& t) { delta_[t] += 1; }
+  void Delete(const Tuple& t) { delta_[t] -= 1; }
+
+  void CheckAgainst(const NetChange& nc) const {
+    std::map<Tuple, int64_t> got;
+    for (const Tuple& t : nc.inserts()) got[t] += 1;
+    for (const Tuple& t : nc.deletes()) {
+      got[t] -= 1;
+      // A ∩ D = ∅ as multisets: no tuple may appear on both sides.
+      for (const Tuple& a : nc.inserts()) EXPECT_FALSE(a == t);
+    }
+    int64_t expected_written = 0;
+    for (const auto& [t, d] : delta_) {
+      EXPECT_EQ(got[t], d) << "net delta mismatch for " << t.ToString();
+      expected_written += d < 0 ? -d : d;
+    }
+    for (const auto& [t, d] : got) {
+      EXPECT_EQ(delta_.count(t) != 0 ? delta_.at(t) : 0, d)
+          << "spurious net tuple " << t.ToString();
+    }
+    // |A| + |D| == sum of |delta|: the net sets carry no cancelled pairs.
+    EXPECT_EQ(static_cast<int64_t>(nc.size()), expected_written);
+  }
+
+ private:
+  std::map<Tuple, int64_t> delta_;
+};
+
+TEST(NetChange, PropertyAdversarialInterleavings) {
+  // 256 seeded sequences of insert/delete/update drawn from a deliberately
+  // tiny tuple domain (4 keys × 2 values) so the same tuple is hit from
+  // every direction: re-insert after delete, delete-after-update,
+  // double-delete, and self-update all occur many times.
+  for (uint64_t seed = 0; seed < 256; ++seed) {
+    Random rng(0x5eedULL * 977 + seed);
+    NetChange nc;
+    NetChangeModel model;
+    const int ops = 1 + static_cast<int>(rng.Uniform(24));
+    for (int i = 0; i < ops; ++i) {
+      const Tuple t = Row(static_cast<int64_t>(rng.Uniform(4)),
+                          static_cast<int64_t>(rng.Uniform(2)));
+      switch (rng.Uniform(3)) {
+        case 0:
+          nc.AddInsert(t);
+          model.Insert(t);
+          break;
+        case 1:
+          nc.AddDelete(t);
+          model.Delete(t);
+          break;
+        default: {
+          // Update = delete old + insert new, sometimes with old == new.
+          const Tuple nt = rng.Bernoulli(0.25)
+                               ? t
+                               : Row(static_cast<int64_t>(rng.Uniform(4)),
+                                     static_cast<int64_t>(rng.Uniform(2)));
+          nc.AddDelete(t);
+          nc.AddInsert(nt);
+          model.Delete(t);
+          model.Insert(nt);
+          break;
+        }
+      }
+      model.CheckAgainst(nc);  // invariant holds after *every* op
+    }
+  }
+}
+
+TEST(NetChange, SelfUpdateIsNetNoop) {
+  NetChange nc;
+  nc.AddDelete(Row(7, 7));  // Update(t, t) through Transaction::Update
+  nc.AddInsert(Row(7, 7));
+  EXPECT_TRUE(nc.empty());
+  EXPECT_EQ(nc.size(), 0u);
+}
+
+TEST(NetChange, DeleteAfterUpdateLeavesOnlyTheOldDelete) {
+  // Update(a→b) then Delete(b): the insert of b cancels, the delete of a
+  // stands; net effect is "delete a".
+  NetChange nc;
+  nc.AddDelete(Row(1, 1));
+  nc.AddInsert(Row(1, 2));
+  nc.AddDelete(Row(1, 2));
+  EXPECT_EQ(nc.inserts().size(), 0u);
+  ASSERT_EQ(nc.deletes().size(), 1u);
+  EXPECT_TRUE(nc.deletes()[0] == Row(1, 1));
+}
+
+TEST(NetChange, DoubleDeleteThenOneReinsertKeepsOneDelete) {
+  // Multiset semantics: two deletes of t minus one re-insert nets one delete.
+  NetChange nc;
+  nc.AddDelete(Row(3, 3));
+  nc.AddDelete(Row(3, 3));
+  nc.AddInsert(Row(3, 3));
+  EXPECT_EQ(nc.inserts().size(), 0u);
+  EXPECT_EQ(nc.deletes().size(), 1u);
+}
+
+TEST(Transaction, TuplesWrittenAgreesWithNetSets) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation rel(&pool, "t", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  Transaction txn;
+  txn.Insert(&rel, Row(1, 1));
+  txn.Delete(&rel, Row(1, 1));  // cancels
+  txn.Update(&rel, Row(2, 2), Row(2, 2));  // self-update: net no-op
+  txn.Update(&rel, Row(3, 3), Row(3, 4));
+  const NetChange& nc = txn.ChangesFor(&rel);
+  EXPECT_EQ(txn.tuples_written(), nc.inserts().size() + nc.deletes().size());
+  EXPECT_EQ(txn.tuples_written(), 2u);
+}
+
+// --- Lifecycle: begin/commit/abort with undo of unapplied net changes. ---
+
+TEST(Transaction, LifecycleBeginsOpenAndCommits) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation rel(&pool, "t", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  Transaction txn;
+  EXPECT_EQ(txn.state(), TxnState::kOpen);
+  txn.Insert(&rel, Row(1, 1));
+  ASSERT_TRUE(txn.ApplyToBase().ok());
+  txn.MarkCommitted();
+  EXPECT_EQ(txn.state(), TxnState::kCommitted);
+  EXPECT_EQ(txn.tuples_written(), 1u);  // net sets survive commit
+}
+
+TEST(Transaction, AbortUndoesUnappliedNetChanges) {
+  storage::CostTracker tracker;
+  storage::SimulatedDisk disk(512, &tracker);
+  storage::BufferPool pool(&disk, 16);
+  Relation rel(&pool, "t", TestSchema(), AccessMethod::kClusteredBTree, 0);
+  Transaction txn;
+  txn.Insert(&rel, Row(1, 1));
+  txn.Update(&rel, Row(2, 2), Row(2, 3));
+  txn.Abort();
+  EXPECT_EQ(txn.state(), TxnState::kAborted);
+  EXPECT_EQ(txn.tuples_written(), 0u);
+  EXPECT_TRUE(txn.changes().empty());
+  EXPECT_EQ(rel.tuple_count(), 0u);  // nothing ever reached the base
+}
+
+TEST(Transaction, TxnStateNames) {
+  EXPECT_STREQ(TxnStateName(TxnState::kOpen), "open");
+  EXPECT_STREQ(TxnStateName(TxnState::kCommitted), "committed");
+  EXPECT_STREQ(TxnStateName(TxnState::kAborted), "aborted");
 }
 
 TEST(Transaction, UpdateRecordsDeletePlusInsert) {

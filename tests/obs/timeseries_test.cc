@@ -51,6 +51,31 @@ TEST(EwmaGauge, OneHalfLifeMovesHalfway) {
   EXPECT_NEAR(g.value(), 50.0, 1e-12);
 }
 
+TEST(EwmaGauge, FirstSampleAtTimeZeroIsExact) {
+  // t = 0 coincides with the default last_t_ms_; the first-sample branch
+  // must not mistake that for "dt = 0 since a previous sample" and blend
+  // 42 with the initial 0.
+  EwmaGauge g(50.0);
+  g.Observe(0.0, 42.0);
+  EXPECT_DOUBLE_EQ(g.value(), 42.0);
+  EXPECT_EQ(g.count(), 1u);
+}
+
+TEST(EwmaGauge, ObservedOnceReportsThatSampleExactly) {
+  // Exact equality, not NEAR: a gauge with one observation IS that
+  // observation, wherever in time it landed and whatever the half-life.
+  for (const double half_life : {1e-3, 50.0, 1e9}) {
+    for (const double t : {-100.0, 0.0, 1e-9, 1e12}) {
+      EwmaGauge g(half_life);
+      EXPECT_EQ(g.count(), 0u);
+      g.Observe(t, 0.125);
+      EXPECT_EQ(g.value(), 0.125)
+          << "half_life=" << half_life << " t=" << t;
+      EXPECT_EQ(g.count(), 1u);
+    }
+  }
+}
+
 // -------------------------------------------------- sliding-window histogram
 
 std::vector<double> Bounds() { return {1.0, 10.0, 100.0}; }

@@ -1,0 +1,247 @@
+#include "server/view_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/oracle.h"
+
+namespace viewmat::server {
+namespace {
+
+ViewServer::Options SmallOptions(sim::StrategyKind kind, int model,
+                                 size_t workers) {
+  ViewServer::Options options;
+  options.driver.kind = kind;
+  options.driver.model = model;
+  options.driver.params = sim::TortureParams(costmodel::Params());
+  options.driver.seed = 41;
+  options.schedule.clients = 3;
+  options.schedule.ops_per_client = 4;
+  options.schedule.update_fraction = 0.6;
+  options.schedule.abort_fraction = 0.2;
+  options.schedule.seed = 1234;
+  options.workers = workers;
+  return options;
+}
+
+ViewServer::Result MustRun(const ViewServer::Options& options) {
+  auto server = ViewServer::Create(options);
+  EXPECT_TRUE(server.ok()) << server.status().message();
+  auto result = (*server)->Run();
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return *result;
+}
+
+TEST(Schedule, IsDeterministicAndClientLocal) {
+  auto server = ViewServer::Create(
+      SmallOptions(sim::StrategyKind::kDeferred, 1, 1));
+  ASSERT_TRUE(server.ok());
+  auto again = ViewServer::Create(
+      SmallOptions(sim::StrategyKind::kImmediate, 1, 8));
+  ASSERT_TRUE(again.ok());
+  // Same schedule seed → same interleaving, victims, ranges, and lock
+  // sets, regardless of strategy or worker count.
+  const Schedule& a = (*server)->schedule();
+  const Schedule& b = (*again)->schedule();
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  ASSERT_EQ(a.ops.size(), 12u);
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].client, b.ops[i].client);
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].victims, b.ops[i].victims);
+    EXPECT_EQ(a.ops[i].voluntary_abort, b.ops[i].voluntary_abort);
+    EXPECT_EQ(a.ops[i].lo, b.ops[i].lo);
+    EXPECT_EQ(a.ops[i].hi, b.ops[i].hi);
+  }
+}
+
+TEST(Schedule, ReaderLocksAreClippedToTheScreen) {
+  auto server = ViewServer::Create(
+      SmallOptions(sim::StrategyKind::kQueryModification, 1, 1));
+  ASSERT_TRUE(server.ok());
+  const int64_t f_cut = (*server)->driver()->scenario()->ViewTupleCount();
+  for (const ScheduledOp& op : (*server)->schedule().ops) {
+    if (op.kind != OpKind::kQuery) continue;
+    for (const LockRequest& req : op.locks) {
+      if (req.relation_id != kLockRelBase) continue;
+      EXPECT_EQ(req.mode, LockMode::kShared);
+      // No reader interval may reach past the view predicate's boundary.
+      for (const db::Interval& iv : req.keys.intervals()) {
+        ASSERT_TRUE(iv.hi.has_value());
+        EXPECT_LT(*iv.hi, f_cut);
+      }
+    }
+  }
+}
+
+TEST(ViewServer, OutcomesAndDigestAreWorkerCountInvariant) {
+  const ViewServer::Result one =
+      MustRun(SmallOptions(sim::StrategyKind::kDeferred, 1, 1));
+  const ViewServer::Result four =
+      MustRun(SmallOptions(sim::StrategyKind::kDeferred, 1, 4));
+  ASSERT_EQ(one.ops.size(), four.ops.size());
+  for (size_t i = 0; i < one.ops.size(); ++i) {
+    EXPECT_EQ(one.ops[i].status, four.ops[i].status) << "op " << i;
+    EXPECT_TRUE(one.ops[i].cost == four.ops[i].cost) << "op " << i;
+    EXPECT_DOUBLE_EQ(one.ops[i].commit_ms, four.ops[i].commit_ms);
+    EXPECT_DOUBLE_EQ(one.ops[i].logical_wait_ms, four.ops[i].logical_wait_ms);
+  }
+  EXPECT_EQ(one.state_digest, four.state_digest);
+  EXPECT_EQ(one.committed, four.committed);
+  EXPECT_EQ(one.aborted, four.aborted);
+  EXPECT_DOUBLE_EQ(one.model_ms, four.model_ms);
+  EXPECT_DOUBLE_EQ(one.logical_wait_ms, four.logical_wait_ms);
+  EXPECT_EQ(one.logical_conflicts, four.logical_conflicts);
+}
+
+TEST(ViewServer, HealthyRunsAnswerEveryQueryExactly) {
+  const ViewServer::Result result =
+      MustRun(SmallOptions(sim::StrategyKind::kImmediate, 1, 4));
+  EXPECT_EQ(result.queries_stale, 0u);
+  EXPECT_EQ(result.queries_failed, 0u);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_FALSE(result.crashed);
+  EXPECT_EQ(result.committed + result.aborted + result.queries_exact,
+            result.ops.size());
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_GT(result.queries_exact, 0u);
+  EXPECT_GT(result.throughput_tps, 0.0);
+}
+
+TEST(ViewServer, PerTxnCostContextsPartitionTheModelTime) {
+  // The cost-context merge invariant: per-op deltas, merged in commit
+  // order, reproduce the tracker's schedule-time totals exactly.
+  const ViewServer::Result result =
+      MustRun(SmallOptions(sim::StrategyKind::kDeferred, 1, 4));
+  storage::CostTracker pricing;  // same default unit costs as the driver
+  EXPECT_DOUBLE_EQ(pricing.Ms(result.total_cost), result.model_ms);
+  // Aborted transactions never touch storage: their contexts are empty.
+  for (size_t i = 0; i < result.ops.size(); ++i) {
+    if (result.ops[i].status == OpStatus::kAborted) {
+      EXPECT_TRUE(result.ops[i].cost.empty()) << "op " << i;
+    }
+  }
+}
+
+TEST(ViewServer, AllAbortScheduleLeavesStatePristine) {
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kImmediate, 1, 2);
+  options.schedule.update_fraction = 1.0;
+  options.schedule.abort_fraction = 1.0;
+  const ViewServer::Result aborted = MustRun(options);
+  EXPECT_EQ(aborted.committed, 0u);
+  EXPECT_EQ(aborted.aborted, aborted.ops.size());
+
+  // A schedule with no ops at all must land on the same digest: the
+  // aborts' undo really did keep every net change out of the base.
+  options.schedule.update_fraction = 0.0;
+  options.schedule.abort_fraction = 0.0;
+  const ViewServer::Result noop = MustRun(options);
+  EXPECT_EQ(aborted.state_digest, noop.state_digest);
+}
+
+TEST(ViewServer, EmitsSpansAndMetrics) {
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kDeferred, 1, 2);
+  options.metrics = &metrics;
+  options.tracer = &tracer;
+  const ViewServer::Result result = MustRun(options);
+  // One server.txn / server.query root span per executed op (lock.wait
+  // spans are timing-dependent extras nested under none of them).
+  size_t roots = 0;
+  for (const obs::Span& span : tracer.spans()) {
+    if (span.name == "server.txn" || span.name == "server.query") ++roots;
+  }
+  EXPECT_EQ(roots, result.ops.size());
+  EXPECT_GE(metrics.counter_count(), 8u);
+  EXPECT_EQ(metrics.histogram_count(), 1u);
+}
+
+TEST(ViewServer, ModelTwoJoinViewServes) {
+  const ViewServer::Result result =
+      MustRun(SmallOptions(sim::StrategyKind::kQueryModification, 2, 4));
+  EXPECT_EQ(result.queries_stale, 0u);
+  EXPECT_EQ(result.queries_failed, 0u);
+  EXPECT_GT(result.queries_exact, 0u);
+}
+
+TEST(ViewServer, CrashMidScheduleRecoversPrefixConsistent) {
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kImmediate, 1, 4);
+  options.schedule.ops_per_client = 6;
+  options.crash_at_disk_op = 40;  // lands inside the schedule
+  const ViewServer::Result result = MustRun(options);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_GT(result.skipped, 0u);
+  EXPECT_EQ(result.queries_stale, 0u);
+  // The recovered state must equal the serial order of what committed.
+  std::string detail;
+  const Status st = CheckSerializability(options, {1, 2, 4}, &detail);
+  EXPECT_TRUE(st.ok()) << st.message();
+}
+
+TEST(Schedule, AnalyzeCountsIntersectingLockSetsInTheWindow) {
+  // Hand-built three-op schedule: two writers on key 5 from different
+  // clients, then a reader whose S range covers it. Window = clients = 2,
+  // so each op sees exactly its immediate predecessor.
+  const auto write5 = [](uint64_t seq, uint32_t client) {
+    ScheduledOp op;
+    op.seq = seq;
+    op.client = client;
+    op.kind = OpKind::kUpdate;
+    op.victims = {{5, 1.0}};
+    op.locks = {LockRequest{kLockRelBase, LockMode::kExclusive,
+                            db::IntervalSet(db::Interval{5, 5})}};
+    return op;
+  };
+  Schedule schedule;
+  schedule.options.clients = 2;
+  schedule.ops.push_back(write5(0, 0));
+  schedule.ops.push_back(write5(1, 1));
+  ScheduledOp reader;
+  reader.seq = 2;
+  reader.client = 0;
+  reader.kind = OpKind::kQuery;
+  reader.locks = {LockRequest{kLockRelBase, LockMode::kShared,
+                              db::IntervalSet(db::Interval{0, 10})}};
+  schedule.ops.push_back(reader);
+
+  EXPECT_EQ(AnalyzeSchedule(&schedule), 2u);
+  EXPECT_EQ(schedule.ops[1].conflicts_ww, 1u);
+  EXPECT_EQ(schedule.ops[1].conflict_preds, std::vector<uint32_t>{0});
+  EXPECT_EQ(schedule.ops[2].conflicts_rw, 1u);
+  EXPECT_EQ(schedule.ops[2].conflict_preds, std::vector<uint32_t>{1});
+}
+
+TEST(ViewServer, LogicalConflictsComeFromLockIntersections) {
+  // A 2-client all-writer schedule, seed pinned to one whose adjacent
+  // cross-client write sets provably intersect (3 ww edges).
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kImmediate, 1, 2);
+  options.schedule.clients = 2;
+  options.schedule.ops_per_client = 8;
+  options.schedule.update_fraction = 1.0;
+  options.schedule.abort_fraction = 0.0;
+  options.schedule.seed = 6;
+  const ViewServer::Result result = MustRun(options);
+  EXPECT_EQ(result.logical_conflicts, 3u);
+  EXPECT_EQ(result.conflicts_rw, 0u);  // no readers in this schedule
+  EXPECT_EQ(result.logical_conflicts, result.conflicts_ww);
+  EXPECT_GT(result.logical_wait_ms, 0.0);
+}
+
+TEST(ViewServer, RunIsOneShot) {
+  auto server = ViewServer::Create(
+      SmallOptions(sim::StrategyKind::kQueryModification, 1, 1));
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Run().ok());
+  EXPECT_FALSE((*server)->Run().ok());
+}
+
+}  // namespace
+}  // namespace viewmat::server

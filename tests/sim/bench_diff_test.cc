@@ -124,5 +124,35 @@ TEST(BenchDiff, ParseThresholdAcceptsPercentAndFraction) {
   EXPECT_FALSE(ParseThreshold("1e9").ok());
 }
 
+TEST(BenchDiff, ParseThresholdRejectsNonFiniteAndMalformedInput) {
+  // A bare '%' leaves nothing to parse.
+  EXPECT_FALSE(ParseThreshold("%").ok());
+  // Negative stays rejected in both spellings.
+  EXPECT_FALSE(ParseThreshold("-5%").ok());
+  EXPECT_FALSE(ParseThreshold("-0.001").ok());
+  // Non-finite values parse as numbers but can never gate anything.
+  EXPECT_FALSE(ParseThreshold("nan").ok());
+  EXPECT_FALSE(ParseThreshold("NaN%").ok());
+  EXPECT_FALSE(ParseThreshold("inf").ok());
+  EXPECT_FALSE(ParseThreshold("-inf").ok());
+  // Trailing garbage after a valid prefix.
+  EXPECT_FALSE(ParseThreshold("5%%").ok());
+  EXPECT_FALSE(ParseThreshold("5x").ok());
+  EXPECT_FALSE(ParseThreshold("0.05 ").ok());
+  // strtod leniencies from_chars must not inherit: leading whitespace,
+  // explicit '+', hex floats.
+  EXPECT_FALSE(ParseThreshold(" 5").ok());
+  EXPECT_FALSE(ParseThreshold("+5%").ok());
+  EXPECT_FALSE(ParseThreshold("0x5").ok());
+  // The boundary itself is fine; just past it is not.
+  auto ten = ParseThreshold("10");
+  ASSERT_TRUE(ten.ok());
+  EXPECT_DOUBLE_EQ(*ten, 10.0);
+  EXPECT_FALSE(ParseThreshold("10.001").ok());
+  auto zero = ParseThreshold("0%");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_DOUBLE_EQ(*zero, 0.0);
+}
+
 }  // namespace
 }  // namespace viewmat::sim
