@@ -328,7 +328,8 @@ void CheckReport(const JsonValue& root, const std::string& file) {
   if (version != nullptr && version->number != 3) {
     Fail(file + ".schema_version", "expected 3");
   }
-  Require(root, file, "bench", JsonValue::Type::kString);
+  const JsonValue* bench =
+      Require(root, file, "bench", JsonValue::Type::kString);
   Require(root, file, "quick", JsonValue::Type::kBool);
   const JsonValue* execution =
       Require(root, file, "execution", JsonValue::Type::kObject);
@@ -345,6 +346,16 @@ void CheckReport(const JsonValue& root, const std::string& file) {
                                     JsonValue::Type::kNumber);
     if (wall != nullptr && wall->number < 0) {
       Fail(exec_where + ".wall_seconds", "must be >= 0");
+    }
+    // The scaling bench must publish its physical curves — worker list,
+    // wall-clock per worker count, speedups, and the wait histograms — in
+    // the execution block (they are machine-dependent, so nowhere else).
+    if (bench != nullptr && bench->string_value == "bench_server_scaling") {
+      for (const char* key :
+           {"scaling_workers", "scaling_wall_ms", "scaling_speedup",
+            "scaling_lock_wait_hist", "scaling_commit_wait_hist"}) {
+        Require(*execution, exec_where, key, JsonValue::Type::kString);
+      }
     }
   }
   const JsonValue* build =

@@ -12,6 +12,7 @@
 // blocked acquires) DO vary with the worker count and therefore live in
 // the execution block, not the gated metrics.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,6 +31,15 @@ bool SupportsModel2(sim::StrategyKind kind) {
          kind == sim::StrategyKind::kDeferred;
 }
 
+/// Nearest-rank percentile over an unsorted sample (sorts a copy).
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = std::min(
+      v.size() - 1, static_cast<size_t>(p / 100.0 * (v.size() - 1) + 0.5));
+  return v[rank];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,6 +54,8 @@ int main(int argc, char** argv) {
 
   int cells = 0;
   server::LockManager::Stats physical;
+  std::vector<double> lock_waits;
+  std::vector<double> commit_waits;
   for (const int model : {1, 2}) {
     for (const sim::StrategyKind kind : sim::kAllStrategyKinds) {
       if (model == 2 && !SupportsModel2(kind)) continue;
@@ -105,6 +117,10 @@ int main(int argc, char** argv) {
           physical.blocked_acquires += r.lock_stats.blocked_acquires;
           physical.releases += r.lock_stats.releases;
           physical.wall_wait_ms += r.lock_stats.wall_wait_ms;
+          for (const server::ViewServer::OpResult& op : r.ops) {
+            lock_waits.push_back(op.physical_lock_wait_ms);
+            commit_waits.push_back(op.physical_commit_wait_ms);
+          }
           ++cells;
         }
         report.AddTable(table);
@@ -133,5 +149,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(physical.releases),
                 physical.wall_wait_ms);
   report.AddExecutionNote("lock_stats", lock_note);
+  // Per-op physical wait distributions across every cell. These are wall
+  // times measured on whatever machine ran the sweep — tail shape is the
+  // interesting part (a fat p99 on lock waits means stripes are hot; a fat
+  // p99 on commit waits means retirement is the bottleneck).
+  char wait_note[160];
+  std::snprintf(wait_note, sizeof(wait_note),
+                "p50=%.4f p95=%.4f p99=%.4f ms over %zu ops",
+                Percentile(lock_waits, 50), Percentile(lock_waits, 95),
+                Percentile(lock_waits, 99), lock_waits.size());
+  report.AddExecutionNote("physical_lock_wait", wait_note);
+  std::snprintf(wait_note, sizeof(wait_note),
+                "p50=%.4f p95=%.4f p99=%.4f ms over %zu ops",
+                Percentile(commit_waits, 50), Percentile(commit_waits, 95),
+                Percentile(commit_waits, 99), commit_waits.size());
+  report.AddExecutionNote("physical_commit_wait", wait_note);
   return sim::FinishBenchMain(cli, &report);
 }

@@ -44,9 +44,16 @@ echo "== bench regression gate (bench_diff vs committed baselines) =="
   --jobs "$jobs" >/dev/null
 ./build/bench/bench_diff BENCH_server.json \
   build/BENCH_server.new.json --threshold 5%
+./build/bench/bench_server_scaling --json build/BENCH_server_scaling.new.json \
+  --jobs "$jobs" >/dev/null
+./build/bench/bench_diff BENCH_server_scaling.json \
+  build/BENCH_server_scaling.new.json --threshold 5%
 
 echo "== server smoke (multi-client view server + serializability oracle) =="
 ctest --test-dir build --output-on-failure -L server
+
+echo "== scaling lane (worker sweep determinism + shard/stripe stress) =="
+ctest --test-dir build --output-on-failure -L scaling
 
 echo "== sanitized build (address;undefined) =="
 cmake -S . -B build-asan -DVIEWMAT_SANITIZE="address;undefined" >/dev/null
@@ -63,5 +70,7 @@ cmake -S . -B build-tsan -DVIEWMAT_SANITIZE="thread" >/dev/null
 cmake --build build-tsan -j "$jobs"
 echo "== thread-sanitized concurrency suites (tsan label) =="
 ctest --test-dir build-tsan --output-on-failure -L tsan
+echo "== thread-sanitized scaling smoke (worker sweep under TSan) =="
+ctest --test-dir build-tsan --output-on-failure -L scaling
 
 echo "check.sh: OK"

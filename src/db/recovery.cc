@@ -99,8 +99,13 @@ Status RecoveryManager::CommitAndApply(const Transaction& txn,
   // nothing has touched base pages, so the failure is clean. When the
   // read-back probe also failed the commit's fate is ambiguous — the caller
   // resolves it by running Recover() and checking last_committed_txn()
-  // against the id reported through `out_txn_id`.
-  VIEWMAT_RETURN_IF_ERROR(wal_.Sync());
+  // against the id reported through `out_txn_id`. Under group commit the
+  // sync is deferred to the caller's SyncWal(); last_committed_txn_ then
+  // means "committed if the batch sync lands", and the durable high-water
+  // is what Recover() reports.
+  if (options_.sync_on_commit) {
+    VIEWMAT_RETURN_IF_ERROR(wal_.Sync());
+  }
   last_committed_txn_ = txn_id;
 
   // Phase 3: apply. Pages dirtied from here carry the commit LSN, so the
@@ -270,8 +275,11 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
   // (this process issued the commits), the checkpoint record, and the
   // newest commit record scanned. Max of all three covers every crash
   // interleaving, including a checkpoint whose truncate landed but whose
-  // scan floor a fresh manager has never seen.
-  uint64_t high = last_committed_txn_;
+  // scan floor a fresh manager has never seen. Under group commit the
+  // in-memory floor lies: CommitAndApply advances it before the batch sync,
+  // so a crash can lose commits the floor still counts — only the durable
+  // log decides then.
+  uint64_t high = options_.sync_on_commit ? last_committed_txn_ : 0;
   if (checkpoint_floor > high) high = checkpoint_floor;
   if (!committed.empty() && committed.back().id > high) {
     high = committed.back().id;

@@ -71,6 +71,14 @@ class RecoveryManager {
     /// Shared LSN space (e.g. with an AD file's log); the manager's WAL
     /// owns a private allocator when null.
     storage::LsnAllocator* lsn_allocator = nullptr;
+    /// Sync the WAL inside every CommitAndApply (the classical one-sync-per-
+    /// commit protocol). When false the commit record is only buffered and
+    /// the caller owns durability: it must call SyncWal() at group-commit
+    /// batch boundaries, and until then the commit may be lost by a crash
+    /// (Recover() will simply not see it — the log-commit-then-apply
+    /// invariant still holds provided volatile page state is discarded, see
+    /// BufferPool::DiscardAll).
+    bool sync_on_commit = true;
   };
 
   /// Builds the unified WAL on `pool`'s disk (buffered mode — one device
@@ -102,6 +110,17 @@ class RecoveryManager {
   /// Analysis + redo, as described above. Safe to call any time (a no-op
   /// pass on a clean log) and idempotent: Recover() twice ≡ once.
   Status Recover(RecoverStats* stats = nullptr);
+
+  /// Forces every buffered log record to the device. The group-commit batch
+  /// boundary when Options::sync_on_commit is false; a cheap no-op sync
+  /// otherwise.
+  Status SyncWal() { return wal_.Sync(); }
+
+  /// Kills volatile log state after a simulated crash+restart of the
+  /// device (see WriteAheadLog::DiscardVolatile). Must run before the
+  /// first post-crash SyncWal(), or the stale staged tail would become
+  /// durable and resurrect transactions the crash lost.
+  Status DiscardVolatileWal() { return wal_.DiscardVolatile(); }
 
   /// Flushes all dirty pages, then truncates the log to one checkpoint
   /// record. After a checkpoint, recovery starts from the checkpoint's

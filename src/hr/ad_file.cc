@@ -34,7 +34,8 @@ AdFile::AdFile(storage::BufferPool* pool, db::Schema schema, size_t key_field,
   hash_ = std::make_unique<storage::HashIndex>(
       pool_, 1 + schema_.record_size(), options.hash_buckets);
   if (options_.enable_wal) {
-    log_ = std::make_unique<AdLog>(pool_->disk(), options_.lsn_allocator);
+    log_ = std::make_unique<AdLog>(pool_->disk(), options_.lsn_allocator,
+                                   options_.log_auto_sync);
     VIEWMAT_CHECK_MSG(schema_.record_size() <= log_->max_payload(),
                       "AD tuple too large for one WAL record");
   }
@@ -91,7 +92,25 @@ Status AdFile::LogMarker(WalRecord type, uint64_t value) {
   if (log_ == nullptr) return Status::OK();
   uint8_t buf[8];
   EncodeU64(value, buf);
-  return log_->Append(static_cast<uint8_t>(type), buf, sizeof(buf));
+  VIEWMAT_RETURN_IF_ERROR(
+      log_->Append(static_cast<uint8_t>(type), buf, sizeof(buf)));
+  // Epoch markers order the fold protocol's crash analysis (begin <
+  // view-patched < fold-commit relative to the page writes between them),
+  // so they stay write-through even when per-transaction records batch.
+  if (!options_.log_auto_sync) {
+    VIEWMAT_RETURN_IF_ERROR(log_->Sync());
+    // The eager sync drags any buffered per-transaction records to the
+    // device with it, so every commit issued so far just became durable.
+    durable_txn_floor_ = last_committed_txn_;
+  }
+  return Status::OK();
+}
+
+Status AdFile::SyncLog() {
+  if (log_ == nullptr) return Status::OK();
+  VIEWMAT_RETURN_IF_ERROR(log_->Sync());
+  durable_txn_floor_ = last_committed_txn_;
+  return Status::OK();
 }
 
 Status AdFile::RecordInsert(const db::Tuple& t) {
@@ -113,6 +132,7 @@ Status AdFile::RecordDelete(const db::Tuple& t) {
 Status AdFile::CommitTxn(uint64_t txn_id, uint64_t intent_count) {
   if (log_ == nullptr) {
     last_committed_txn_ = txn_id;
+    durable_txn_floor_ = txn_id;
     return Status::OK();
   }
   // The count scopes the commit to this transaction's own intents: replay
@@ -130,6 +150,9 @@ Status AdFile::CommitTxn(uint64_t txn_id, uint64_t intent_count) {
     return st;
   }
   last_committed_txn_ = txn_id;
+  // Write-through mode made the record durable in the Append itself; in
+  // group-commit mode durability waits for the next SyncLog/marker sync.
+  if (options_.log_auto_sync) durable_txn_floor_ = txn_id;
   return Status::OK();
 }
 
@@ -248,6 +271,10 @@ Status AdFile::Recover(RecoveryInfo* info) {
     ++out->replayed_intents;
   }
   last_committed_txn_ = out->last_committed_txn;
+  // Everything the scan saw is durable by definition, but the floor may
+  // already exceed the scan when a fold's Reset truncated older commits'
+  // records away — their effects live on in the folded base.
+  durable_txn_floor_ = std::max(durable_txn_floor_, out->last_committed_txn);
   needs_recovery_ = false;
   return Status::OK();
 }

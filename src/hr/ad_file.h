@@ -65,6 +65,12 @@ class AdFile {
     /// its records join the unified LSN space of the system's redo WAL
     /// (storage/wal.h). Null keeps a private sequence.
     storage::LsnAllocator* lsn_allocator = nullptr;
+    /// Sync the AD log on every append (write-through, the historical
+    /// behavior). False = group-commit mode: per-transaction intent/commit
+    /// records buffer until SyncLog(); refresh-protocol markers still sync
+    /// eagerly, because the fold protocol's crash analysis depends on their
+    /// durability ordering relative to the view patches around them.
+    bool log_auto_sync = true;
   };
 
   /// What Recover() learned from the log. Epochs are 0 when the marker is
@@ -109,6 +115,19 @@ class AdFile {
   Status LogViewPatched(uint64_t epoch);
   Status LogFoldCommit(uint64_t epoch);
 
+  /// Forces buffered log records to the device — the group-commit batch
+  /// boundary when Options::log_auto_sync is false. No-op without a WAL.
+  Status SyncLog();
+
+  /// Kills volatile log state after a simulated crash+restart of the
+  /// device (WriteAheadLog::DiscardVolatile): the staged-but-unsynced
+  /// tail is dropped and the in-memory log image re-read from durable
+  /// bytes, so a later SyncLog() cannot resurrect lost transactions.
+  /// No-op without a WAL.
+  Status DiscardVolatileLog() {
+    return log_ != nullptr ? log_->DiscardVolatile() : Status::OK();
+  }
+
   /// Rebuilds the hash file and Bloom filter from the log: replays every
   /// committed intent after the newest kFoldCommit, in order, with the same
   /// netting semantics as the original calls; discards uncommitted tails.
@@ -130,6 +149,14 @@ class AdFile {
 
   bool wal_enabled() const { return log_ != nullptr; }
   uint64_t last_committed_txn() const { return last_committed_txn_; }
+  /// Newest transaction id whose commit record is known durable — advanced
+  /// at every sync point (each commit in write-through mode; SyncLog and
+  /// eager marker syncs in group-commit mode). After a crash this floor,
+  /// not last_committed_txn(), bounds what provably survived: commits folded
+  /// into the base had durable records when the refresh-begin marker synced,
+  /// so the floor also covers transactions whose records a fold-final Reset
+  /// later truncated away.
+  uint64_t durable_txn_floor() const { return durable_txn_floor_; }
   const AdLog* log() const { return log_.get(); }
 
   /// True if the Bloom filter admits the key might have AD entries. Free of
@@ -184,6 +211,7 @@ class AdFile {
   std::unique_ptr<AdLog> log_;
   bool needs_recovery_ = false;
   uint64_t last_committed_txn_ = 0;
+  uint64_t durable_txn_floor_ = 0;
 };
 
 }  // namespace viewmat::hr

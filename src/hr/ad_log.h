@@ -14,17 +14,20 @@ namespace viewmat::hr {
 /// mechanics (checksummed records, torn-tail detection, read-back adoption
 /// of ambiguous writes, resync-from-device) live in the base class; see
 /// storage/wal.h.
+/// `auto_sync = false` puts the log in buffered (group-commit) mode:
+/// appends stage in the tail page and the owner syncs at batch
+/// boundaries — see AdFile::SyncLog.
 class AdLog : public storage::WriteAheadLog {
  public:
   explicit AdLog(storage::DiskInterface* disk,
-                 storage::LsnAllocator* lsns = nullptr)
-      : WriteAheadLog(disk, MakeOptions(lsns)) {}
+                 storage::LsnAllocator* lsns = nullptr, bool auto_sync = true)
+      : WriteAheadLog(disk, MakeOptions(lsns, auto_sync)) {}
 
  private:
   static storage::WriteAheadLog::Options MakeOptions(
-      storage::LsnAllocator* lsns) {
+      storage::LsnAllocator* lsns, bool auto_sync) {
     storage::WriteAheadLog::Options options;
-    options.auto_sync = true;
+    options.auto_sync = auto_sync;
     options.lsn_allocator = lsns;
     options.component = storage::Component::kAdLog;
     return options;

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <thread>
 
 #include "common/json.h"
 
 namespace viewmat::obs {
+
+namespace {
+
+/// Shard lanes ≈ threads that might register concurrently, clamped to a
+/// sane range (tiny machines still get a few lanes; huge ones don't pay
+/// for hundreds of mostly-empty maps).
+size_t PickShardCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t n = hw == 0 ? 8 : static_cast<size_t>(hw);
+  return std::clamp<size_t>(n, 4, 64);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : shard_count_(PickShardCount()),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
 
 Labels MetricsRegistry::CanonicalLabels(const Labels& labels) {
   Labels sorted = labels;
@@ -32,12 +50,12 @@ std::string MetricsRegistry::FullKey(std::string_view name,
 }
 
 MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % kShards];
+  return shards_[std::hash<std::string>{}(key) % shard_count_];
 }
 
 const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
     const std::string& key) const {
-  return shards_[std::hash<std::string>{}(key) % kShards];
+  return shards_[std::hash<std::string>{}(key) % shard_count_];
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name,
@@ -78,7 +96,8 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 
 size_t MetricsRegistry::counter_count() const {
   size_t n = 0;
-  for (const Shard& shard : shards_) {
+  for (size_t si = 0; si < shard_count_; ++si) {
+    const Shard& shard = shards_[si];
     std::lock_guard<std::mutex> lock(shard.mu);
     n += shard.counters.size();
   }
@@ -87,7 +106,8 @@ size_t MetricsRegistry::counter_count() const {
 
 size_t MetricsRegistry::histogram_count() const {
   size_t n = 0;
-  for (const Shard& shard : shards_) {
+  for (size_t si = 0; si < shard_count_; ++si) {
+    const Shard& shard = shards_[si];
     std::lock_guard<std::mutex> lock(shard.mu);
     n += shard.histograms.size();
   }
@@ -97,7 +117,8 @@ size_t MetricsRegistry::histogram_count() const {
 std::vector<std::pair<std::string, const MetricsRegistry::CounterEntry*>>
 MetricsRegistry::SortedCounters() const {
   std::vector<std::pair<std::string, const CounterEntry*>> out;
-  for (const Shard& shard : shards_) {
+  for (size_t si = 0; si < shard_count_; ++si) {
+    const Shard& shard = shards_[si];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [key, entry] : shard.counters) {
       out.emplace_back(key, &entry);
@@ -111,7 +132,8 @@ MetricsRegistry::SortedCounters() const {
 std::vector<std::pair<std::string, const MetricsRegistry::HistogramEntry*>>
 MetricsRegistry::SortedHistograms() const {
   std::vector<std::pair<std::string, const HistogramEntry*>> out;
-  for (const Shard& shard : shards_) {
+  for (size_t si = 0; si < shard_count_; ++si) {
+    const Shard& shard = shards_[si];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [key, entry] : shard.histograms) {
       out.emplace_back(key, &entry);

@@ -88,16 +88,19 @@ class Histogram {
 /// full name, so reports are deterministic.
 ///
 /// Thread safety: registration is sharded — the full key hashes to one of
-/// kShards shards, each with its own mutex and map, so concurrent sweep
-/// workers registering disjoint metrics rarely contend. Returned pointers
-/// are stable for the registry's lifetime and may be used from any thread
-/// (Counter is atomic, Histogram locks internally). Snapshots (WriteJson,
-/// ToString, counter_count) merge the shards under their locks — safe to
-/// call while workers are still recording, though mid-run snapshots see a
-/// momentary value, not a barrier.
+/// shard_count() shards, each with its own mutex and map, so concurrent
+/// sweep workers registering disjoint metrics rarely contend. The shard
+/// count is sized from hardware_concurrency at construction (so a wider
+/// machine gets more registration lanes) and each shard is padded to a
+/// cache line so neighboring shard mutexes never false-share. Returned
+/// pointers are stable for the registry's lifetime and may be used from any
+/// thread (Counter is atomic, Histogram locks internally). Snapshots
+/// (WriteJson, ToString, counter_count) merge the shards under their locks
+/// — safe to call while workers are still recording, though mid-run
+/// snapshots see a momentary value, not a barrier.
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -109,6 +112,7 @@ class MetricsRegistry {
 
   size_t counter_count() const;
   size_t histogram_count() const;
+  size_t shard_count() const { return shard_count_; }
 
   /// {"counters":[{"name","labels",{...},"value"}...],
   ///  "histograms":[{"name","labels",{...},"bounds","counts","sum","count"}]}
@@ -117,8 +121,6 @@ class MetricsRegistry {
   std::string ToString() const;
 
  private:
-  static constexpr size_t kShards = 8;
-
   struct CounterEntry {
     std::string name;
     Labels labels;
@@ -129,7 +131,11 @@ class MetricsRegistry {
     Labels labels;
     std::unique_ptr<Histogram> histogram;
   };
-  struct Shard {
+  /// Cache-line aligned: adjacent shards in the array carry independently
+  /// contended mutexes, and without the padding a writer bouncing one
+  /// shard's line would slow readers of its neighbors (false sharing —
+  /// measured by bench_yao_micro's metrics-contention note).
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::map<std::string, CounterEntry> counters;
     std::map<std::string, HistogramEntry> histograms;
@@ -150,7 +156,8 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, const HistogramEntry*>> SortedHistograms()
       const;
 
-  Shard shards_[kShards];
+  size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace viewmat::obs

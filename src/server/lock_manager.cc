@@ -1,6 +1,9 @@
 #include "server/lock_manager.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "common/logging.h"
 
 namespace viewmat::server {
 
@@ -26,6 +29,17 @@ bool RequestsConflict(const LockRequest& a, const LockRequest& b) {
   return !db::IntervalSet::Intersect(a.keys, b.keys).empty();
 }
 
+/// Floor division by the block size (C++20 guarantees arithmetic >> for
+/// signed operands, so negative keys land in the right block).
+int64_t BlockOf(int64_t key) {
+  static_assert((LockManager::kKeysPerBlock &
+                 (LockManager::kKeysPerBlock - 1)) == 0,
+                "block size must be a power of two");
+  constexpr int shift = 3;
+  static_assert((int64_t{1} << shift) == LockManager::kKeysPerBlock);
+  return key >> shift;
+}
+
 }  // namespace
 
 bool Conflicts(const LockSet& a, const LockSet& b) {
@@ -37,13 +51,58 @@ bool Conflicts(const LockSet& a, const LockSet& b) {
   return false;
 }
 
-bool LockManager::Blocked(uint64_t txn, const LockSet& set) const {
-  for (const auto& [holder, held] : held_) {
+LockManager::LockManager(uint32_t stripes_per_relation)
+    : stripes_per_relation_(std::max<uint32_t>(1, stripes_per_relation)) {
+  stripes_.reserve(static_cast<size_t>(stripes_per_relation_) * kMaxRelations);
+  for (size_t i = 0; i < stripes_per_relation_ * kMaxRelations; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::vector<uint32_t> LockManager::StripesOf(const LockSet& set) const {
+  std::vector<uint32_t> out;
+  const int64_t s = stripes_per_relation_;
+  for (const LockRequest& req : set) {
+    const uint32_t base = (req.relation_id % kMaxRelations) *
+                          stripes_per_relation_;
+    for (const db::Interval& iv : req.keys.intervals()) {
+      if (!iv.lo || !iv.hi) {
+        // Unbounded on either side: the interval touches every block class.
+        for (int64_t k = 0; k < s; ++k) {
+          out.push_back(base + static_cast<uint32_t>(k));
+        }
+        continue;
+      }
+      const int64_t first = BlockOf(*iv.lo);
+      const int64_t last = BlockOf(*iv.hi);
+      // Wide interval: ≥ one full round of blocks covers every stripe.
+      // Unsigned subtraction handles the INT64 extremes without overflow.
+      if (static_cast<uint64_t>(last) - static_cast<uint64_t>(first) >=
+          static_cast<uint64_t>(s)) {
+        for (int64_t k = 0; k < s; ++k) {
+          out.push_back(base + static_cast<uint32_t>(k));
+        }
+        continue;
+      }
+      for (int64_t b = first; b <= last; ++b) {
+        const int64_t m = ((b % s) + s) % s;
+        out.push_back(base + static_cast<uint32_t>(m));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool LockManager::BlockedInStripe(const Stripe& stripe, uint64_t txn,
+                                  const LockSet& set) {
+  for (const auto& [holder, held] : stripe.held) {
     if (holder != txn && Conflicts(set, held)) return true;
   }
   // Yield to earlier conflicting waiters so grants follow transaction-id
-  // (= commit LSN) order instead of racing on wakeup.
-  for (const auto& [waiter, pending] : waiting_) {
+  // (= commit LSN) order within the stripe instead of racing on wakeup.
+  for (const auto& [waiter, pending] : stripe.waiting) {
     if (waiter < txn && Conflicts(set, *pending)) return true;
   }
   return false;
@@ -52,53 +111,130 @@ bool LockManager::Blocked(uint64_t txn, const LockSet& set) const {
 LockManager::AcquireResult LockManager::Acquire(uint64_t txn,
                                                 const LockSet& set) {
   AcquireResult result;
-  std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.acquires;
-  if (Blocked(txn, set)) {
-    result.blocked = true;
-    ++stats_.blocked_acquires;
-    waiting_.emplace(txn, &set);
-    const auto t0 = std::chrono::steady_clock::now();
-    cv_.wait(lock, [&] { return !Blocked(txn, set); });
-    const auto t1 = std::chrono::steady_clock::now();
-    result.wall_wait_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    stats_.wall_wait_ms += result.wall_wait_ms;
-    waiting_.erase(txn);
-    // Removing a waiter can unblock a later waiter that was only yielding
-    // to this one, so wake the others to re-evaluate.
-    cv_.notify_all();
+  const std::vector<uint32_t> stripes = StripesOf(set);
+  // Ascending stripe order: holding stripe s we only ever wait on stripes
+  // greater than s, so the cross-stripe wait graph is acyclic.
+  for (const uint32_t si : stripes) {
+    Stripe& stripe = *stripes_[si];
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    if (BlockedInStripe(stripe, txn, set)) {
+      result.blocked = true;
+      ++stripe.blocked_acquires;
+      stripe.waiting.emplace(txn, &set);
+      const auto t0 = std::chrono::steady_clock::now();
+      stripe.cv.wait(lock,
+                     [&] { return !BlockedInStripe(stripe, txn, set); });
+      const auto t1 = std::chrono::steady_clock::now();
+      const double waited =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      result.wall_wait_ms += waited;
+      stripe.wall_wait_ms += waited;
+      stripe.waiting.erase(txn);
+      // Removing a waiter can unblock a later waiter that was only
+      // yielding to this one, so wake the others to re-evaluate.
+      stripe.cv.notify_all();
+    }
+    LockSet& held = stripe.held[txn];
+    held.insert(held.end(), set.begin(), set.end());
   }
-  LockSet& held = held_[txn];
-  held.insert(held.end(), set.begin(), set.end());
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    ++acquires_;
+    stripe_visits_ += stripes.size();
+    TxnEntry& entry = txns_[txn];
+    entry.held_requests += set.size();
+    for (const uint32_t si : stripes) {
+      if (!std::binary_search(entry.stripes.begin(), entry.stripes.end(),
+                              si)) {
+        entry.stripes.insert(std::upper_bound(entry.stripes.begin(),
+                                              entry.stripes.end(), si),
+                             si);
+      }
+    }
+  }
   return result;
 }
 
 bool LockManager::TryAcquire(uint64_t txn, const LockSet& set) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.acquires;
-  if (Blocked(txn, set)) return false;
-  LockSet& held = held_[txn];
-  held.insert(held.end(), set.begin(), set.end());
+  const std::vector<uint32_t> stripes = StripesOf(set);
+  size_t granted = 0;
+  for (const uint32_t si : stripes) {
+    Stripe& stripe = *stripes_[si];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (BlockedInStripe(stripe, txn, set)) break;
+    LockSet& held = stripe.held[txn];
+    held.insert(held.end(), set.begin(), set.end());
+    ++granted;
+  }
+  if (granted < stripes.size()) {
+    // Roll back the prefix so a failed try leaves no residue.
+    for (size_t i = 0; i < granted; ++i) {
+      Stripe& stripe = *stripes_[stripes[i]];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.held.find(txn);
+      if (it == stripe.held.end()) continue;
+      it->second.resize(it->second.size() - set.size());
+      if (it->second.empty()) stripe.held.erase(it);
+      stripe.cv.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    ++acquires_;
+    stripe_visits_ += granted;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  ++acquires_;
+  stripe_visits_ += stripes.size();
+  TxnEntry& entry = txns_[txn];
+  entry.held_requests += set.size();
+  for (const uint32_t si : stripes) {
+    if (!std::binary_search(entry.stripes.begin(), entry.stripes.end(), si)) {
+      entry.stripes.insert(
+          std::upper_bound(entry.stripes.begin(), entry.stripes.end(), si),
+          si);
+    }
+  }
   return true;
 }
 
 void LockManager::Release(uint64_t txn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (held_.erase(txn) == 0) return;
-  ++stats_.releases;
-  cv_.notify_all();
+  std::vector<uint32_t> stripes;
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) return;
+    stripes = std::move(it->second.stripes);
+    txns_.erase(it);
+    ++releases_;
+  }
+  for (const uint32_t si : stripes) {
+    Stripe& stripe = *stripes_[si];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.held.erase(txn);
+    stripe.cv.notify_all();
+  }
 }
 
 size_t LockManager::HeldCount(uint64_t txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = held_.find(txn);
-  return it == held_.end() ? 0 : it->second.size();
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? 0 : it->second.held_requests;
 }
 
 LockManager::Stats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    stats.acquires = acquires_;
+    stats.releases = releases_;
+    stats.stripe_visits = stripe_visits_;
+  }
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stats.blocked_acquires += stripe->blocked_acquires;
+    stats.wall_wait_ms += stripe->wall_wait_ms;
+  }
+  return stats;
 }
 
 }  // namespace viewmat::server

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -44,22 +45,47 @@ using LockSet = std::vector<LockRequest>;
 /// schedule analyzer to count logical conflicts without running threads.
 bool Conflicts(const LockSet& a, const LockSet& b);
 
-/// Two-phase interval lock manager over the t-lock rule index's key space.
+/// Two-phase interval lock manager over the t-lock rule index's key space,
+/// physically partitioned into stripes.
 ///
-/// Growth phase = one Acquire(txn, set) call that atomically claims the
-/// transaction's entire lock set; shrink phase = one Release(txn) at
-/// commit/abort. Because a transaction never holds part of its set while
-/// waiting for the rest, hold-and-wait is impossible and the manager is
-/// deadlock-free by construction (no victim selection needed). Waiters are
-/// granted in transaction-id order: a request must also yield to any
-/// *waiting* conflicting request with a smaller id, so grants follow the
-/// commit-LSN order the server's deterministic scheduler assigns — no
-/// barging, no starvation.
+/// Striping: the key space of every relation is cut into fixed-size key
+/// blocks (kKeysPerBlock) that map onto `stripes_per_relation` stripes by
+/// block modulo; a request's stripe set is the union over its intervals.
+/// Each stripe carries its own mutex, condition variable, and held/waiting
+/// tables, so transactions whose interval sets cannot intersect — disjoint
+/// key ranges, or different relations — acquire on disjoint mutexes and
+/// never contend physically. Two intersecting interval sets always share a
+/// key, hence a block, hence a stripe, so conflict detection loses nothing:
+/// within a stripe the exact Conflicts() test decides (stripe co-residency
+/// alone never blocks anyone).
 ///
-/// Thread safety: fully thread-safe; every operation takes the manager
-/// mutex. Blocking uses a condition variable signalled on every release.
+/// Ordering and liveness: a transaction acquires its stripes in ascending
+/// stripe order. A transaction that holds stripe s only ever waits on
+/// stripes greater than s, so the stripe-wait graph has edges in one
+/// direction only and deadlock across stripes is impossible; within a
+/// stripe the classical argument from the unstriped manager still applies
+/// (a blocked acquire only waits for earlier-id holders or waiters — the
+/// no-barging rule grants in transaction-id = commit-LSN order per stripe).
+///
+/// Thread safety: fully thread-safe. A transaction's stripe membership is
+/// tracked in a side table under its own mutex, touched once per acquire
+/// and once per release.
 class LockManager {
  public:
+  /// One stripe per relation degenerates to the PR-6 unstriped manager;
+  /// the default fans each relation over 8 stripes.
+  explicit LockManager(uint32_t stripes_per_relation = kDefaultStripes);
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  static constexpr uint32_t kDefaultStripes = 8;
+  /// Consecutive keys sharing a stripe. Keeps a typical narrow interval on
+  /// one stripe while spreading distinct hot ranges across stripes.
+  static constexpr int64_t kKeysPerBlock = 8;
+  /// Relation ids the stripe table is sized for (wraps beyond this).
+  static constexpr uint32_t kMaxRelations = 4;
+
   struct AcquireResult {
     bool blocked = false;       ///< did the request ever wait?
     double wall_wait_ms = 0.0;  ///< physical (not model) time spent waiting
@@ -72,33 +98,68 @@ class LockManager {
     uint64_t blocked_acquires = 0;
     uint64_t releases = 0;
     double wall_wait_ms = 0.0;
+    /// Stripes touched across all acquires (≥ acquires; equality means
+    /// every lock set stayed on a single stripe).
+    uint64_t stripe_visits = 0;
   };
 
   /// Blocks until the whole set is grantable, then holds it for `txn`.
-  /// Acquiring twice for the same transaction extends its held set.
+  /// Stripes are claimed in ascending order; within each stripe the call
+  /// waits until no conflicting holder or earlier-id conflicting waiter
+  /// bars it. Acquiring twice for the same transaction extends its held
+  /// set.
   AcquireResult Acquire(uint64_t txn, const LockSet& set);
 
-  /// Grants the set iff it is grantable right now (no waiting).
+  /// Grants the set iff every stripe is grantable right now (no waiting);
+  /// otherwise rolls back any stripes already claimed and returns false.
   bool TryAcquire(uint64_t txn, const LockSet& set);
 
   /// Releases everything `txn` holds (the 2PL shrink phase). No-op for an
   /// unknown transaction, so abort paths may release unconditionally.
   void Release(uint64_t txn);
 
-  /// Locks currently held by `txn` (empty if none) — test introspection.
+  /// Number of requests held by `txn` (0 if none) — test introspection.
   size_t HeldCount(uint64_t txn) const;
+
+  /// Stripes `set` maps to, ascending — exposed for tests and the bench's
+  /// stripe-distribution histogram.
+  std::vector<uint32_t> StripesOf(const LockSet& set) const;
+
+  uint32_t stripe_count() const {
+    return static_cast<uint32_t>(stripes_.size());
+  }
 
   Stats stats() const;
 
  private:
-  /// True iff `set` conflicts with a held or waiting entry that bars it.
-  bool Blocked(uint64_t txn, const LockSet& set) const;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::map<uint64_t, LockSet> held;
+    std::map<uint64_t, const LockSet*> waiting;
+    uint64_t blocked_acquires = 0;
+    double wall_wait_ms = 0.0;
+  };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<uint64_t, LockSet> held_;
-  std::map<uint64_t, const LockSet*> waiting_;
-  Stats stats_;
+  /// Per-transaction bookkeeping so Release/HeldCount need no lock set.
+  struct TxnEntry {
+    std::vector<uint32_t> stripes;  ///< ascending, deduplicated
+    size_t held_requests = 0;
+  };
+
+  /// True iff `set` conflicts with a held or waiting entry in `stripe`
+  /// that bars it. Caller holds the stripe mutex.
+  static bool BlockedInStripe(const Stripe& stripe, uint64_t txn,
+                              const LockSet& set);
+
+  uint32_t stripes_per_relation_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  mutable std::mutex txns_mu_;
+  std::map<uint64_t, TxnEntry> txns_;
+  uint64_t acquires_ = 0;
+  uint64_t releases_ = 0;
+  uint64_t stripe_visits_ = 0;
 };
 
 }  // namespace viewmat::server

@@ -45,7 +45,44 @@ db::IntervalSet WriterIntervals(
 
 bool IsWriter(const ScheduledOp& op) { return op.kind == OpKind::kUpdate; }
 
+/// The key range a client draws from under a contention profile. For
+/// kUniform this is the whole relation, so `base + Uniform(width)` is the
+/// exact draw the pre-profile scheduler made — existing seeds keep their
+/// schedules byte-for-byte.
+struct KeyRange {
+  int64_t base;
+  int64_t width;
+};
+
+KeyRange ProfileRange(ContentionProfile p, uint32_t client, uint32_t clients,
+                      int64_t n) {
+  switch (p) {
+    case ContentionProfile::kUniform:
+      return {0, n};
+    case ContentionProfile::kDisjoint: {
+      const int64_t lo = static_cast<int64_t>(client) * n / clients;
+      const int64_t hi = static_cast<int64_t>(client + 1) * n / clients;
+      return {lo, std::max<int64_t>(1, hi - lo)};
+    }
+    case ContentionProfile::kHotRange:
+      return {0, std::max<int64_t>(1, n / 8)};
+  }
+  return {0, n};
+}
+
 }  // namespace
+
+const char* ContentionProfileName(ContentionProfile p) {
+  switch (p) {
+    case ContentionProfile::kUniform:
+      return "uniform";
+    case ContentionProfile::kDisjoint:
+      return "disjoint";
+    case ContentionProfile::kHotRange:
+      return "hot-range";
+  }
+  return "unknown";
+}
 
 Schedule BuildSchedule(const ScheduleOptions& options,
                        sim::StrategyDriver* driver) {
@@ -84,13 +121,16 @@ Schedule BuildSchedule(const ScheduleOptions& options,
     --live;
 
     Random& rng = client_rng[client];
+    const KeyRange range = ProfileRange(options.contention, client,
+                                        options.clients, shadow.n);
     ScheduledOp op;
     op.seq = schedule.ops.size();
     op.client = client;
     if (rng.Bernoulli(options.update_fraction)) {
       op.kind = OpKind::kUpdate;
       for (int64_t j = 0; j < l; ++j) {
-        const int64_t key = static_cast<int64_t>(rng.Uniform(shadow.n));
+        const int64_t key =
+            range.base + static_cast<int64_t>(rng.Uniform(range.width));
         op.victims.emplace_back(key, rng.NextDouble() * 1000.0);
       }
       op.voluntary_abort = rng.Bernoulli(options.abort_fraction);
@@ -104,9 +144,15 @@ Schedule BuildSchedule(const ScheduleOptions& options,
       }
     } else {
       op.kind = OpKind::kQuery;
-      op.lo = static_cast<int64_t>(rng.Uniform(shadow.n));
+      op.lo = range.base + static_cast<int64_t>(rng.Uniform(range.width));
       op.hi = op.lo + static_cast<int64_t>(rng.Uniform(
-                          std::max<int64_t>(1, shadow.n / 2)));
+                          std::max<int64_t>(1, range.width / 2)));
+      if (options.contention == ContentionProfile::kDisjoint) {
+        // Keep the read set inside the client's partition so disjoint means
+        // disjoint for readers too (the uniform path stays unclamped — its
+        // historical stream never clamped).
+        op.hi = std::min(op.hi, range.base + range.width - 1);
+      }
       op.expected = sim::ExpectedRange(shadow, model, op.lo, op.hi);
       op.locks.push_back(LockRequest{kLockRelBase, LockMode::kShared,
                                      ReaderIntervals(screen, op.lo, op.hi)});

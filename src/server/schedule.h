@@ -56,6 +56,26 @@ struct ScheduledOp {
   uint32_t conflicts_ww = 0;  ///< writer-writer conflict edges
 };
 
+/// How clients' key choices collide — the knob the scaling bench sweeps.
+/// Profiles shape WHERE a client's updates and queries land; everything
+/// else about the schedule (op mix, interleaving, RNG streams) is shared,
+/// so profiles are comparable run-to-run at the same seed.
+enum class ContentionProfile : uint8_t {
+  /// Keys drawn uniformly over the whole relation — the historical default.
+  /// This path reproduces the pre-profile RNG stream byte-for-byte, so
+  /// existing seeds keep their exact schedules.
+  kUniform,
+  /// Each client confined to its own contiguous key partition: writer
+  /// lock sets never overlap across clients, the embarrassingly-parallel
+  /// best case for the striped lock table.
+  kDisjoint,
+  /// Every client hammers the same small key prefix (n/8): the worst case,
+  /// where most ops contend for the same stripes.
+  kHotRange,
+};
+
+const char* ContentionProfileName(ContentionProfile p);
+
 struct ScheduleOptions {
   uint32_t clients = 4;
   uint32_t ops_per_client = 8;
@@ -64,6 +84,7 @@ struct ScheduleOptions {
   /// Probability an update client aborts voluntarily after lock acquire.
   double abort_fraction = 0.125;
   uint64_t seed = 1;
+  ContentionProfile contention = ContentionProfile::kUniform;
 };
 
 struct Schedule {

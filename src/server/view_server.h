@@ -2,8 +2,11 @@
 #define VIEWMAT_SERVER_VIEW_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -17,8 +20,8 @@
 namespace viewmat::server {
 
 /// A VirtualClock the server can publish model time through from whichever
-/// worker holds the commit turn, readable by any thread (lock-wait spans
-/// begin on threads that do not own the cost tracker).
+/// worker retires an op, readable by any thread (lock-wait spans begin on
+/// threads that do not own the cost tracker).
 class AtomicModelClock : public obs::VirtualClock {
  public:
   double NowMs() const override { return ms_.load(std::memory_order_relaxed); }
@@ -33,7 +36,7 @@ enum class OpStatus : uint8_t {
   kCommitted,    ///< update durably committed
   kAborted,      ///< update voluntarily aborted (locks held, undo, release)
   kRejected,     ///< update failed before/at commit and provably did not land
-  kSkipped,      ///< never executed (a crash stopped the server earlier)
+  kSkipped,      ///< never executed, or executed against state a crash erased
   kQueryExact,   ///< query answered and matched the expected multiset
   kQueryStale,   ///< query answered but WRONG — a serializability violation
   kQueryFailed,  ///< query errored loudly (only possible in crash runs)
@@ -45,43 +48,81 @@ const char* OpStatusName(OpStatus s);
 /// interleaved update/query transactions against one shared StrategyDriver
 /// (base relations + materialized view + maintenance strategy + recovery),
 /// executed by a fixed pool of real worker threads under the LockManager's
-/// two-phase interval locks.
+/// striped two-phase interval locks.
 ///
-/// Determinism contract (the Calvin-style split the benches rely on):
-/// the seeded scheduler fixes the global sequence before any thread runs;
-/// workers acquire locks in sequence order (so lock waits only ever point
-/// backwards — deadlock-free) and commit in sequence order (the commit
-/// turn serializes state transitions and cost charges). Everything logical
-/// — op outcomes, per-transaction cost contexts, model time, conflict and
-/// wait analysis, the final state digest — is therefore identical at any
-/// worker count; only *physical* lock-wait statistics (wall time, blocked
-/// counts) vary, and those are reported separately so benches can confine
-/// them to the nondeterministic `execution` block.
+/// Determinism contract (the Calvin-style split the benches rely on): the
+/// seeded scheduler fixes the global sequence before any thread runs, and
+/// every logical artifact — op outcomes, per-op cost deltas, model time,
+/// conflict and wait analysis, the final state digest — is byte-identical
+/// at any worker count. Only physical quantities (wall time, lock waits,
+/// blocked counts) vary with the machine, and those are reported separately
+/// so benches confine them to the nondeterministic `execution` block.
+///
+/// How the physical pipeline keeps that promise:
+///
+///  - Static classification. Each op is EXCLUSIVE (may mutate shared state:
+///    every update, and any query whose strategy could refresh/recompute on
+///    the read path) or PARALLEL (provably pure reads). Classification uses
+///    only the schedule and the strategy kind, so it is identical at any
+///    worker count.
+///  - Admission. An exclusive op starts only when every earlier op has
+///    retired (it runs truly alone); a parallel op starts once the last
+///    exclusive op before it has retired. Runs of consecutive parallel ops
+///    therefore overlap physically; everything else is serialized in
+///    schedule order.
+///  - Sharded cost tracking. Each in-flight op charges a private CostShard
+///    (ShardScope); shards merge into the tracker strictly in sequence
+///    order at retirement, reproducing the serial totals counter for
+///    counter (integer counters — merging is exact).
+///  - Retirement. Ops retire in sequence order under one mutex: merge the
+///    shard, stamp commit_ms from the merged totals, publish the model
+///    clock. A worker never waits for its own retirement — whichever
+///    worker marks the op done drains the retirement queue.
+///  - Group commit (Options::driver.group_commit). Commit records buffer in
+///    the log tail; retirement syncs once per `commit_batch` commits and at
+///    the final op, charging the sync to the retiring op's shard. A crash
+///    can then lose a suffix of acknowledged commits: every update records
+///    the transaction id the driver issued, and after recovery each id is
+///    replayed against the durable high-water mark — lost commits demote to
+///    kRejected and every later op's observation of the erased state
+///    demotes to kSkipped.
 class ViewServer {
  public:
   struct Options {
     sim::StrategyDriver::Options driver;
     ScheduleOptions schedule;
     size_t workers = 1;
+    /// Commits per group-commit batch (used only when driver.group_commit
+    /// is set): the retirement pipeline syncs the WAL after this many
+    /// committed updates, and once more at the end of the schedule.
+    size_t commit_batch = 4;
     /// If nonzero, the disk crashes at this (1-based) disk op after the
     /// schedule starts; the server stops, recovers, and reports a
     /// prefix-consistent state.
     size_t crash_at_disk_op = 0;
     /// Optional instrumentation (not owned; may be null). The tracer runs
     /// on the server's atomic model clock and receives server.txn /
-    /// server.query spans from the commit turn plus lock.wait spans from
-    /// physically blocked workers.
+    /// server.query spans from the executing workers plus lock.wait spans
+    /// from physically blocked workers.
     obs::MetricsRegistry* metrics = nullptr;
     obs::Tracer* tracer = nullptr;
   };
 
   struct OpResult {
     OpStatus status = OpStatus::kSkipped;
-    storage::CostCounters cost;   ///< this op's TxnCostContext delta
-    double commit_ms = 0.0;       ///< model clock when the op finished
+    storage::CostCounters cost;   ///< this op's shard (merged at retirement)
+    double commit_ms = 0.0;       ///< model clock when the op retired
     double arrive_ms = 0.0;       ///< logical arrival (client's prev commit)
     double logical_wait_ms = 0.0; ///< lock-wait under the logical model
-    bool physically_blocked = false;  ///< nondeterministic; execution-only
+    /// Transaction id the driver issued for this update (0 = none reached
+    /// the driver). Deterministic; the post-crash reconciliation key.
+    uint64_t txn_id = 0;
+
+    // -- Physical quantities: worker-count and machine dependent. Benches
+    //    must confine these to the nondeterministic `execution` block. --
+    bool physically_blocked = false;  ///< lock acquire actually waited
+    double physical_lock_wait_ms = 0.0;    ///< wall time blocked in Acquire
+    double physical_commit_wait_ms = 0.0;  ///< wall time done → retired
   };
 
   struct Result {
@@ -102,19 +143,30 @@ class ViewServer {
 
     double model_ms = 0.0;        ///< model time the schedule consumed
     double throughput_tps = 0.0;  ///< committed txns per model second
-    storage::CostCounters total_cost;  ///< sum of all op contexts
+    storage::CostCounters total_cost;  ///< sum of all op shards
+
+    /// Ops the static classifier admitted concurrently / serially (counts
+    /// executed ops only). Deterministic.
+    uint64_t parallel_ops = 0;
+    uint64_t exclusive_ops = 0;
+    /// Group-commit batches synced (0 without group commit). Deterministic.
+    uint64_t commit_batches = 0;
 
     bool crashed = false;
     uint64_t recoveries = 0;
     uint64_t state_digest = 0;  ///< StateDigest of the converged final state
 
+    /// Physical wall-clock time the pool spent on the schedule — the
+    /// numerator of every scaling curve. Execution-block only.
+    double wall_ms = 0.0;
     /// Physical lock statistics — wall time and actual blocking, which
     /// depend on the worker count and machine. Never fold these into a
     /// deterministic report section.
     LockManager::Stats lock_stats;
   };
 
-  /// Builds the driver (healthy load), the schedule, and the analysis.
+  /// Builds the driver (healthy load), the schedule, the conflict analysis,
+  /// and the static parallelism classification.
   static StatusOr<std::unique_ptr<ViewServer>> Create(const Options& options);
 
   ViewServer(const ViewServer&) = delete;
@@ -125,14 +177,28 @@ class ViewServer {
 
   const Schedule& schedule() const { return schedule_; }
   sim::StrategyDriver* driver() { return driver_.get(); }
+  /// Static classification, indexed by sequence (test introspection).
+  const std::vector<uint8_t>& exclusive_ops() const { return exclusive_; }
 
  private:
   explicit ViewServer(const Options& options) : options_(options) {}
 
+  /// Fills exclusive_ and admit_need_ from the schedule + strategy kind.
+  void ClassifyOps();
+
   void WorkerLoop();
-  /// Executes op `i` while holding the commit turn. Returns false when the
-  /// disk crashed under the op (the server stops executing).
+  /// Executes op `i` with its shard bound. Returns false when the disk
+  /// crashed under the op (the server stops executing).
   bool ExecuteOp(size_t i);
+  /// Retires op `retired_` (exec_mu_ held): group-commit sync at batch
+  /// boundaries, shard merge, commit stamp, clock publish.
+  void RetireLocked();
+  /// Flips the buffer pool into concurrent-read mode when the next op to
+  /// retire is parallel (exec_mu_ held; no pins outstanding at this point).
+  void MaybeEnableConcurrentReadsLocked();
+  /// Post-crash, post-recovery: replay recorded txn ids against the durable
+  /// high-water mark; demote lost commits and everything that observed them.
+  void ReconcileAfterRecovery();
   void RecordMetrics(const Result& result);
 
   Options options_;
@@ -141,23 +207,33 @@ class ViewServer {
   LockManager locks_;
   AtomicModelClock clock_;
 
+  /// Static per-op parallelism classification (1 = exclusive).
+  std::vector<uint8_t> exclusive_;
+  /// Admission threshold: op i may start once retired_ >= admit_need_[i]
+  /// (for an exclusive op this equals i — it runs alone).
+  std::vector<size_t> admit_need_;
+
   // Execution state shared by the worker pool.
   std::atomic<size_t> next_op_{0};
-  std::mutex turn_mu_;
-  std::condition_variable turn_cv_;
-  size_t acquire_turn_ = 0;
-  size_t commit_turn_ = 0;
-  bool crashed_ = false;
+  std::mutex exec_mu_;
+  std::condition_variable exec_cv_;
+  size_t acquire_turn_ = 0;  ///< locks are claimed in sequence order
+  size_t retired_ = 0;       ///< ops [0, retired_) merged and stamped
+  bool crashed_stop_ = false;
+  std::vector<uint8_t> done_;  ///< executed, awaiting retirement
+  std::vector<std::chrono::steady_clock::time_point> done_at_;
+  size_t commits_in_batch_ = 0;
+  uint64_t commit_batches_ = 0;
+  bool pool_concurrent_ = false;
 
-  // Commit-turn-only state (guarded by holding the turn, not a mutex).
+  /// Per-op cost shards; op i's worker binds op_shards_[i] while executing.
+  /// exec_mu_ (done-mark → retirement) publishes the writes to the merger.
+  std::vector<storage::CostShard> op_shards_;
+
+  // Mutated only by exclusive ops (which run alone) or under exec_mu_.
   sim::ShadowOracle exec_shadow_;
   storage::CostCounters baseline_;  ///< tracker counters after build
   std::vector<OpResult> results_;
-  /// Sequence index + txn id of an update whose commit is ambiguous after
-  /// a crash (error after the driver issued a txn id); resolved against
-  /// the recovered log's high-water mark.
-  size_t ambiguous_op_ = SIZE_MAX;
-  uint64_t ambiguous_txn_id_ = 0;
 
   bool ran_ = false;
 };

@@ -49,7 +49,8 @@ Params TortureParams(const Params& base) {
 }
 
 hr::AdFile::Options TortureAdOptions(const Params& params,
-                                     storage::LsnAllocator* lsns) {
+                                     storage::LsnAllocator* lsns,
+                                     bool group_commit) {
   hr::AdFile::Options options;
   const double expected = std::max(2.0 * params.u(), 64.0);
   options.expected_keys = static_cast<size_t>(expected);
@@ -57,6 +58,7 @@ hr::AdFile::Options TortureAdOptions(const Params& params,
       std::max(2.0, 2.0 * params.u() / params.T() + 1.0));
   options.enable_wal = true;
   options.lsn_allocator = lsns;
+  options.log_auto_sync = !group_commit;
   return options;
 }
 
@@ -154,7 +156,7 @@ StrategyDriver::StrategyDriver(const Options& options)
       tracker_(options.params.C1, options.params.C2, options.params.C3),
       inner_(static_cast<uint32_t>(options.params.B), &tracker_),
       disk_(&inner_, options.seed),
-      pool_(&disk_, 128),
+      pool_(&disk_, options.pool_pages),
       catalog_(&pool_),
       scenario_(options.params, options.seed) {}
 
@@ -194,6 +196,7 @@ Status StrategyDriver::Build() {
   // LSN allocator so their AD logs join the unified LSN space.
   db::RecoveryManager::Options rm_options;
   rm_options.checkpoint_every = options_.checkpoint_every;
+  rm_options.sync_on_commit = !options_.group_commit;
   recovery_ = std::make_unique<db::RecoveryManager>(&pool_, rm_options);
   recovery_->Register(rel_);
   if (r2_ != nullptr) recovery_->Register(r2_);
@@ -222,9 +225,14 @@ Status StrategyDriver::Build() {
       deferred_ =
           options_.model == 1
               ? std::make_unique<view::DeferredStrategy>(
-                    sp_def_, TortureAdOptions(options_.params, lsns), &tracker_)
+                    sp_def_,
+                    TortureAdOptions(options_.params, lsns,
+                                     options_.group_commit),
+                    &tracker_)
               : std::make_unique<view::DeferredStrategy>(
-                    join_def_, TortureAdOptions(options_.params, lsns),
+                    join_def_,
+                    TortureAdOptions(options_.params, lsns,
+                                     options_.group_commit),
                     &tracker_);
       VIEWMAT_RETURN_IF_ERROR(deferred_->InitializeFromBase());
       break;
@@ -248,7 +256,9 @@ Status StrategyDriver::Build() {
       break;
     case StrategyKind::kHybrid:
       hybrid_ = std::make_unique<view::HybridStrategy>(
-          sp_def_, TortureAdOptions(options_.params, lsns), &tracker_);
+          sp_def_,
+          TortureAdOptions(options_.params, lsns, options_.group_commit),
+          &tracker_);
       VIEWMAT_RETURN_IF_ERROR(hybrid_->InitializeFromBase());
       break;
   }
@@ -306,7 +316,37 @@ Status StrategyDriver::Recover() {
   return Status::Internal("unreachable");
 }
 
+Status StrategyDriver::SyncWal() {
+  switch (options_.kind) {
+    case StrategyKind::kDeferred:
+      return deferred_->hypothetical()->mutable_ad()->SyncLog();
+    case StrategyKind::kHybrid:
+      return hybrid_->hypothetical()->mutable_ad()->SyncLog();
+    default: return recovery_->SyncWal();
+  }
+}
+
+Status StrategyDriver::DiscardVolatileWal() {
+  switch (options_.kind) {
+    case StrategyKind::kDeferred:
+      return deferred_->hypothetical()->mutable_ad()->DiscardVolatileLog();
+    case StrategyKind::kHybrid:
+      return hybrid_->hypothetical()->mutable_ad()->DiscardVolatileLog();
+    default: return recovery_->DiscardVolatileWal();
+  }
+}
+
 Status StrategyDriver::Converge() {
+  // Converge is a live quiesce point, not crash recovery: every
+  // acknowledged commit has already been applied to volatile state, so the
+  // log must be made durable BEFORE Recover() redoes the durable history.
+  // Under group commit a buffered tail leaves the base AHEAD of the
+  // durable log; redoing just the durable prefix onto it resurrects
+  // intermediate tuple versions whose covering updates are still volatile.
+  // After a real crash the harness discards the volatile tail first
+  // (DiscardVolatileWal), which makes this sync a no-op rather than a
+  // resurrection.
+  VIEWMAT_RETURN_IF_ERROR(SyncWal());
   VIEWMAT_RETURN_IF_ERROR(Recover());
   switch (options_.kind) {
     case StrategyKind::kDeferred: return deferred_->Refresh();

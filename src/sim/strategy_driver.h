@@ -52,9 +52,12 @@ StatusOr<StrategyKind> ParseStrategyKind(const std::string& name);
 costmodel::Params TortureParams(const costmodel::Params& base);
 
 /// AD-file options for crash-safe torture runs (WAL on, sized to the
-/// workload). `lsns` joins the AD log to a shared LSN space when non-null.
+/// workload). `lsns` joins the AD log to a shared LSN space when non-null;
+/// `group_commit` buffers per-transaction log records (see
+/// AdFile::Options::log_auto_sync).
 hr::AdFile::Options TortureAdOptions(const costmodel::Params& params,
-                                     storage::LsnAllocator* lsns = nullptr);
+                                     storage::LsnAllocator* lsns = nullptr,
+                                     bool group_commit = false);
 
 /// The harness's own shadow of the updated relation. Scenario's oracle
 /// mutates when a transaction is *generated*; the torture harness must only
@@ -121,6 +124,15 @@ class StrategyDriver {
     uint64_t seed = 1;
     /// RecoveryManager auto-checkpoint cadence (0 = explicit only).
     size_t checkpoint_every = 0;
+    /// Group commit: commit records (redo WAL and AD log alike) buffer in
+    /// the log's tail page instead of syncing per commit; the server calls
+    /// SyncWal() at batch boundaries. A crash can lose the unsynced suffix —
+    /// recovery then resolves each issued transaction id against the
+    /// durable high-water mark.
+    bool group_commit = false;
+    /// Buffer-pool frames. The default matches the historical hard-coded
+    /// pool; the scaling bench raises it for its larger scenario.
+    size_t pool_pages = 128;
   };
 
   /// Loads the scenario database on a healthy device, builds the strategy,
@@ -137,6 +149,19 @@ class StrategyDriver {
 
   /// Crash recovery for whichever strategy is active. Idempotent.
   Status Recover();
+
+  /// Group-commit batch boundary: forces whichever log the active strategy
+  /// commits through (redo WAL or AD log) to the device. Harmless no-op
+  /// when Options::group_commit is off.
+  Status SyncWal();
+
+  /// Kills volatile log state after a simulated device crash+restart —
+  /// the log-side half of the "volatile state dies with the crash" rule
+  /// (BufferPool::DiscardAll is the page-side half). Must run before any
+  /// post-crash SyncWal()/Converge(), or the stale staged tail would be
+  /// written back to the restarted device and resurrect transactions the
+  /// crash already lost.
+  Status DiscardVolatileWal();
 
   /// Brings the system to a fully-consistent, fully-refreshed state
   /// (healthy device assumed): recovery plus whatever freshening the

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 #include "storage/wal.h"
 
@@ -86,6 +88,18 @@ StatusOr<size_t> BufferPool::AcquireFrame() {
 }
 
 StatusOr<PageGuard> BufferPool::Fetch(PageId id) {
+  if (concurrent_reads_.load(std::memory_order_acquire)) {
+    // Window invariant: the table is frozen (no inserts/evictions), so the
+    // lookup races with nothing; the pin count is the only mutable word.
+    auto it = table_.find(id);
+    if (it == table_.end()) {
+      return Status::Internal("buffer miss inside a concurrent-read window");
+    }
+    Frame& fr = frames_[it->second];
+    std::atomic_ref<uint32_t>(fr.pin_count)
+        .fetch_add(1, std::memory_order_acq_rel);
+    return PageGuard(this, it->second, id);
+  }
   auto it = table_.find(id);
   if (it != table_.end()) {
     Frame& fr = frames_[it->second];
@@ -136,6 +150,14 @@ Status BufferPool::DeletePage(PageId id) {
 
 void BufferPool::Unpin(size_t frame, PageId id) {
   Frame& fr = frames_[frame];
+  if (concurrent_reads_.load(std::memory_order_acquire)) {
+    // The frame kept whatever LRU position it had when the window opened;
+    // dropping the pin must not re-link it or recency would depend on
+    // thread interleaving.
+    std::atomic_ref<uint32_t>(fr.pin_count)
+        .fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
   VIEWMAT_CHECK(fr.in_use && fr.id == id && fr.pin_count > 0);
   if (--fr.pin_count == 0) {
     lru_.push_back(frame);
@@ -161,6 +183,31 @@ Status BufferPool::FlushAll() {
     }
   }
   return Status::OK();
+}
+
+Status BufferPool::DiscardAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& fr = frames_[i];
+    if (!fr.in_use) continue;
+    if (fr.pin_count > 0) {
+      return Status::FailedPrecondition("discarding a pinned page");
+    }
+    lru_.erase(fr.lru_pos);
+    table_.erase(fr.id);
+    fr.in_use = false;
+    fr.dirty = false;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+void BufferPool::SetConcurrentReads(bool on) {
+  // The mode may only flip at a barrier: every guard released, so the LRU
+  // list fully describes residency and survives the window untouched.
+  for (const Frame& fr : frames_) {
+    VIEWMAT_CHECK(!fr.in_use || fr.pin_count == 0);
+  }
+  concurrent_reads_.store(on, std::memory_order_release);
 }
 
 Status BufferPool::FlushAndEvictAll() {

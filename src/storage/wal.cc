@@ -237,6 +237,15 @@ Status WriteAheadLog::Sync() {
   return SyncInternal();
 }
 
+Status WriteAheadLog::DiscardVolatile() {
+  const ScopedComponent tag(disk_->tracker(), component_);
+  // ResyncTail is exactly "trust only the device": it rebuilds the chain,
+  // tail image, record count, and durable LSN from durable bytes and
+  // clears the staged tail.
+  tail_dirty_ = true;
+  return ResyncTail();
+}
+
 Status WriteAheadLog::SyncInternal() {
   if (pending_.empty()) return Status::OK();
   const uint32_t page_size = disk_->page_size();

@@ -113,6 +113,15 @@ class WriteAheadLog {
   /// transaction as unresolved and consult the recovered log.
   Status Sync();
 
+  /// Drops every staged-but-unsynced record and re-reads the durable tail
+  /// from the device — the log-side analogue of BufferPool::DiscardAll.
+  /// A process restart loses volatile log state for free; a simulated
+  /// crash keeps this object alive, so the harness must kill that state
+  /// explicitly before reusing the log. Without it a later Sync() would
+  /// write the stale staged tail back to the restarted device and
+  /// resurrect transactions the crash already lost.
+  Status DiscardVolatile();
+
   /// Replays every durable record in append order. Stops early (OK) at a
   /// torn tail, reporting it through `torn_tail` when non-null.
   Status Scan(const Visitor& visit, bool* torn_tail = nullptr) const;
@@ -138,6 +147,12 @@ class WriteAheadLog {
   size_t page_count() const { return chain_.size(); }
   /// Records staged in the tail but not yet synced (buffered mode).
   size_t pending_records() const { return pending_.size(); }
+
+  /// True when every Append writes through immediately; false in buffered
+  /// (group-commit) mode, where an unsynced commit can be lost by a crash —
+  /// recovery code must then trust only the durable log, not in-memory
+  /// high-water floors.
+  bool auto_sync() const { return auto_sync_; }
 
   /// Newest LSN known durable on the device. The buffer pool's WAL rule
   /// compares page stamps against this before write-back.

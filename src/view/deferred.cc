@@ -325,8 +325,11 @@ Status DeferredStrategy::Recover() {
   VIEWMAT_RETURN_IF_ERROR(hr_.Recover(&info));
   // The durable log is the authority on what committed: a transaction whose
   // commit append errored ambiguously (write and read-back both failed) is
-  // resolved here, by whether its commit record survived.
-  committed_txn_high_ = std::max(committed_txn_high_, info.last_committed_txn);
+  // resolved here, by whether its commit record survived. The AD file's
+  // durable floor — not this strategy's in-memory high water — is the right
+  // base: under group commit the in-memory counter runs ahead of the device,
+  // and a crash can lose the buffered tail it already counted.
+  committed_txn_high_ = hr_.ad().durable_txn_floor();
   // Derive the interrupted phase from the markers alone. Markers survive
   // only until the epoch-final Reset truncates the log, so any begin marker
   // present denotes an unfinished refresh.

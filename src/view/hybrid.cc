@@ -298,7 +298,9 @@ Status HybridStrategy::Recover() {
   ++recoveries_;
   hr::AdFile::RecoveryInfo info;
   VIEWMAT_RETURN_IF_ERROR(hr_.Recover(&info));
-  committed_txn_high_ = std::max(committed_txn_high_, info.last_committed_txn);
+  // Durable floor, not the in-memory high water: under group commit the
+  // in-memory counter runs ahead of the device (see DeferredStrategy).
+  committed_txn_high_ = hr_.ad().durable_txn_floor();
   if (info.last_epoch_begun == 0) {
     phase_ = RecoveryPhase::kNone;
   } else if (info.fold_committed_epoch == info.last_epoch_begun) {

@@ -1,6 +1,8 @@
 #ifndef VIEWMAT_VIEW_HYBRID_H_
 #define VIEWMAT_VIEW_HYBRID_H_
 
+#include <atomic>
+
 #include "common/status.h"
 #include "hr/hypothetical_relation.h"
 #include "view/deferred.h"
@@ -112,8 +114,10 @@ class HybridStrategy : public ViewStrategy {
   TLockScreen screen_;
   hr::HypotheticalRelation hr_;
   std::unique_ptr<MaterializedView> view_;
-  uint64_t qm_choices_ = 0;
-  uint64_t view_choices_ = 0;
+  // Atomic: bumped on the query read path, which the server may run from
+  // several workers at once when no refresh work is pending.
+  std::atomic<uint64_t> qm_choices_{0};
+  std::atomic<uint64_t> view_choices_{0};
   uint64_t refresh_count_ = 0;
   uint64_t forced_refreshes_ = 0;
   uint64_t max_pending_ = 256;

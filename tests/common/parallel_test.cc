@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -124,6 +125,71 @@ TEST(ParallelMap, WorksWithMoveOnlyNonDefaultConstructibleResults) {
 TEST(ParallelMap, MoreJobsThanItemsIsFine) {
   const auto out = ParallelMap(16, 3, [](size_t i) { return i * i; });
   EXPECT_EQ(out, (std::vector<size_t>{0, 1, 4}));
+}
+
+/// The grain never changes WHAT runs: every index executes exactly once
+/// at any (jobs, grain) shape, including grains larger than n and the
+/// grain-0 alias for 1.
+TEST(ParallelFor, GrainChunkingVisitsEachIndexExactlyOnceAtAnyShape) {
+  for (const size_t jobs : {size_t{2}, size_t{4}, size_t{16}}) {
+    for (const size_t grain :
+         {size_t{0}, size_t{1}, size_t{7}, size_t{64}, size_t{10000}}) {
+      std::vector<std::atomic<int>> visits(513);
+      for (auto& v : visits) v.store(0);
+      ParallelFor(jobs, visits.size(), grain,
+                  [&](size_t i) { visits[i].fetch_add(1); });
+      for (size_t i = 0; i < visits.size(); ++i) {
+        ASSERT_EQ(visits[i].load(), 1)
+            << "jobs=" << jobs << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+}
+
+/// Results collected by index are bit-identical at any grain — the
+/// determinism contract the sweep runners rely on when they raise the
+/// grain to cut claim traffic.
+TEST(ParallelFor, IndexedResultsAreGrainInvariant) {
+  const size_t n = 128;
+  auto run = [n](size_t jobs, size_t grain) {
+    std::vector<double> out(n, 0.0);
+    ParallelFor(jobs, n, grain, [&](size_t i) {
+      Random rng(7000 + static_cast<uint64_t>(i));
+      out[i] = rng.NextDouble();
+    });
+    return out;
+  };
+  const auto serial = run(1, 1);
+  for (const size_t jobs : {size_t{3}, size_t{8}}) {
+    for (const size_t grain : {size_t{1}, size_t{5}, size_t{32}}) {
+      EXPECT_EQ(run(jobs, grain), serial)
+          << "jobs=" << jobs << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelFor, ExceptionInsideAChunkPropagatesAndAbandonsTheRest) {
+  std::atomic<int> started{0};
+  EXPECT_THROW(ParallelFor(4, 1000, /*grain=*/16,
+                           [&](size_t i) {
+                             started.fetch_add(1);
+                             if (i == 40) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // The faulting chunk's remainder and all unclaimed chunks are skipped.
+  EXPECT_LT(started.load(), 1000);
+}
+
+TEST(ParallelFor, SerialPathIgnoresGrainAndRunsInline) {
+  // jobs <= 1 must stay the exact historical single-threaded loop no
+  // matter the grain — no pool, same thread, ascending order.
+  const auto caller = std::this_thread::get_id();
+  size_t expected = 0;
+  ParallelFor(1, 100, /*grain=*/13, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(i, expected++);
+  });
+  EXPECT_EQ(expected, 100u);
 }
 
 /// Stress: many small batches through fresh pools, checking the aggregate

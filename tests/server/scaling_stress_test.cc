@@ -1,0 +1,241 @@
+// 16-thread physical-scaling stress: the two pillars the scaling work
+// stands on, pounded far harder than the server itself ever does.
+//
+//  - CostShard merge exactness: workers charging thread-local shards
+//    concurrently, merged serially afterwards, must reproduce the totals a
+//    serial execution would have accumulated to the counter. The counters
+//    are integers, so the check is EXPECT_EQ, not "close enough".
+//  - Striped-lock discipline: per-stripe no-barging id-order grants and
+//    deadlock freedom across stripes under adversarial interval overlap
+//    (every thread spanning several stripes and two relations at once).
+//
+// These run in the server, tsan, and scaling ctest lanes (compound label
+// server-tsan-scaling); the TSan run is what certifies the happens-before
+// edges the merge mutex and stripe mutexes are claimed to provide.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "db/predicate.h"
+#include "server/lock_manager.h"
+#include "storage/cost_tracker.h"
+
+namespace viewmat::server {
+namespace {
+
+constexpr size_t kThreads = 16;
+
+db::IntervalSet Keys(int64_t lo, int64_t hi) {
+  return db::IntervalSet(db::Interval{lo, hi});
+}
+
+LockSet OneLock(uint32_t rel, LockMode mode, int64_t lo, int64_t hi) {
+  return {LockRequest{rel, mode, Keys(lo, hi)}};
+}
+
+TEST(CostShardStress, SixteenThreadsMergeToExactSerialTotals) {
+  storage::CostTracker tracker;
+  // Direct owner charges before sharded mode begins — the merge must add
+  // to them, not replace them.
+  tracker.ChargeRead(3);
+  tracker.ChargeTupleCpu(5);
+  tracker.BeginShardedMode();
+
+  std::vector<storage::CostShard> shards(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker, &shards, t] {
+      const storage::ShardScope scope(&tracker, &shards[t]);
+      const uint64_t reps = 200 + t;  // distinct per-thread load
+      for (uint64_t i = 0; i < reps; ++i) {
+        tracker.ChargeRead(1 + t % 3);
+        tracker.ChargeWrite(t % 2);
+        tracker.ChargeScreen(2);
+        tracker.ChargeTupleCpu(1);
+        tracker.ChargeAdSetOp(t % 5);
+        // Attribution tags must shard too: these reads land in the
+        // (kBptree, kQuery) cell of the shard's matrix, not the tracker's.
+        const storage::ScopedComponent c(&tracker,
+                                         storage::Component::kBptree);
+        const storage::ScopedPhase p(&tracker, storage::Phase::kQuery);
+        tracker.ChargeRead(1);
+        // Workers may read the model clock while sharded (the server's
+        // tracer does); it must serve the atomically published value.
+        const double now = tracker.NowMs();
+        ASSERT_GE(now, 0.0);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Merge serially, as the server does in commit-LSN order under its
+  // retirement mutex. Charges are additive, so the totals cannot depend
+  // on the merge order — only the intermediate running values do.
+  for (const storage::CostShard& s : shards) tracker.MergeShard(s);
+  tracker.EndShardedMode();
+
+  storage::CostCounters expect;
+  expect.disk_reads = 3;
+  expect.tuple_cpu_ops = 5;
+  uint64_t tagged_reads = 0;
+  for (uint64_t t = 0; t < kThreads; ++t) {
+    const uint64_t reps = 200 + t;
+    expect.disk_reads += reps * (1 + t % 3) + reps;
+    expect.disk_writes += reps * (t % 2);
+    expect.screen_tests += reps * 2;
+    expect.tuple_cpu_ops += reps;
+    expect.ad_set_ops += reps * (t % 5);
+    tagged_reads += reps;
+  }
+  EXPECT_EQ(tracker.counters().disk_reads, expect.disk_reads);
+  EXPECT_EQ(tracker.counters().disk_writes, expect.disk_writes);
+  EXPECT_EQ(tracker.counters().screen_tests, expect.screen_tests);
+  EXPECT_EQ(tracker.counters().tuple_cpu_ops, expect.tuple_cpu_ops);
+  EXPECT_EQ(tracker.counters().ad_set_ops, expect.ad_set_ops);
+  // The attribution matrix merged exactly as well.
+  const storage::CostCounters& cell = tracker.attributed().at(
+      storage::Component::kBptree, storage::Phase::kQuery);
+  EXPECT_EQ(cell.disk_reads, tagged_reads);
+  // Model milliseconds are a pure function of the merged counters.
+  EXPECT_DOUBLE_EQ(tracker.TotalMs(), tracker.Ms(expect));
+}
+
+TEST(CostShardStress, RepeatedShardedRoundsStayExact) {
+  // The server reuses one shard per worker across ops with Reset()
+  // between; totals must stay exact across many bind/charge/merge rounds.
+  storage::CostTracker tracker;
+  tracker.BeginShardedMode();
+  std::vector<storage::CostShard> shards(kThreads);
+  uint64_t expect_reads = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&tracker, &shards, t, round] {
+        shards[t].Reset();
+        const storage::ShardScope scope(&tracker, &shards[t]);
+        for (int i = 0; i < 50 + round; ++i) tracker.ChargeRead();
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    for (const storage::CostShard& s : shards) tracker.MergeShard(s);
+    expect_reads += kThreads * static_cast<uint64_t>(50 + round);
+  }
+  tracker.EndShardedMode();
+  EXPECT_EQ(tracker.counters().disk_reads, expect_reads);
+}
+
+TEST(StripedLockStress, ConflictingWaitersGrantInIdOrderWithoutBarging) {
+  LockManager lm;
+  // Txn 1 holds the whole relation; waiters arrive in DESCENDING id order
+  // (9 first), each parked before the next spawns. Barging bait: when the
+  // holder releases, the most recently arrived waiter has the LOWEST id,
+  // and the no-barging rule must grant it first anyway.
+  ASSERT_TRUE(lm.TryAcquire(1, OneLock(0, LockMode::kExclusive, 0, 1000)));
+
+  std::mutex order_mu;
+  std::vector<uint64_t> grant_order;
+  std::vector<std::thread> waiters;
+  uint64_t parked = 0;
+  for (const uint64_t txn : {9u, 7u, 5u, 3u}) {
+    waiters.emplace_back([&lm, &order_mu, &grant_order, txn] {
+      const LockSet set = OneLock(0, LockMode::kExclusive, 0, 1000);
+      const LockManager::AcquireResult res = lm.Acquire(txn, set);
+      EXPECT_TRUE(res.blocked);
+      {
+        const std::lock_guard<std::mutex> lock(order_mu);
+        grant_order.push_back(txn);
+      }
+      lm.Release(txn);
+    });
+    // blocked_acquires ticks when a waiter parks on its first stripe, so
+    // this poll guarantees arrival order == spawn order.
+    ++parked;
+    while (lm.stats().blocked_acquires < parked) std::this_thread::yield();
+  }
+
+  lm.Release(1);
+  for (std::thread& th : waiters) th.join();
+  EXPECT_EQ(grant_order, (std::vector<uint64_t>{3, 5, 7, 9}));
+  EXPECT_EQ(lm.HeldCount(1), 0u);
+  EXPECT_EQ(lm.stats().releases, 5u);
+}
+
+TEST(StripedLockStress, AdversarialOverlapIsExclusiveAndDeadlockFree) {
+  // 16 threads × 40 rounds of wide, overlapping, two-relation lock sets.
+  // Every set spans several stripes; stripe sets of different threads
+  // interleave arbitrarily, so any barging or out-of-order stripe
+  // acquisition would deadlock or break mutual exclusion. The oracle for
+  // exclusion is a per-key claim table: an X holder claims every key in
+  // its interval and must find each one unclaimed.
+  constexpr int kRounds = 40;
+  constexpr int64_t kKeySpace = 512;
+  LockManager lm;
+  static std::array<std::atomic<uint64_t>, 2 * kKeySpace> claims;
+  for (auto& c : claims) c.store(0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lm, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const uint64_t txn = 100 + t * 1000 + static_cast<uint64_t>(r);
+        // Deterministic but adversarial geometry: wide intervals sliding
+        // with thread and round so every pair of threads collides on some
+        // rounds and not others, on both relations.
+        const int64_t lo0 = static_cast<int64_t>((t * 37 + r * 17) % 400);
+        const int64_t hi0 = lo0 + 64 + static_cast<int64_t>(t % 5) * 8;
+        const int64_t lo1 = static_cast<int64_t>((t * 53 + r * 29) % 400);
+        const int64_t hi1 = lo1 + 48;
+        const bool exclusive = (t + static_cast<size_t>(r)) % 3 != 0;
+        const LockMode mode =
+            exclusive ? LockMode::kExclusive : LockMode::kShared;
+        // The set lists relation 1 before relation 0 — stripe ordering is
+        // the manager's job, not the caller's.
+        const LockSet set = {LockRequest{1, mode, Keys(lo1, hi1)},
+                             LockRequest{0, mode, Keys(lo0, hi0)}};
+        lm.Acquire(txn, set);
+        if (exclusive) {
+          for (int64_t k = lo0; k <= hi0; ++k) {
+            const uint64_t prev = claims[static_cast<size_t>(k)].exchange(
+                txn, std::memory_order_acq_rel);
+            ASSERT_EQ(prev, 0u) << "X overlap on rel0 key " << k;
+          }
+          for (int64_t k = lo0; k <= hi0; ++k) {
+            claims[static_cast<size_t>(k)].store(0,
+                                                 std::memory_order_release);
+          }
+        } else {
+          // A shared holder must never observe a concurrent X claim
+          // inside its interval.
+          for (int64_t k = lo0; k <= hi0; ++k) {
+            ASSERT_EQ(
+                claims[static_cast<size_t>(k)].load(std::memory_order_acquire),
+                0u)
+                << "S/X overlap on rel0 key " << k;
+          }
+        }
+        lm.Release(txn);
+      }
+    });
+  }
+  // Joining at all is the deadlock-freedom proof (ctest's timeout is the
+  // backstop); the claim table proved exclusion along the way.
+  for (std::thread& th : threads) th.join();
+
+  const LockManager::Stats stats = lm.stats();
+  EXPECT_EQ(stats.acquires, kThreads * static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(stats.releases, kThreads * static_cast<uint64_t>(kRounds));
+  // Wide intervals must have fanned out over multiple stripes.
+  EXPECT_GT(stats.stripe_visits, stats.acquires);
+}
+
+}  // namespace
+}  // namespace viewmat::server

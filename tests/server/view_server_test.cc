@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -233,6 +235,135 @@ TEST(ViewServer, LogicalConflictsComeFromLockIntersections) {
   EXPECT_EQ(result.conflicts_rw, 0u);  // no readers in this schedule
   EXPECT_EQ(result.logical_conflicts, result.conflicts_ww);
   EXPECT_GT(result.logical_wait_ms, 0.0);
+}
+
+TEST(ViewServer, ContentionProfilesKeepOutcomesWorkerCountInvariant) {
+  // The scaling bench's core claim, pinned as a test: whatever the
+  // contention geometry, the logical artifact may not move with the
+  // worker count.
+  for (const ContentionProfile profile :
+       {ContentionProfile::kDisjoint, ContentionProfile::kHotRange,
+        ContentionProfile::kUniform}) {
+    ViewServer::Options base =
+        SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+    base.schedule.contention = profile;
+    base.driver.group_commit = true;
+    base.commit_batch = 3;
+    const ViewServer::Result one = MustRun(base);
+    base.workers = 8;
+    const ViewServer::Result eight = MustRun(base);
+    ASSERT_EQ(one.ops.size(), eight.ops.size());
+    for (size_t i = 0; i < one.ops.size(); ++i) {
+      EXPECT_EQ(one.ops[i].status, eight.ops[i].status)
+          << ContentionProfileName(profile) << " op " << i;
+      EXPECT_TRUE(one.ops[i].cost == eight.ops[i].cost)
+          << ContentionProfileName(profile) << " op " << i;
+      EXPECT_DOUBLE_EQ(one.ops[i].commit_ms, eight.ops[i].commit_ms);
+    }
+    EXPECT_EQ(one.state_digest, eight.state_digest)
+        << ContentionProfileName(profile);
+    EXPECT_EQ(one.commit_batches, eight.commit_batches);
+    EXPECT_DOUBLE_EQ(one.model_ms, eight.model_ms);
+  }
+}
+
+TEST(ViewServer, UniformProfileReproducesTheHistoricalSchedule) {
+  // kUniform must draw the exact pre-profile RNG stream: old seeds keep
+  // their schedules byte-for-byte, so committed baselines stay valid.
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+  ASSERT_EQ(options.schedule.contention, ContentionProfile::kUniform);
+  const ViewServer::Result result = MustRun(options);
+  EXPECT_GT(result.committed, 0u);  // same seed 1234 schedule as ever
+}
+
+TEST(ViewServer, DisjointProfilePartitionsClientsOntoDisjointLockSets) {
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kImmediate, 1, 4);
+  options.schedule.clients = 4;
+  options.schedule.ops_per_client = 6;
+  options.schedule.contention = ContentionProfile::kDisjoint;
+  auto server = ViewServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  const Schedule& schedule = (*server)->schedule();
+  for (size_t i = 0; i < schedule.ops.size(); ++i) {
+    for (size_t j = i + 1; j < schedule.ops.size(); ++j) {
+      const ScheduledOp& a = schedule.ops[i];
+      const ScheduledOp& b = schedule.ops[j];
+      if (a.client == b.client) continue;
+      EXPECT_FALSE(Conflicts(a.locks, b.locks))
+          << "ops " << i << " (client " << a.client << ") and " << j
+          << " (client " << b.client << ") intersect";
+    }
+  }
+  const auto result = (*server)->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->logical_conflicts, 0u);
+}
+
+TEST(ViewServer, HotRangeProfileConfinesClientsToThePrefix) {
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kImmediate, 1, 1);
+  options.schedule.contention = ContentionProfile::kHotRange;
+  auto server = ViewServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  const int64_t n = (*server)->driver()->scenario()->n();
+  const int64_t prefix = std::max<int64_t>(1, n / 8);
+  for (const ScheduledOp& op : (*server)->schedule().ops) {
+    if (op.kind == OpKind::kUpdate) {
+      for (const auto& [key, value] : op.victims) {
+        EXPECT_GE(key, 0);
+        EXPECT_LT(key, prefix);
+      }
+    } else {
+      EXPECT_GE(op.lo, 0);
+      EXPECT_LT(op.lo, prefix);
+    }
+  }
+}
+
+TEST(ViewServer, GroupCommitBatchesRetirementSyncs) {
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kDeferred, 1, 4);
+  options.schedule.clients = 4;
+  options.schedule.ops_per_client = 8;
+  options.schedule.update_fraction = 0.8;
+  options.driver.group_commit = true;
+  options.commit_batch = 4;
+  const ViewServer::Result result = MustRun(options);
+  ASSERT_GT(result.committed, 4u);
+  EXPECT_GT(result.commit_batches, 0u);
+  // Batching must actually fold commits together: strictly fewer batches
+  // than committed updates.
+  EXPECT_LT(result.commit_batches, result.committed);
+  EXPECT_EQ(result.queries_stale, 0u);
+  EXPECT_EQ(result.queries_failed, 0u);
+}
+
+TEST(ViewServer, GroupCommitCrashReconcilesTheUnsyncedTail) {
+  // Crash with batches in flight: recovery may only keep transactions
+  // whose batch sync made it to the platter; everything after is demoted,
+  // identically at every worker count, and the survivors replay serially.
+  ViewServer::Options options =
+      SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+  options.schedule.clients = 4;
+  options.schedule.ops_per_client = 6;
+  options.driver.group_commit = true;
+  options.commit_batch = 4;
+  options.crash_at_disk_op = 40;
+  const ViewServer::Result one = MustRun(options);
+  EXPECT_TRUE(one.crashed);
+  EXPECT_GE(one.recoveries, 1u);
+  options.workers = 4;
+  const ViewServer::Result four = MustRun(options);
+  ASSERT_EQ(one.ops.size(), four.ops.size());
+  for (size_t i = 0; i < one.ops.size(); ++i) {
+    EXPECT_EQ(one.ops[i].status, four.ops[i].status) << "op " << i;
+  }
+  EXPECT_EQ(one.state_digest, four.state_digest);
+  std::string detail;
+  const Status oracle = CheckSerializability(options, {1, 2, 4}, &detail);
+  EXPECT_TRUE(oracle.ok()) << oracle.message();
 }
 
 TEST(ViewServer, RunIsOneShot) {
