@@ -368,6 +368,14 @@ void CheckReport(const JsonValue& root, const std::string& file) {
     for (const auto& [key, value] : notes->members) {
       if (!value.is_string()) Fail(file + ".notes." + key, "must be a string");
     }
+    // The chaos bench must publish its oracle verdict: the note is the
+    // report's proof that every profile×combo cell audited clean (the
+    // bench exits nonzero otherwise, so a report missing it was produced
+    // by something else).
+    if (bench != nullptr && bench->string_value == "bench_chaos") {
+      Require(*notes, file + ".notes", "chaos_oracle",
+              JsonValue::Type::kString);
+    }
   }
   const JsonValue* tables =
       Require(root, file, "tables", JsonValue::Type::kArray);

@@ -4,8 +4,9 @@
 # sanitizer build (VIEWMAT_SANITIZE) running the same suite plus the
 # crash-safety torture and recovery labels (the torture label includes the
 # exhaustive crash-point sweep: one crashed run per disk operation for every
-# maintenance strategy), then a thread-sanitized build running the
-# concurrency suites (tsan label).
+# maintenance strategy) and the wire-protocol chaos label, then a
+# thread-sanitized build running the concurrency suites (tsan label) and the
+# chaos suites again under TSan.
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   plain build only (skip the sanitizer builds and torture label)
@@ -48,6 +49,10 @@ echo "== bench regression gate (bench_diff vs committed baselines) =="
   --jobs "$jobs" >/dev/null
 ./build/bench/bench_diff BENCH_server_scaling.json \
   build/BENCH_server_scaling.new.json --threshold 5%
+./build/bench/bench_chaos --json build/BENCH_chaos.new.json \
+  --jobs "$jobs" >/dev/null
+./build/bench/bench_diff BENCH_chaos.json \
+  build/BENCH_chaos.new.json --threshold 5%
 
 echo "== server smoke (multi-client view server + serializability oracle) =="
 ctest --test-dir build --output-on-failure -L server
@@ -64,6 +69,8 @@ echo "== sanitized recovery label (WAL + RecoveryManager + per-strategy) =="
 ctest --test-dir build-asan --output-on-failure -L recovery
 echo "== sanitized torture label (exhaustive crash-point sweep) =="
 ctest --test-dir build-asan --output-on-failure -L torture
+echo "== sanitized chaos label (wire protocol + chaos oracle) =="
+ctest --test-dir build-asan --output-on-failure -L chaos
 
 echo "== thread-sanitized build =="
 cmake -S . -B build-tsan -DVIEWMAT_SANITIZE="thread" >/dev/null
@@ -72,5 +79,7 @@ echo "== thread-sanitized concurrency suites (tsan label) =="
 ctest --test-dir build-tsan --output-on-failure -L tsan
 echo "== thread-sanitized scaling smoke (worker sweep under TSan) =="
 ctest --test-dir build-tsan --output-on-failure -L scaling
+echo "== thread-sanitized chaos suites (oracle fan-out under TSan) =="
+ctest --test-dir build-tsan --output-on-failure -L chaos
 
 echo "check.sh: OK"

@@ -245,6 +245,16 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
             std::memcpy(&checkpoint_floor, payload, sizeof(uint64_t));
             return true;
           }
+          case kSessionStamp:
+          case kSessionTable:
+          case kSessionAbort:
+            // Net-layer session records are opaque to recovery: they never
+            // carry redo work and must not disturb the staged-intent
+            // grouping (a stamp is appended BEFORE its transaction's
+            // intents, so skipping it leaves commit adoption intact). The
+            // net layer scans for them itself (SessionServer::
+            // RebuildSessions).
+            return true;
           default:
             decode = Status::Internal("unknown WAL record type " +
                                       std::to_string(type));
@@ -308,7 +318,9 @@ Status RecoveryManager::Recover(RecoverStats* stats) {
   return Status::OK();
 }
 
-Status RecoveryManager::Checkpoint() {
+Status RecoveryManager::Checkpoint() { return Checkpoint({}); }
+
+Status RecoveryManager::Checkpoint(const std::vector<ExtraRecord>& extras) {
   // Log size and age are read before the truncate discards them.
   const uint64_t retired_records = wal_.record_count();
   const uint64_t age_commits = commits_since_checkpoint_;
@@ -317,8 +329,14 @@ Status RecoveryManager::Checkpoint() {
   VIEWMAT_RETURN_IF_ERROR(pool_->FlushAll());
   uint8_t payload[sizeof(uint64_t)];
   std::memcpy(payload, &last_committed_txn_, sizeof(uint64_t));
+  std::vector<storage::WriteAheadLog::TruncateRecord> records;
+  records.push_back({kCheckpoint, payload, sizeof(payload)});
+  for (const ExtraRecord& extra : extras) {
+    records.push_back({extra.type, extra.payload.data(),
+                       static_cast<uint16_t>(extra.payload.size())});
+  }
   VIEWMAT_RETURN_IF_ERROR(
-      wal_.TruncateWithRecord(kCheckpoint, payload, sizeof(payload)));
+      wal_.TruncateWithRecords(records.data(), records.size()));
   commits_since_checkpoint_ = 0;
   ++checkpoints_;
   if (metrics_ != nullptr) {

@@ -56,12 +56,21 @@ struct RecoverStats {
 /// the log records that justify it.
 class RecoveryManager {
  public:
-  /// Record types in the unified transaction log.
+  /// Record types in the unified transaction log. The session records are
+  /// owned by the net layer's exactly-once protocol (see
+  /// net::SessionServer): recovery's analysis/redo skips them as opaque —
+  /// they ride in this log only so a commit's durability covers the stamp
+  /// that precedes it (prefix durability) and so checkpoint truncation
+  /// cannot separate the dedup table from the commit history it summarizes.
   enum RecordType : uint8_t {
     kTxnInsert = 1,  ///< [u32 rel_idx][serialized tuple]
     kTxnDelete = 2,  ///< [u32 rel_idx][serialized tuple]
     kTxnCommit = 3,  ///< [u64 txn_id][u64 count of preceding intents]
     kCheckpoint = 4,  ///< [u64 committed high-water mark]
+    kSessionStamp = 5,  ///< net-layer: pre-commit (session, seq, txn) stamp
+    kSessionTable = 6,  ///< net-layer: dedup-table snapshot at a checkpoint
+    kSessionAbort = 7,  ///< net-layer: txn id durably drawn but never
+                        ///< committed — stamps naming it are dead forever
   };
 
   struct Options {
@@ -122,10 +131,25 @@ class RecoveryManager {
   /// durable and resurrect transactions the crash lost.
   Status DiscardVolatileWal() { return wal_.DiscardVolatile(); }
 
+  /// One opaque extra record a caller can ride on a checkpoint (see the
+  /// Checkpoint overload below). `type` should be one of the session
+  /// record types — recovery itself never interprets the payload.
+  struct ExtraRecord {
+    uint8_t type = 0;
+    std::vector<uint8_t> payload;
+  };
+
   /// Flushes all dirty pages, then truncates the log to one checkpoint
   /// record. After a checkpoint, recovery starts from the checkpoint's
   /// committed high-water mark.
   Status Checkpoint();
+
+  /// Checkpoint with extra opaque records planted in the same atomic
+  /// head-page write as the checkpoint record (the net layer's dedup-table
+  /// snapshot rides here): either the checkpoint and every extra survive
+  /// together, or the old log stays intact. Extras appear after the
+  /// checkpoint record in scan order.
+  Status Checkpoint(const std::vector<ExtraRecord>& extras);
 
   /// True after a failed apply: base relations may hold a partially-applied
   /// committed transaction until Recover() runs.

@@ -1,0 +1,89 @@
+#include "net/faulty_network.h"
+
+namespace viewmat::net {
+
+FaultyNetwork::FaultyNetwork(NetworkInterface* inner,
+                             const obs::VirtualClock* clock, uint64_t seed)
+    : inner_(inner), clock_(clock), rng_(seed | 1) {}
+
+void FaultyNetwork::ScriptDropAtMsg(uint64_t nth) {
+  drop_at_msg_ = nth == 0 ? 0 : msg_count_ + nth;
+}
+
+void FaultyNetwork::AddPartition(double from_ms, double to_ms, NodeId a,
+                                 NodeId b, bool one_way) {
+  partitions_.push_back({from_ms, to_ms, a, b, one_way});
+}
+
+bool FaultyNetwork::Partitioned(NodeId src, NodeId dst) const {
+  const double now = clock_ != nullptr ? clock_->NowMs() : 0.0;
+  for (const Partition& p : partitions_) {
+    if (now < p.from_ms || now >= p.to_ms) continue;
+    if (src == p.a && dst == p.b) return true;
+    if (!p.one_way && src == p.b && dst == p.a) return true;
+  }
+  return false;
+}
+
+void FaultyNetwork::ClearFaults() {
+  drop_rate_ = duplicate_rate_ = reorder_rate_ = delay_rate_ = 0.0;
+  drop_at_msg_ = 0;
+  partitions_.clear();
+}
+
+Status FaultyNetwork::Send(NodeId src, NodeId dst, const Message& msg,
+                           double extra_delay_ms) {
+  ++msg_count_;
+
+  // Scripted point drop: exact, budget-exempt (the sweep owns its count).
+  if (drop_at_msg_ != 0 && msg_count_ == drop_at_msg_) {
+    drop_at_msg_ = 0;
+    ++dropped_;
+    return Status::OK();
+  }
+
+  // Partition windows: scripted topology, also budget-exempt (they heal by
+  // construction, so they cannot keep a run alive forever).
+  if (Partitioned(src, dst)) {
+    ++partition_drops_;
+    return Status::OK();
+  }
+
+  // Probabilistic faults, in a fixed decision order so the RNG stream is
+  // identical run to run. Every Bernoulli draw happens whether or not the
+  // budget allows the fault, keeping later decisions independent of when
+  // the budget ran out.
+  const bool want_drop = rng_.Bernoulli(drop_rate_);
+  const bool want_dup = rng_.Bernoulli(duplicate_rate_);
+  const bool want_delay = rng_.Bernoulli(delay_rate_);
+  const bool want_reorder = rng_.Bernoulli(reorder_rate_);
+  const double dup_offset = rng_.NextDouble() * delay_ms_;
+  const double reorder_offset = rng_.NextDouble() * delay_ms_ * 0.5;
+
+  if (want_drop && BudgetAllows()) {
+    ++dropped_;
+    ++faults_injected_;
+    return Status::OK();
+  }
+  double extra = extra_delay_ms;
+  if (want_delay && BudgetAllows()) {
+    ++delayed_;
+    ++faults_injected_;
+    extra += delay_ms_;
+  }
+  if (want_reorder && BudgetAllows()) {
+    // A random sub-window offset lets messages sent later overtake this
+    // one — reordering as latency inversion, the way real networks do it.
+    ++reordered_;
+    ++faults_injected_;
+    extra += reorder_offset;
+  }
+  if (want_dup && BudgetAllows()) {
+    ++duplicated_;
+    ++faults_injected_;
+    VIEWMAT_RETURN_IF_ERROR(inner_->Send(src, dst, msg, extra + dup_offset));
+  }
+  return inner_->Send(src, dst, msg, extra);
+}
+
+}  // namespace viewmat::net

@@ -1,0 +1,125 @@
+#ifndef VIEWMAT_NET_FAULTY_NETWORK_H_
+#define VIEWMAT_NET_FAULTY_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "net/network.h"
+#include "obs/trace.h"
+
+namespace viewmat::net {
+
+/// Fault-injecting decorator over any NetworkInterface — the transport
+/// analogue of storage::FaultyDisk, and deliberately shaped like it: the
+/// session layer sends through the same interface healthy or faulty, so
+/// faults exercise production retry/dedup paths, never test-only ones.
+///
+/// Failure classes, all deterministic under the seed:
+///
+///  - Probabilistic per-message faults: drop (message vanishes), duplicate
+///    (delivered twice, the copy extra-delayed), delay (one large extra
+///    latency), reorder (a smaller extra latency that lets later traffic
+///    overtake). Bounded by set_max_faults so runs provably converge once
+///    the budget is spent — the transport-side twin of FaultyDisk's fault
+///    budget.
+///  - Scripted point drops: ScriptDropAtMsg(nth) drops exactly the nth
+///    message from now (1 = the very next), the exhaustive-point primitive
+///    sweeps use (every protocol step gets its message dropped in some
+///    run).
+///  - Scripted partitions: AddPartition blocks a node pair for a virtual
+///    time window — symmetric by default, one-way for asymmetric link
+///    failures. Partitions are scripted topology, not random faults: they
+///    heal by construction and do not consume the fault budget.
+class FaultyNetwork : public NetworkInterface {
+ public:
+  /// `clock` positions partition windows on the transport's virtual time;
+  /// pass Network::clock(). Neither pointer is owned.
+  FaultyNetwork(NetworkInterface* inner, const obs::VirtualClock* clock,
+                uint64_t seed = 0);
+
+  FaultyNetwork(const FaultyNetwork&) = delete;
+  FaultyNetwork& operator=(const FaultyNetwork&) = delete;
+
+  // --- NetworkInterface ----------------------------------------------------
+  using NetworkInterface::Send;  // keep the 3-arg convenience visible
+  Status Send(NodeId src, NodeId dst, const Message& msg,
+              double extra_delay_ms) override;
+
+  // --- Probabilistic faults ------------------------------------------------
+  void set_drop_rate(double p) { drop_rate_ = p; }
+  void set_duplicate_rate(double p) { duplicate_rate_ = p; }
+  void set_reorder_rate(double p) { reorder_rate_ = p; }
+  void set_delay_rate(double p) { delay_rate_ = p; }
+  /// Extra latency for a delayed message (and the ceiling for a reorder
+  /// jitter or a duplicate's offset).
+  void set_delay_ms(double ms) { delay_ms_ = ms; }
+  /// Stops injecting probabilistic faults after `n` total (0 = no bound).
+  void set_max_faults(uint64_t n) { max_faults_ = n; }
+
+  // --- Scripted faults -----------------------------------------------------
+  /// Drops exactly the `nth` message sent from now (1 = the next one).
+  void ScriptDropAtMsg(uint64_t nth);
+
+  /// Blocks a → b (and b → a unless `one_way`) while the virtual clock is
+  /// in [from_ms, to_ms).
+  void AddPartition(double from_ms, double to_ms, NodeId a, NodeId b,
+                    bool one_way = false);
+
+  /// True when a → b is inside an active partition window right now. The
+  /// session server consults this to classify reads as degraded while its
+  /// refresh path is isolated.
+  bool Partitioned(NodeId src, NodeId dst) const;
+
+  /// Disarms every programmed failure: rates, the scripted drop, and all
+  /// partition windows (end-of-run healing).
+  void ClearFaults();
+
+  // --- Stats ---------------------------------------------------------------
+  uint64_t msgs_seen() const { return msg_count_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t duplicated() const { return duplicated_; }
+  uint64_t delayed() const { return delayed_; }
+  uint64_t reordered() const { return reordered_; }
+  uint64_t partition_drops() const { return partition_drops_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  struct Partition {
+    double from_ms = 0.0;
+    double to_ms = 0.0;
+    NodeId a = 0;
+    NodeId b = 0;
+    bool one_way = false;
+  };
+
+  bool BudgetAllows() const {
+    return max_faults_ == 0 || faults_injected_ < max_faults_;
+  }
+
+  NetworkInterface* inner_;
+  const obs::VirtualClock* clock_;
+  Random rng_;
+
+  double drop_rate_ = 0.0;
+  double duplicate_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  double delay_rate_ = 0.0;
+  double delay_ms_ = 8.0;
+  uint64_t max_faults_ = 0;
+
+  uint64_t msg_count_ = 0;
+  uint64_t drop_at_msg_ = 0;  ///< absolute message number; 0 = not armed
+  std::vector<Partition> partitions_;
+
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t delayed_ = 0;
+  uint64_t reordered_ = 0;
+  uint64_t partition_drops_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace viewmat::net
+
+#endif  // VIEWMAT_NET_FAULTY_NETWORK_H_

@@ -1,0 +1,153 @@
+#include "net/session_client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace viewmat::net {
+
+SessionClient::SessionClient(const Options& options, std::vector<ClientOp> ops)
+    : options_(options), ops_(std::move(ops)), rng_(options.seed | 1) {
+  VIEWMAT_CHECK(options_.events != nullptr);
+  VIEWMAT_CHECK(options_.net != nullptr);
+}
+
+void SessionClient::Start() {
+  if (started_) return;
+  started_ = true;
+  // Even with no ops the session is opened (and done on the ack) — the
+  // handshake path is always exercised.
+  SendCurrent();
+}
+
+Message SessionClient::BuildCurrent() const {
+  Message m;
+  m.session_id = options_.node;
+  m.seq_no = CurrentSeq();
+  m.attempt = attempt_;
+  if (!opened_) {
+    m.type = MsgType::kOpenSession;
+    return m;
+  }
+  const ClientOp& op = ops_[cur_];
+  if (op.is_update) {
+    m.type = MsgType::kCommit;
+    m.victims = op.victims;
+  } else {
+    m.type = MsgType::kQuery;
+    m.lo = op.lo;
+    m.hi = op.hi;
+  }
+  return m;
+}
+
+double SessionClient::BackoffMs() {
+  double backoff = options_.timeout_ms;
+  for (uint32_t i = 1; i < attempt_ && backoff < options_.max_backoff_ms; ++i) {
+    backoff *= options_.backoff_factor;
+  }
+  backoff = std::min(backoff, options_.max_backoff_ms);
+  // Seeded jitter in ±jitter_frac de-synchronizes client retry storms
+  // without sacrificing run-to-run determinism.
+  const double jitter = (rng_.NextDouble() * 2.0 - 1.0) * options_.jitter_frac;
+  return backoff * (1.0 + jitter);
+}
+
+void SessionClient::SendCurrent() {
+  const uint64_t xid = ++xmit_id_;
+  // Send errors are indistinguishable from a lost message: the timeout
+  // below retries either way.
+  (void)options_.net->Send(options_.node, options_.server, BuildCurrent());
+  const double timeout = BackoffMs();
+  options_.events->Post(timeout, [this, xid]() {
+    if (done_ || xid != xmit_id_) return;  // superseded by a reply
+    ++retries_;
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("net_client_retries_total")->Increment();
+    }
+    const obs::ScopedSpan span(options_.tracer, "net.retry");
+    ++attempt_;
+    SendCurrent();
+  });
+}
+
+void SessionClient::ScheduleResend() {
+  const uint64_t xid = ++xmit_id_;  // invalidates the pending timeout
+  ++attempt_;
+  options_.events->Post(BackoffMs(), [this, xid]() {
+    if (done_ || xid != xmit_id_) return;
+    SendCurrent();
+  });
+}
+
+void SessionClient::Advance(const Message& reply) {
+  if (!opened_) {
+    opened_ = true;
+  } else {
+    const ClientOp& op = ops_[cur_];
+    ClientOpResult r;
+    r.is_update = op.is_update;
+    r.seq_no = reply.seq_no;
+    r.attempts = attempt_;
+    if (op.is_update) {
+      r.txn_id = reply.txn_id;
+      r.victims = op.victims;
+    } else {
+      r.lo = op.lo;
+      r.hi = op.hi;
+      r.answer_digest = reply.answer_digest;
+      r.journal_len = reply.journal_len;
+      r.degraded = reply.degraded;
+    }
+    acked_.push_back(std::move(r));
+    ++cur_;
+  }
+  attempt_ = 1;
+  ++xmit_id_;  // kill the outstanding timeout
+  if ((opened_ ? cur_ : 0) >= ops_.size() && opened_) {
+    done_ = true;
+    return;
+  }
+  SendCurrent();
+}
+
+void SessionClient::OnMessage(NodeId from, const Message& msg) {
+  (void)from;
+  if (done_) {
+    ++stale_replies_;
+    return;
+  }
+  const bool is_reply = msg.type == MsgType::kReply ||
+                        msg.type == MsgType::kOpenAck;
+  // A redelivered reply for an already-acked seq (or a kOpenAck after the
+  // session is open) is stale: count it and move on.
+  if (!is_reply || msg.seq_no != CurrentSeq() ||
+      (msg.type == MsgType::kOpenAck) == opened_) {
+    ++stale_replies_;
+    return;
+  }
+  switch (msg.wstatus) {
+    case WireStatus::kOk:
+      Advance(msg);
+      return;
+    case WireStatus::kOverloaded:
+      ++overloaded_replies_;
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("net_client_overloaded_total")
+            ->Increment();
+      }
+      ScheduleResend();
+      return;
+    case WireStatus::kRejected:
+      // The server could not prove the commit landed (or shed the request
+      // mid-crash); the dedup table makes re-sending the same seq safe.
+      ++rejected_replies_;
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("net_client_rejected_total")->Increment();
+      }
+      ScheduleResend();
+      return;
+  }
+}
+
+}  // namespace viewmat::net

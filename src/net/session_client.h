@@ -1,0 +1,127 @@
+#ifndef VIEWMAT_NET_SESSION_CLIENT_H_
+#define VIEWMAT_NET_SESSION_CLIENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace viewmat::net {
+
+/// One operation a client will push through its session, in order.
+struct ClientOp {
+  bool is_update = false;
+  /// Update: per-key payload deltas (relative, so a duplicated application
+  /// would be visible — deltas are deliberately NOT idempotent).
+  std::vector<std::pair<int64_t, double>> victims;
+  /// Query: inclusive key range.
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// The client-side record of one acknowledged operation — the raw material
+/// of the chaos oracle's ledger (acked commits must appear exactly once;
+/// acked query answers must match the journal prefix they were served at).
+struct ClientOpResult {
+  bool is_update = false;
+  uint64_t seq_no = 0;
+  uint32_t attempts = 1;  ///< sends it took to get this ack
+  // Update acks:
+  uint64_t txn_id = 0;
+  std::vector<std::pair<int64_t, double>> victims;
+  // Query acks:
+  int64_t lo = 0;
+  int64_t hi = 0;
+  uint64_t answer_digest = 0;
+  uint64_t journal_len = 0;  ///< server journal length the answer reflects
+  bool degraded = false;
+};
+
+/// The at-least-once half of the exactly-once contract: a sessioned client
+/// that stamps every request with (session_id, seq_no), retries on timeout
+/// with seeded exponential backoff + jitter, and ignores stale replies.
+/// The client NEVER gives up on an operation — convergence is the fault
+/// injector's job (fault budgets and healing partitions), and the chaos
+/// oracle's liveness check is precisely "did every client finish".
+///
+/// Session protocol: seq 0 opens the session (the session id is the
+/// client's node id, so a server that lost the session can resurrect it);
+/// operation i travels as seq i+1. A reply for the current seq advances
+/// the client; kOverloaded/kRejected replies re-send the SAME seq after a
+/// backoff (the server's dedup table makes the re-send safe).
+class SessionClient : public Endpoint {
+ public:
+  struct Options {
+    NodeId node = 2;
+    NodeId server = 0;
+    /// Event loop and timer source (owns virtual time). Not owned.
+    Network* events = nullptr;
+    /// Send path — the faulty decorator in chaos runs. Not owned.
+    NetworkInterface* net = nullptr;
+    uint64_t seed = 1;
+    /// First-attempt retry timeout; grows by backoff_factor per attempt,
+    /// capped at max_backoff_ms, jittered by ±jitter_frac (seeded).
+    double timeout_ms = 10.0;
+    double backoff_factor = 2.0;
+    double max_backoff_ms = 160.0;
+    double jitter_frac = 0.25;
+    obs::Tracer* tracer = nullptr;        ///< net.retry spans (may be null)
+    obs::MetricsRegistry* metrics = nullptr;  ///< may be null
+  };
+
+  SessionClient(const Options& options, std::vector<ClientOp> ops);
+
+  SessionClient(const SessionClient&) = delete;
+  SessionClient& operator=(const SessionClient&) = delete;
+
+  /// Queues the session-open send; the event loop does the rest.
+  void Start();
+
+  bool done() const { return done_; }
+  const std::vector<ClientOpResult>& acked() const { return acked_; }
+
+  uint64_t retries() const { return retries_; }
+  uint64_t stale_replies() const { return stale_replies_; }
+  uint64_t overloaded_replies() const { return overloaded_replies_; }
+  uint64_t rejected_replies() const { return rejected_replies_; }
+
+  void OnMessage(NodeId from, const Message& msg) override;
+
+ private:
+  /// seq the client is currently waiting on (0 = session open).
+  uint64_t CurrentSeq() const { return opened_ ? cur_ + 1 : 0; }
+  Message BuildCurrent() const;
+  void SendCurrent();
+  /// Backoff for the current attempt: exponential, capped, jittered.
+  double BackoffMs();
+  /// Re-send the current seq after a backoff (negative ack path).
+  void ScheduleResend();
+  void Advance(const Message& reply);
+
+  Options options_;
+  std::vector<ClientOp> ops_;
+  Random rng_;
+
+  bool started_ = false;
+  bool opened_ = false;
+  bool done_ = false;
+  size_t cur_ = 0;        ///< index into ops_ (valid once opened_)
+  uint32_t attempt_ = 1;  ///< attempt number for the current seq
+  /// Transmission generation: bumped on every (re)send and on advance, so
+  /// in-flight timeout events can detect they are stale and do nothing.
+  uint64_t xmit_id_ = 0;
+
+  std::vector<ClientOpResult> acked_;
+  uint64_t retries_ = 0;
+  uint64_t stale_replies_ = 0;
+  uint64_t overloaded_replies_ = 0;
+  uint64_t rejected_replies_ = 0;
+};
+
+}  // namespace viewmat::net
+
+#endif  // VIEWMAT_NET_SESSION_CLIENT_H_

@@ -45,9 +45,13 @@ struct Span {
 /// "recover.wal_analysis", "recover.wal_redo". The server layer adds the
 /// namespaced roots "server.txn" / "server.query" (one per scheduled
 /// client operation) and "lock.wait" (a worker physically blocked in
-/// LockManager::Acquire). New emission sites should reuse an existing
-/// root when the work belongs to one of these lifecycles rather than
-/// inventing a new root verb.
+/// LockManager::Acquire). The wire layer adds the "net." roots:
+/// "net.send" (one per message handed to the in-process transport),
+/// "net.retry" (a client re-sending an unacknowledged request after a
+/// timeout), and "net.redeliver" (the server answering a duplicate
+/// request from the dedup cache instead of re-executing it). New
+/// emission sites should reuse an existing root when the work belongs
+/// to one of these lifecycles rather than inventing a new root verb.
 ///
 /// The disabled mode is a null pointer: every emission site goes through
 /// ScopedSpan, which does nothing (one branch) when the tracer is null, so

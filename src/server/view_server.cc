@@ -39,14 +39,25 @@ const char* OpStatusName(OpStatus s) {
 
 StatusOr<std::unique_ptr<ViewServer>> ViewServer::Create(
     const Options& options) {
+  // Every rejection names the offending field, so a misconfigured bench or
+  // harness fails with a message that points straight at the knob.
   if (options.workers == 0) {
-    return Status::InvalidArgument("ViewServer needs at least one worker");
+    return Status::InvalidArgument(
+        "ViewServer::Options::workers must be > 0");
   }
-  if (options.schedule.clients == 0 || options.schedule.ops_per_client == 0) {
-    return Status::InvalidArgument("ViewServer needs clients and ops");
+  if (options.schedule.clients == 0) {
+    return Status::InvalidArgument(
+        "ViewServer::Options::schedule.clients must be > 0 (empty schedule)");
+  }
+  if (options.schedule.ops_per_client == 0) {
+    return Status::InvalidArgument(
+        "ViewServer::Options::schedule.ops_per_client must be > 0 "
+        "(empty schedule)");
   }
   if (options.driver.group_commit && options.commit_batch == 0) {
-    return Status::InvalidArgument("group commit needs commit_batch >= 1");
+    return Status::InvalidArgument(
+        "ViewServer::Options::commit_batch must be >= 1 when "
+        "driver.group_commit is set");
   }
   std::unique_ptr<ViewServer> server(new ViewServer(options));
   VIEWMAT_ASSIGN_OR_RETURN(server->driver_,

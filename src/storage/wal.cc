@@ -383,13 +383,12 @@ Status WriteAheadLog::Scan(const Visitor& visit, bool* torn_tail) const {
       torn_tail);
 }
 
-Status WriteAheadLog::TruncateInternal(bool with_record, uint8_t type,
-                                       const uint8_t* payload, uint16_t len,
-                                       Lsn* out_lsn) {
+Status WriteAheadLog::TruncateInternal(const TruncateRecord* records,
+                                       size_t count, Lsn* out_lsn) {
   const ScopedComponent tag(disk_->tracker(), component_);
   // Empty head first, then free the remainder: a crash in between leaves a
   // logically empty log (plus leaked pages), never partial history. The
-  // checkpoint record (when present) travels in the same single head
+  // checkpoint records (when present) travel in the same single head
   // write, so "empty log" and "checkpoint planted" are one atomic step as
   // far as a clean failure is concerned; a torn head write degrades to an
   // empty log, which callers make safe by flushing dirty pages first.
@@ -397,17 +396,18 @@ Status WriteAheadLog::TruncateInternal(bool with_record, uint8_t type,
   InitHeader(&empty);
   uint32_t used = kHeaderSize;
   Lsn lsn = 0;
-  size_t records = 0;
-  if (with_record) {
-    VIEWMAT_CHECK(len <= max_payload());
+  for (size_t i = 0; i < count; ++i) {
+    const TruncateRecord& r = records[i];
+    VIEWMAT_CHECK(r.len <= max_payload());
+    // Every surviving record must share the one atomic head write.
+    VIEWMAT_CHECK(used + kRecordHeader + r.len <= disk_->page_size());
     lsn = lsns_->Next();
     last_lsn_ = lsn;
-    if (out_lsn != nullptr) *out_lsn = lsn;
-    PutRecord(&empty, kHeaderSize, type, payload, len, lsn);
-    used = kHeaderSize + kRecordHeader + len;
+    PutRecord(&empty, used, r.type, r.payload, r.len, lsn);
+    used += kRecordHeader + r.len;
     empty.WriteAt<uint32_t>(kUsedOff, used);
-    records = 1;
   }
+  if (out_lsn != nullptr) *out_lsn = lsn;
   const Status st = disk_->Write(chain_.front(), empty);
   if (!st.ok()) {
     // The head write may or may not have landed; resync before the next
@@ -427,19 +427,25 @@ Status WriteAheadLog::TruncateInternal(bool with_record, uint8_t type,
   tail_used_ = used;
   tail_synced_ = used;
   pending_.clear();
-  record_count_ = records;
+  record_count_ = count;
   durable_lsn_ = lsn;
   tail_dirty_ = false;
   return Status::OK();
 }
 
 Status WriteAheadLog::Truncate() {
-  return TruncateInternal(false, 0, nullptr, 0, nullptr);
+  return TruncateInternal(nullptr, 0, nullptr);
 }
 
 Status WriteAheadLog::TruncateWithRecord(uint8_t type, const uint8_t* payload,
                                          uint16_t len, Lsn* out_lsn) {
-  return TruncateInternal(true, type, payload, len, out_lsn);
+  const TruncateRecord record{type, payload, len};
+  return TruncateInternal(&record, 1, out_lsn);
+}
+
+Status WriteAheadLog::TruncateWithRecords(const TruncateRecord* records,
+                                          size_t count) {
+  return TruncateInternal(records, count, nullptr);
 }
 
 }  // namespace viewmat::storage

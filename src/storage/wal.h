@@ -140,6 +140,22 @@ class WriteAheadLog {
   Status TruncateWithRecord(uint8_t type, const uint8_t* payload, uint16_t len,
                             Lsn* out_lsn = nullptr);
 
+  /// One record surviving a truncate; see TruncateWithRecords.
+  struct TruncateRecord {
+    uint8_t type = 0;
+    const uint8_t* payload = nullptr;
+    uint16_t len = 0;
+  };
+
+  /// TruncateWithRecord generalized to several records planted in the same
+  /// single head-page write, in order. All-or-nothing exactly like the
+  /// one-record form: either the whole record set survives the truncate or
+  /// the old log stays intact (a torn head degrades to an empty log). The
+  /// records must fit one page together; callers checkpointing composite
+  /// state (e.g. a recovery checkpoint plus a session dedup-table snapshot)
+  /// use this so the pieces can never be separated by a crash.
+  Status TruncateWithRecords(const TruncateRecord* records, size_t count);
+
   /// Records acknowledged durable since construction or the last Truncate.
   /// In-memory bookkeeping (informational; Scan is the durable source of
   /// truth).
@@ -197,9 +213,9 @@ class WriteAheadLog {
   /// have landed) and adopts it as the in-memory tail image.
   Status ResyncTail();
 
-  /// Shared body of Truncate/TruncateWithRecord.
-  Status TruncateInternal(bool with_record, uint8_t type,
-                          const uint8_t* payload, uint16_t len, Lsn* out_lsn);
+  /// Shared body of Truncate/TruncateWithRecord(s).
+  Status TruncateInternal(const TruncateRecord* records, size_t count,
+                          Lsn* out_lsn);
 
   Status SyncInternal();
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/random.h"
 #include "db/predicate.h"
@@ -201,6 +203,95 @@ TEST(ImpliedRangeSet, FuzzSetAlgebraMatchesMembership) {
       ASSERT_EQ(u.Contains(v), a.Contains(v) || b.Contains(v)) << v;
       ASSERT_EQ(i.Contains(v), a.Contains(v) && b.Contains(v)) << v;
       ASSERT_EQ(c.Contains(v), !a.Contains(v)) << v;
+    }
+  }
+}
+
+TEST(IntervalSet, AdjacentIntegerIntervalsMergeToOne) {
+  // Closed integer intervals: [1,3] and [4,6] cover a contiguous range, so
+  // the normalized form is the single interval [1,6] — not two entries.
+  const IntervalSet merged = IntervalSet::Union(Of(1, 3), Of(4, 6));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(*merged.intervals()[0].lo, 1);
+  EXPECT_EQ(*merged.intervals()[0].hi, 6);
+  // ...while a one-integer gap must stay split.
+  const IntervalSet split = IntervalSet::Union(Of(1, 3), Of(5, 6));
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_FALSE(split.Contains(4));
+}
+
+TEST(IntervalSet, ZeroWidthIntervalIsASinglePoint) {
+  const IntervalSet point = Of(5, 5);
+  EXPECT_FALSE(point.empty());
+  EXPECT_TRUE(point.Contains(5));
+  EXPECT_FALSE(point.Contains(4));
+  EXPECT_FALSE(point.Contains(6));
+  // Point + adjacent point merge; point union empty is the point.
+  EXPECT_EQ(IntervalSet::Union(Of(5, 5), Of(6, 6)).size(), 1u);
+  const IntervalSet with_empty =
+      IntervalSet::Union(point, IntervalSet::Empty());
+  ASSERT_EQ(with_empty.size(), 1u);
+  EXPECT_TRUE(with_empty.Contains(5));
+}
+
+TEST(IntervalSet, PropertyNormalFormMatchesBruteForceMembership) {
+  // For random unions of small intervals the normalized representation
+  // must (a) agree pointwise with a brute-force membership table and
+  // (b) be canonical: disjoint, ascending, and gap-separated (no two
+  // entries an integer apart — those would have merged).
+  Random rng(4099);
+  for (int trial = 0; trial < 300; ++trial) {
+    constexpr int64_t kLo = 0, kHi = 48;
+    std::vector<bool> member(kHi + 1, false);
+    IntervalSet set;
+    const int pieces = 1 + static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < pieces; ++i) {
+      const int64_t lo = rng.UniformInt(kLo, kHi);
+      const int64_t hi = lo + rng.UniformInt(0, 8);
+      set = IntervalSet::Union(set, Of(lo, hi));
+      for (int64_t v = lo; v <= std::min(hi, kHi); ++v) member[v] = true;
+    }
+    for (int64_t v = kLo; v <= kHi; ++v) {
+      ASSERT_EQ(set.Contains(v), static_cast<bool>(member[v]))
+          << "trial " << trial << " v=" << v;
+    }
+    const auto& ivs = set.intervals();
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      ASSERT_TRUE(ivs[i - 1].hi && ivs[i].lo);
+      ASSERT_GT(*ivs[i].lo, *ivs[i - 1].hi + 1)
+          << "trial " << trial << ": adjacent intervals left unmerged";
+    }
+  }
+}
+
+TEST(IntervalSet, PropertyIntersectionIsSymmetricAndUnionCommutes) {
+  Random rng(5113);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalSet a;
+    IntervalSet b;
+    for (int i = 0; i < 3; ++i) {
+      const int64_t lo1 = rng.UniformInt(-30, 30);
+      a = IntervalSet::Union(a, Of(lo1, lo1 + rng.UniformInt(0, 12)));
+      const int64_t lo2 = rng.UniformInt(-30, 30);
+      b = IntervalSet::Union(b, Of(lo2, lo2 + rng.UniformInt(0, 12)));
+    }
+    const IntervalSet ab = IntervalSet::Intersect(a, b);
+    const IntervalSet ba = IntervalSet::Intersect(b, a);
+    const IntervalSet uab = IntervalSet::Union(a, b);
+    const IntervalSet uba = IntervalSet::Union(b, a);
+    for (int64_t v = -50; v <= 50; ++v) {
+      ASSERT_EQ(ab.Contains(v), ba.Contains(v)) << v;
+      ASSERT_EQ(uab.Contains(v), uba.Contains(v)) << v;
+    }
+    // Canonical forms are identical structurally, not just pointwise.
+    ASSERT_EQ(ab.size(), ba.size());
+    ASSERT_EQ(uab.size(), uba.size());
+    // Empty-set laws: A ∩ ∅ = ∅ and A ∪ ∅ = A.
+    EXPECT_TRUE(IntervalSet::Intersect(a, IntervalSet::Empty()).empty());
+    const IntervalSet a_or_empty =
+        IntervalSet::Union(a, IntervalSet::Empty());
+    for (int64_t v = -50; v <= 50; v += 5) {
+      ASSERT_EQ(a_or_empty.Contains(v), a.Contains(v)) << v;
     }
   }
 }

@@ -1,0 +1,148 @@
+#include "net/faulty_network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace viewmat::net {
+namespace {
+
+class Counter : public Endpoint {
+ public:
+  void OnMessage(NodeId from, const Message& msg) override {
+    (void)from;
+    seqs.push_back(msg.seq_no);
+  }
+  std::vector<uint64_t> seqs;
+};
+
+Message Msg(uint64_t seq) {
+  Message m;
+  m.type = MsgType::kCommit;
+  m.session_id = 2;
+  m.seq_no = seq;
+  return m;
+}
+
+TEST(FaultyNetworkTest, ScriptDropAtMsgDropsExactlyTheNth) {
+  Network net(Network::Options{});
+  Counter sink;
+  net.Register(1, &sink);
+  FaultyNetwork faulty(&net, net.clock(), 5);
+  faulty.ScriptDropAtMsg(3);  // the third send from now vanishes
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(faulty.Send(0, 1, Msg(i)).ok());
+  }
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_EQ(sink.seqs, (std::vector<uint64_t>{1, 2, 4, 5}));
+  EXPECT_EQ(faulty.dropped(), 1u);
+  // The script is one-shot.
+  ASSERT_TRUE(faulty.Send(0, 1, Msg(6)).ok());
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_EQ(sink.seqs.back(), 6u);
+}
+
+TEST(FaultyNetworkTest, DuplicateRateDeliversTwice) {
+  Network net(Network::Options{});
+  Counter sink;
+  net.Register(1, &sink);
+  FaultyNetwork faulty(&net, net.clock(), 9);
+  faulty.set_duplicate_rate(1.0);
+  ASSERT_TRUE(faulty.Send(0, 1, Msg(1)).ok());
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_EQ(sink.seqs.size(), 2u);
+  EXPECT_EQ(faulty.duplicated(), 1u);
+}
+
+TEST(FaultyNetworkTest, FaultBudgetStopsInjection) {
+  Network net(Network::Options{});
+  Counter sink;
+  net.Register(1, &sink);
+  FaultyNetwork faulty(&net, net.clock(), 9);
+  faulty.set_drop_rate(1.0);
+  faulty.set_max_faults(2);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(faulty.Send(0, 1, Msg(i)).ok());
+  }
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_EQ(faulty.dropped(), 2u);       // budget spent after two drops
+  EXPECT_EQ(sink.seqs.size(), 4u);       // the rest deliver
+  EXPECT_EQ(faulty.faults_injected(), 2u);
+}
+
+TEST(FaultyNetworkTest, PartitionWindowBlocksThenHeals) {
+  Network net(Network::Options{});
+  Counter sink;
+  net.Register(1, &sink);
+  net.Register(0, &sink);
+  FaultyNetwork faulty(&net, net.clock(), 5);
+  faulty.AddPartition(0.0, 10.0, 0, 1);
+  // Inside the window: both directions blocked (symmetric).
+  EXPECT_TRUE(faulty.Partitioned(0, 1));
+  EXPECT_TRUE(faulty.Partitioned(1, 0));
+  ASSERT_TRUE(faulty.Send(0, 1, Msg(1)).ok());
+  ASSERT_TRUE(faulty.Send(1, 0, Msg(2)).ok());
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_TRUE(sink.seqs.empty());
+  EXPECT_EQ(faulty.partition_drops(), 2u);
+  // Advance virtual time past the window: the link heals.
+  net.Post(20.0, [] {});
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_FALSE(faulty.Partitioned(0, 1));
+  ASSERT_TRUE(faulty.Send(0, 1, Msg(3)).ok());
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_EQ(sink.seqs, (std::vector<uint64_t>{3}));
+}
+
+TEST(FaultyNetworkTest, OneWayPartitionBlocksOneDirectionOnly) {
+  Network net(Network::Options{});
+  Counter sink;
+  net.Register(0, &sink);
+  net.Register(1, &sink);
+  FaultyNetwork faulty(&net, net.clock(), 5);
+  faulty.AddPartition(0.0, 100.0, 0, 1, /*one_way=*/true);
+  EXPECT_TRUE(faulty.Partitioned(0, 1));
+  EXPECT_FALSE(faulty.Partitioned(1, 0));
+  ASSERT_TRUE(faulty.Send(0, 1, Msg(1)).ok());  // blocked
+  ASSERT_TRUE(faulty.Send(1, 0, Msg(2)).ok());  // delivered
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_EQ(sink.seqs, (std::vector<uint64_t>{2}));
+}
+
+TEST(FaultyNetworkTest, ClearFaultsDisarmsEverything) {
+  Network net(Network::Options{});
+  Counter sink;
+  net.Register(1, &sink);
+  FaultyNetwork faulty(&net, net.clock(), 5);
+  faulty.set_drop_rate(1.0);
+  faulty.ScriptDropAtMsg(1);
+  faulty.AddPartition(0.0, 1e9, 0, 1);
+  faulty.ClearFaults();
+  ASSERT_TRUE(faulty.Send(0, 1, Msg(1)).ok());
+  EXPECT_TRUE(net.RunUntilIdle(100));
+  EXPECT_EQ(sink.seqs, (std::vector<uint64_t>{1}));
+}
+
+TEST(FaultyNetworkTest, SameSeedSameFaultSchedule) {
+  std::vector<uint64_t> delivered[2];
+  for (int round = 0; round < 2; ++round) {
+    Network net(Network::Options{});
+    Counter sink;
+    net.Register(1, &sink);
+    FaultyNetwork faulty(&net, net.clock(), 1234);
+    faulty.set_drop_rate(0.3);
+    faulty.set_duplicate_rate(0.2);
+    faulty.set_reorder_rate(0.3);
+    for (uint64_t i = 1; i <= 40; ++i) {
+      ASSERT_TRUE(faulty.Send(0, 1, Msg(i)).ok());
+    }
+    EXPECT_TRUE(net.RunUntilIdle(1000));
+    delivered[round] = sink.seqs;
+  }
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+}  // namespace
+}  // namespace viewmat::net

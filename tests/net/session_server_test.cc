@@ -1,0 +1,271 @@
+#include "net/session_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "costmodel/params.h"
+#include "net/faulty_network.h"
+#include "net/network.h"
+#include "net/session_client.h"
+#include "sim/strategy_driver.h"
+
+namespace viewmat::net {
+namespace {
+
+/// One fully-wired single-server simulation: engine, transport, fault
+/// decorator, refresher, server — clients are added per test.
+struct Rig {
+  std::unique_ptr<sim::StrategyDriver> driver;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<FaultyNetwork> faulty;
+  std::unique_ptr<RefreshDaemon> refresher;
+  std::unique_ptr<SessionServer> server;
+  std::vector<std::unique_ptr<SessionClient>> clients;
+
+  SessionClient* AddClient(std::vector<ClientOp> ops, uint64_t seed = 7) {
+    SessionClient::Options copt;
+    copt.node = static_cast<NodeId>(2 + clients.size());
+    copt.server = 0;
+    copt.events = net.get();
+    copt.net = faulty.get();
+    copt.seed = seed + clients.size();
+    // Comfortably above the model service time of a TortureParams commit,
+    // so a healthy wire really is retry-free.
+    copt.timeout_ms = 500.0;
+    auto client = std::make_unique<SessionClient>(copt, std::move(ops));
+    net->Register(copt.node, client.get());
+    clients.push_back(std::move(client));
+    return clients.back().get();
+  }
+
+  bool Run(size_t max_events = 100000) {
+    for (auto& c : clients) c->Start();
+    const bool drained = net->RunUntilIdle(max_events);
+    bool done = true;
+    for (auto& c : clients) done &= c->done();
+    return drained && done;
+  }
+};
+
+Rig MakeRig(sim::StrategyKind kind = sim::StrategyKind::kImmediate,
+            uint64_t seed = 11, size_t max_inflight = 8,
+            double refresh_every_ms = 0.0) {
+  Rig rig;
+  sim::StrategyDriver::Options dopt;
+  dopt.kind = kind;
+  dopt.model = 1;
+  dopt.params = sim::TortureParams(costmodel::Params{});
+  dopt.seed = seed;
+  auto driver = sim::StrategyDriver::Create(dopt);
+  EXPECT_TRUE(driver.ok()) << driver.status().message();
+  rig.driver = std::move(*driver);
+  rig.net = std::make_unique<Network>(Network::Options{});
+  rig.faulty =
+      std::make_unique<FaultyNetwork>(rig.net.get(), rig.net->clock(), seed);
+  rig.refresher = std::make_unique<RefreshDaemon>(1, rig.faulty.get());
+  rig.net->Register(1, rig.refresher.get());
+  SessionServer::Options sopt;
+  sopt.driver = rig.driver.get();
+  sopt.events = rig.net.get();
+  sopt.net = rig.faulty.get();
+  sopt.max_inflight = max_inflight;
+  sopt.checkpoint_every = 4;
+  sopt.refresh_every_ms = refresh_every_ms;
+  auto server = SessionServer::Create(sopt);
+  EXPECT_TRUE(server.ok()) << server.status().message();
+  rig.server = std::move(*server);
+  rig.net->Register(0, rig.server.get());
+  return rig;
+}
+
+ClientOp Update(std::vector<std::pair<int64_t, double>> victims) {
+  ClientOp op;
+  op.is_update = true;
+  op.victims = std::move(victims);
+  return op;
+}
+
+ClientOp Query(int64_t lo, int64_t hi) {
+  ClientOp op;
+  op.lo = lo;
+  op.hi = hi;
+  return op;
+}
+
+// --- Options validation (every rejection names its field) -----------------
+
+TEST(SessionServerOptionsTest, RejectsEachInvalidFieldByName) {
+  Rig rig = MakeRig();
+  SessionServer::Options good;
+  good.driver = rig.driver.get();
+  good.events = rig.net.get();
+  good.net = rig.faulty.get();
+
+  SessionServer::Options opt = good;
+  opt.driver = nullptr;
+  auto r = SessionServer::Create(opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::driver"), std::string::npos);
+
+  opt = good;
+  opt.events = nullptr;
+  r = SessionServer::Create(opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::events"), std::string::npos);
+
+  opt = good;
+  opt.net = nullptr;
+  r = SessionServer::Create(opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::net"), std::string::npos);
+
+  opt = good;
+  opt.max_inflight = 0;
+  r = SessionServer::Create(opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::max_inflight"),
+            std::string::npos);
+
+  opt = good;
+  opt.max_sessions = 0;
+  r = SessionServer::Create(opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::max_sessions"),
+            std::string::npos);
+
+  opt = good;
+  opt.restart_delay_ms = 0.0;
+  r = SessionServer::Create(opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::restart_delay_ms"),
+            std::string::npos);
+
+  opt = good;
+  opt.refresh_every_ms = -1.0;
+  r = SessionServer::Create(opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::refresh_every_ms"),
+            std::string::npos);
+
+  EXPECT_TRUE(SessionServer::Create(good).ok());
+}
+
+// --- Protocol behavior ----------------------------------------------------
+
+TEST(SessionServerTest, CommitsAndQueriesOverAHealthyWire) {
+  Rig rig = MakeRig();
+  SessionClient* client = rig.AddClient(
+      {Update({{0, 5.0}, {1, 3.0}}), Query(0, 10), Update({{0, 2.0}})});
+  ASSERT_TRUE(rig.Run());
+  ASSERT_EQ(client->acked().size(), 3u);
+  EXPECT_EQ(rig.server->journal().size(), 2u);
+  EXPECT_EQ(rig.server->commits_applied(), 2u);
+  EXPECT_GT(client->acked()[0].txn_id, 0u);
+  EXPECT_EQ(client->acked()[1].journal_len, 1u);  // one commit before it
+  EXPECT_EQ(client->retries(), 0u);
+  EXPECT_EQ(rig.server->crashes(), 0u);
+}
+
+TEST(SessionServerTest, DuplicatedRequestsApplyExactlyOnce) {
+  Rig rig = MakeRig();
+  rig.faulty->set_duplicate_rate(1.0);  // EVERY message delivered twice
+  SessionClient* client = rig.AddClient(
+      {Update({{2, 1.0}}), Update({{2, 1.0}}), Update({{3, 4.0}})});
+  ASSERT_TRUE(rig.Run());
+  EXPECT_EQ(client->acked().size(), 3u);
+  // Three distinct (session, seq) entries — the duplicates hit the dedup
+  // table, not the engine.
+  ASSERT_EQ(rig.server->journal().size(), 3u);
+  std::set<std::pair<uint64_t, uint64_t>> ids;
+  for (const auto& e : rig.server->journal()) ids.emplace(e.session, e.seq);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_GT(rig.server->redelivered_hits(), 0u);
+}
+
+TEST(SessionServerTest, LostReplyIsAnsweredFromTheDedupCache) {
+  Rig rig = MakeRig();
+  SessionClient* client = rig.AddClient({Update({{5, 7.0}})});
+  // Wire order: open(1), open-ack(2), commit(3), reply(4). Drop the reply:
+  // the retry must be served from cache, and the commit applied once.
+  rig.faulty->ScriptDropAtMsg(4);
+  ASSERT_TRUE(rig.Run());
+  ASSERT_EQ(client->acked().size(), 1u);
+  EXPECT_GE(client->retries(), 1u);
+  EXPECT_EQ(rig.server->journal().size(), 1u);
+  EXPECT_EQ(rig.server->redelivered_hits(), 1u);
+  EXPECT_GT(client->acked()[0].txn_id, 0u);
+}
+
+TEST(SessionServerTest, OverloadShedsButEveryClientFinishes) {
+  Rig rig = MakeRig(sim::StrategyKind::kImmediate, 13, /*max_inflight=*/1);
+  for (int c = 0; c < 4; ++c) {
+    rig.AddClient({Update({{c, 1.0}}), Query(0, 8), Update({{c, 2.0}})});
+  }
+  ASSERT_TRUE(rig.Run(400000));
+  uint64_t acked = 0;
+  for (auto& client : rig.clients) acked += client->acked().size();
+  EXPECT_EQ(acked, 12u);
+  EXPECT_EQ(rig.server->journal().size(), 8u);
+  EXPECT_GT(rig.server->shed_requests(), 0u);
+}
+
+TEST(SessionServerTest, CrashCannotForgetAnAcknowledgedCommit) {
+  for (const auto kind :
+       {sim::StrategyKind::kImmediate, sim::StrategyKind::kDeferred}) {
+    Rig rig = MakeRig(kind, 17);
+    SessionClient* client = rig.AddClient({Update({{1, 2.0}}),
+                                           Update({{2, 3.0}}),
+                                           Update({{3, 4.0}}),
+                                           Update({{4, 5.0}})});
+    // Crash the device mid-run: a few disk ops into the second commit.
+    rig.net->Post(5.0, [&rig] { rig.driver->disk()->ScriptCrashAtOp(3); });
+    ASSERT_TRUE(rig.Run(400000));
+    EXPECT_EQ(client->acked().size(), 4u);
+    EXPECT_GE(rig.server->crashes(), 1u);
+    EXPECT_GE(rig.server->recoveries(), 1u);
+    // Exactly four applications — the crash neither lost an acked commit
+    // nor let a retry re-apply one.
+    std::set<std::pair<uint64_t, uint64_t>> ids;
+    for (const auto& e : rig.server->journal()) ids.emplace(e.session, e.seq);
+    EXPECT_EQ(rig.server->journal().size(), 4u)
+        << sim::StrategyKindName(kind);
+    EXPECT_EQ(ids.size(), 4u) << sim::StrategyKindName(kind);
+  }
+}
+
+TEST(SessionServerTest, RefreshPartitionFlagsDegradedReads) {
+  Rig rig = MakeRig(sim::StrategyKind::kDeferred, 19, /*max_inflight=*/8,
+                    /*refresh_every_ms=*/10.0);
+  // The refresh path is isolated the whole run; data traffic is healthy.
+  rig.faulty->AddPartition(0.0, 1e9, 0, 1);
+  std::vector<ClientOp> ops;
+  for (int i = 0; i < 10; ++i) {
+    ops.push_back(Update({{i, 1.0}}));
+    ops.push_back(Query(0, 12));
+  }
+  SessionClient* client = rig.AddClient(std::move(ops));
+  ASSERT_TRUE(rig.Run(400000));
+  EXPECT_FALSE(rig.server->refresh_link_up());
+  EXPECT_GT(rig.server->degraded_replies(), 0u);
+  bool any_degraded = false;
+  for (const auto& r : client->acked()) any_degraded |= r.degraded;
+  EXPECT_TRUE(any_degraded);
+}
+
+TEST(SessionServerTest, SessionCheckpointBoundsTheWalScan) {
+  Rig rig = MakeRig(sim::StrategyKind::kImmediate, 23);
+  std::vector<ClientOp> ops;
+  for (int i = 0; i < 10; ++i) ops.push_back(Update({{i % 5, 1.0}}));
+  rig.AddClient(std::move(ops));
+  ASSERT_TRUE(rig.Run(400000));
+  // checkpoint_every=4: ten commits → at least two dedup-table snapshots.
+  EXPECT_GE(rig.server->session_checkpoints(), 2u);
+  EXPECT_EQ(rig.server->journal().size(), 10u);
+}
+
+}  // namespace
+}  // namespace viewmat::net

@@ -37,6 +37,45 @@ ViewServer::Result MustRun(const ViewServer::Options& options) {
   return *result;
 }
 
+TEST(ViewServerOptions, EachRejectionNamesItsField) {
+  ViewServer::Options options = SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+  options.workers = 0;
+  auto r = ViewServer::Create(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::workers"), std::string::npos)
+      << r.status().message();
+
+  options = SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+  options.schedule.clients = 0;
+  r = ViewServer::Create(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::schedule.clients"),
+            std::string::npos)
+      << r.status().message();
+
+  options = SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+  options.schedule.ops_per_client = 0;
+  r = ViewServer::Create(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::schedule.ops_per_client"),
+            std::string::npos)
+      << r.status().message();
+
+  options = SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+  options.driver.group_commit = true;
+  options.commit_batch = 0;
+  r = ViewServer::Create(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Options::commit_batch"),
+            std::string::npos)
+      << r.status().message();
+
+  // commit_batch = 0 without group commit is unused and therefore legal.
+  options = SmallOptions(sim::StrategyKind::kDeferred, 1, 1);
+  options.commit_batch = 0;
+  EXPECT_TRUE(ViewServer::Create(options).ok());
+}
+
 TEST(Schedule, IsDeterministicAndClientLocal) {
   auto server = ViewServer::Create(
       SmallOptions(sim::StrategyKind::kDeferred, 1, 1));

@@ -103,6 +103,60 @@ TEST_F(WalTest, BufferedRecordsAreNotDurableUntilSync) {
   EXPECT_EQ(records[1].type, 2);
 }
 
+TEST_F(WalTest, DiscardVolatileWithEmptyStagedTailIsANoOp) {
+  WriteAheadLog::Options options;
+  options.auto_sync = false;
+  WriteAheadLog log(&disk_, options);
+  ASSERT_TRUE(Append(&log, 1, "durable").ok());
+  ASSERT_TRUE(log.Sync().ok());
+  const Lsn durable = log.durable_lsn();
+  // Nothing staged: discarding must change neither the device contents
+  // nor the durability watermark.
+  ASSERT_TRUE(log.DiscardVolatile().ok());
+  EXPECT_EQ(log.pending_records(), 0u);
+  EXPECT_EQ(log.durable_lsn(), durable);
+  ASSERT_EQ(ScanAll(log).size(), 1u);
+}
+
+TEST_F(WalTest, DoubleDiscardVolatileIsIdempotent) {
+  WriteAheadLog::Options options;
+  options.auto_sync = false;
+  WriteAheadLog log(&disk_, options);
+  ASSERT_TRUE(Append(&log, 1, "keep").ok());
+  ASSERT_TRUE(log.Sync().ok());
+  ASSERT_TRUE(Append(&log, 2, "staged-a").ok());
+  ASSERT_TRUE(Append(&log, 3, "staged-b").ok());
+  ASSERT_TRUE(log.DiscardVolatile().ok());
+  EXPECT_EQ(log.pending_records(), 0u);
+  // The second discard has nothing left to drop and must not disturb the
+  // durable prefix either.
+  ASSERT_TRUE(log.DiscardVolatile().ok());
+  EXPECT_EQ(log.pending_records(), 0u);
+  const std::vector<Record> records = ScanAll(log);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, 1);
+  // The log stays usable: new appends sync through normally.
+  ASSERT_TRUE(Append(&log, 4, "after").ok());
+  ASSERT_TRUE(log.Sync().ok());
+  ASSERT_EQ(ScanAll(log).size(), 2u);
+}
+
+TEST_F(WalTest, DiscardVolatileAfterSyncDropsNothingDurable) {
+  WriteAheadLog::Options options;
+  options.auto_sync = false;
+  WriteAheadLog log(&disk_, options);
+  ASSERT_TRUE(Append(&log, 1, "one").ok());
+  ASSERT_TRUE(Append(&log, 2, "two").ok());
+  ASSERT_TRUE(log.Sync().ok());
+  const Lsn durable = log.durable_lsn();
+  ASSERT_TRUE(log.DiscardVolatile().ok());
+  EXPECT_EQ(log.durable_lsn(), durable);
+  const std::vector<Record> records = ScanAll(log);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, 1);
+  EXPECT_EQ(records[1].type, 2);
+}
+
 TEST_F(WalTest, TornTailRecordIsDetectedAndDropped) {
   WriteAheadLog log(&disk_);
   ASSERT_TRUE(Append(&log, 1, "committed-one").ok());
